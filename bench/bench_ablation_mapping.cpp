@@ -1,0 +1,81 @@
+// Ablation (DESIGN.md §5): value of the correlated data partitioning and
+// mapping methodology (paper Fig. 6). Two functional hash-table builds on
+// the bit-accurate simulator process the same read set:
+//   * correlated — counters co-located with keys (the paper's layout);
+//   * central values — counters in one dedicated sub-array (naive layout).
+// With central values every counter read-modify-write serializes on the
+// value array, which becomes the critical path; the correlated layout keeps
+// updates local and parallel.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/pim_hash_table.hpp"
+#include "dna/genome.hpp"
+
+using namespace pima;
+
+namespace {
+
+dram::Geometry bench_geometry() {
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 16;
+  g.mats_per_bank = 4;
+  g.banks = 2;
+  return g;
+}
+
+dram::DeviceStats run_build(core::MappingPolicy policy,
+                            const std::vector<dna::Sequence>& reads,
+                            std::size_t k) {
+  dram::Device dev(bench_geometry());
+  core::PimHashTable table(dev, 12, 0, policy);
+  for (const auto& read : reads) {
+    if (read.size() < k) continue;
+    auto window = assembly::Kmer::from_sequence(read, 0, k);
+    for (std::size_t i = 0;; ++i) {
+      table.insert_or_increment(window);
+      if (i + k >= read.size()) break;
+      window = window.rolled(read.at(i + k));
+    }
+  }
+  return dev.roll_up();
+}
+
+}  // namespace
+
+int main() {
+  dna::GenomeParams gp;
+  gp.length = 3000;
+  gp.repeat_count = 2;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 8.0;
+  rp.read_length = 80;
+  const auto reads = dna::sample_reads(genome, rp);
+  const std::size_t k = 16;
+
+  const auto corr = run_build(core::MappingPolicy::kCorrelated, reads, k);
+  const auto central =
+      run_build(core::MappingPolicy::kCentralValues, reads, k);
+
+  TextTable table("Ablation: correlated mapping vs central value array");
+  table.set_header({"layout", "commands", "critical path (us)",
+                    "energy (nJ)", "sub-arrays used"});
+  auto add = [&](const char* name, const dram::DeviceStats& s) {
+    table.add_row({name, std::to_string(s.commands),
+                   TextTable::num(s.time_ns / 1000.0, 4),
+                   TextTable::num(s.energy_pj / 1000.0, 4),
+                   std::to_string(s.subarrays_used)});
+  };
+  add("correlated (paper Fig. 6)", corr);
+  add("central values (naive)", central);
+  std::fputs(table.render().c_str(), stdout);
+  std::printf(
+      "\ncorrelated mapping shortens the critical path by %.2fx (counter "
+      "updates stay local instead of serializing on one value array).\n",
+      central.time_ns / corr.time_ns);
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Ablation (DESIGN.md §5): the paper names the Fleury algorithm for its
+// Traverse(G) stage; this reproduction defaults to Hierholzer. The swap is
+// justified here: both algorithms cover the identical edge multiset (the
+// contigs' content is the same), but Fleury's per-step bridge detection is
+// O(E) per edge, so its controller-side cost explodes quadratically while
+// Hierholzer stays linear.
+#include <chrono>
+#include <cstdio>
+
+#include "assembly/contig.hpp"
+#include "common/table.hpp"
+#include "dna/genome.hpp"
+
+using namespace pima;
+
+namespace {
+
+assembly::DeBruijnGraph make_graph(std::size_t genome_len, std::size_t k) {
+  dna::GenomeParams gp;
+  gp.length = genome_len;
+  gp.repeat_count = genome_len / 500;
+  gp.repeat_length = 80;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 8.0;
+  rp.read_length = 80;
+  const auto reads = dna::sample_reads(genome, rp);
+  return assembly::DeBruijnGraph::from_counter(
+      assembly::build_hashmap(reads, k), true);
+}
+
+double time_ms(assembly::TraversalAlgorithm algo,
+               const assembly::DeBruijnGraph& g, std::uint64_t& covered) {
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto walks = assembly::euler_walks(g, algo);
+  const auto t1 = std::chrono::steady_clock::now();
+  covered = 0;
+  for (const auto& w : walks) covered += w.size();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count();
+}
+
+}  // namespace
+
+int main() {
+  TextTable table("Ablation: Hierholzer (used) vs Fleury (paper's name)");
+  table.set_header({"graph edges", "Hierholzer (ms)", "Fleury (ms)",
+                    "slowdown", "identical coverage"});
+  for (const std::size_t len : {1000u, 2000u, 4000u, 8000u}) {
+    const auto g = make_graph(len, 15);
+    std::uint64_t cov_h = 0, cov_f = 0;
+    const double t_h =
+        time_ms(assembly::TraversalAlgorithm::kHierholzer, g, cov_h);
+    const double t_f =
+        time_ms(assembly::TraversalAlgorithm::kFleury, g, cov_f);
+    table.add_row({std::to_string(g.edge_count()), TextTable::num(t_h, 4),
+                   TextTable::num(t_f, 4),
+                   TextTable::num(t_f / std::max(t_h, 1e-6), 3) + "x",
+                   cov_h == cov_f && cov_h == g.edge_instances() ? "yes"
+                                                                 : "NO"});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nboth traversals cover every edge instance exactly once; Fleury's "
+      "bridge checks grow quadratically, which is why the pipeline uses "
+      "Hierholzer.");
+  return 0;
+}

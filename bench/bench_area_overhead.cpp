@@ -1,0 +1,39 @@
+// Reproduces the paper's §II.B area-overhead estimate: ~50 add-on
+// transistors per sense amplifier, 16 for the modified row decoder, plus
+// controller logic — "51 DRAM rows (51×256 transistors) per sub-array at
+// the most, which can be interpreted as ~5% of DRAM chip area".
+#include <cstdio>
+
+#include "circuit/area.hpp"
+#include "common/table.hpp"
+
+using namespace pima;
+
+int main() {
+  const auto report = circuit::estimate_area();
+  TextTable table("Area overhead per computational sub-array");
+  table.set_header({"quantity", "paper", "measured"});
+  table.add_row({"add-on transistors", "<= 51x256 = 13056",
+                 std::to_string(report.addon_transistors)});
+  table.add_row({"row-equivalents", "51 (at most)",
+                 TextTable::num(report.rows_equivalent, 4)});
+  table.add_row({"chip-area overhead", "~5%",
+                 TextTable::num(report.overhead_fraction * 100.0, 3) + "%"});
+  std::fputs(table.render().c_str(), stdout);
+
+  // Breakdown of the three cost sources.
+  TextTable breakdown("Cost-source breakdown");
+  breakdown.set_header({"source", "transistors"});
+  const circuit::AreaModelParams p{};
+  breakdown.add_row({"reconfigurable SA add-ons (50/bit-line x 256)",
+                     std::to_string(p.sa_addon_per_bitline * p.columns)});
+  breakdown.add_row({"modified row decoder (2/WL driver x 8 rows)",
+                     std::to_string(p.mrd_addon_total)});
+  breakdown.add_row(
+      {"controller (enable-bit drivers, FSM)",
+       std::to_string(report.addon_transistors -
+                      p.sa_addon_per_bitline * p.columns -
+                      p.mrd_addon_total)});
+  std::fputs(breakdown.render().c_str(), stdout);
+  return 0;
+}

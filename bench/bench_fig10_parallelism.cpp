@@ -1,0 +1,42 @@
+// Reproduces paper Fig. 10: trade-off between power consumption and delay
+// as the parallelism degree Pd (replicated sub-array groups) grows, for
+// k = 16 and k = 32, plus the mapping optimizer's chosen operating point
+// (the paper determines the optimum at Pd ≈ 2).
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/pd_optimizer.hpp"
+#include "platforms/presets.hpp"
+
+using namespace pima;
+
+int main() {
+  const auto pa = platforms::pim_assembler();
+  TextTable table("Fig. 10: power/delay vs parallelism degree");
+  table.set_header({"k", "Pd", "delay (s)", "power (W)", "energy (J)"});
+  for (const std::size_t k : {16u, 32u}) {
+    core::WorkloadParams w;
+    w.k = k;
+    for (const auto& pt : core::sweep_parallelism(pa, w)) {
+      table.add_row({std::to_string(k), std::to_string(pt.pd),
+                     TextTable::num(pt.delay_s, 4),
+                     TextTable::num(pt.power_w, 4),
+                     TextTable::num(pt.energy_j, 4)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  TextTable opt("\nMapping-optimizer operating point");
+  opt.set_header({"k", "paper optimum", "chosen Pd", "delay (s)",
+                  "power (W)"});
+  for (const std::size_t k : {16u, 32u}) {
+    core::WorkloadParams w;
+    w.k = k;
+    const auto best = core::optimal_parallelism(pa, w);
+    opt.add_row({std::to_string(k), "Pd ~ 2", std::to_string(best.pd),
+                 TextTable::num(best.delay_s, 4),
+                 TextTable::num(best.power_w, 4)});
+  }
+  std::fputs(opt.render().c_str(), stdout);
+  return 0;
+}

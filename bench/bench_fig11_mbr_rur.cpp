@@ -1,0 +1,40 @@
+// Reproduces paper Fig. 11: (a) Memory Bottleneck Ratio — the fraction of
+// time computation waits on data and on-/off-chip transfer — and (b)
+// Resource Utilization Ratio, for GPU, P-A, Ambit, D3 and D1 at k = 16 and
+// k = 32.
+#include <cstdio>
+
+#include "common/table.hpp"
+#include "core/cost_model.hpp"
+#include "platforms/presets.hpp"
+
+using namespace pima;
+
+int main() {
+  const auto apps = platforms::application_platforms();
+
+  TextTable mbr("Fig. 11a: memory bottleneck ratio (%)");
+  mbr.set_header({"platform", "k=16", "k=32"});
+  TextTable rur("Fig. 11b: resource utilization ratio (%)");
+  rur.set_header({"platform", "k=16", "k=32"});
+
+  for (const auto& p : apps) {
+    core::WorkloadParams w16, w32;
+    w16.k = 16;
+    w32.k = 32;
+    const auto c16 = core::estimate_application(p, w16);
+    const auto c32 = core::estimate_application(p, w32);
+    mbr.add_row({p.name, TextTable::num(c16.mbr * 100, 3),
+                 TextTable::num(c32.mbr * 100, 3)});
+    rur.add_row({p.name, TextTable::num(c16.rur * 100, 3),
+                 TextTable::num(c32.rur * 100, 3)});
+  }
+  std::fputs(mbr.render().c_str(), stdout);
+  std::fputs("\n", stdout);
+  std::fputs(rur.render().c_str(), stdout);
+
+  std::puts(
+      "\npaper checkpoints: P-A MBR ~9% @k=16 and <16% @k=32; GPU MBR ~70% "
+      "@k=32; P-A RUR up to ~65% @k=16; PIM RUR > 45%.");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Fig. 3a: transient simulation of the in-memory XNOR2
+// operation. For each operand combination DiDj the bit-line settles through
+// precharge → two-row charge sharing → sense amplification, ending at Vdd
+// when XNOR2(Di,Dj)=1 (00/11) and at GND when 0 (01/10).
+#include <cstdio>
+
+#include "circuit/transient.hpp"
+#include "common/table.hpp"
+
+using namespace pima;
+
+int main() {
+  const circuit::TechParams tech{};
+  const circuit::TransientPhases phases{};
+
+  std::printf("PIM-Assembler — Fig. 3a: XNOR2 transient (Vdd = %.2f V)\n",
+              tech.vdd);
+  std::printf(
+      "phases: precharge ends %.1f ns, charge share ends %.1f ns, sense "
+      "ends %.1f ns\n\n",
+      phases.precharge_end_ns, phases.share_end_ns, phases.sense_end_ns);
+
+  TextTable table("BL voltage over time (V)");
+  table.set_header({"t (ns)", "Di=0,Dj=0", "Di=0,Dj=1", "Di=1,Dj=0",
+                    "Di=1,Dj=1"});
+
+  const bool combos[4][2] = {
+      {false, false}, {false, true}, {true, false}, {true, true}};
+  std::vector<std::vector<circuit::TransientPoint>> waves;
+  for (const auto& c : combos)
+    waves.push_back(
+        circuit::simulate_xnor2_transient(tech, c[0], c[1], 0.5, phases));
+
+  for (std::size_t i = 0; i < waves[0].size(); i += 4) {
+    std::vector<std::string> row{TextTable::num(waves[0][i].t_ns, 3)};
+    for (const auto& w : waves) row.push_back(TextTable::num(w[i].v_bl, 3));
+    table.add_row(std::move(row));
+  }
+  std::fputs(table.render().c_str(), stdout);
+
+  TextTable final_table("Restored cell voltage after sensing");
+  final_table.set_header({"DiDj", "cell voltage (V)", "paper expectation"});
+  const char* names[4] = {"00", "01", "10", "11"};
+  for (int c = 0; c < 4; ++c) {
+    const double v =
+        circuit::restored_cell_voltage(tech, combos[c][0], combos[c][1]);
+    final_table.add_row({names[c], TextTable::num(v, 3),
+                         (c == 0 || c == 3) ? "charged to Vdd (XNOR=1)"
+                                            : "discharged to GND (XNOR=0)"});
+  }
+  std::fputs(final_table.render().c_str(), stdout);
+  return 0;
+}

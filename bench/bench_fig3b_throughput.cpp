@@ -1,0 +1,63 @@
+// Reproduces paper Fig. 3b: raw throughput of bulk bit-wise XNOR2 and
+// addition on CPU, GPU, HMC 2.0, Ambit, DRISA-1T1C (D1), DRISA-3T1C (D3)
+// and PIM-Assembler (P-A), for 2^27 / 2^28 / 2^29-bit input vectors, with
+// every platform configured with the identical physical memory
+// configuration (8 banks of 1024×256 computational sub-arrays).
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "platforms/presets.hpp"
+
+using namespace pima;
+using platforms::BulkOp;
+
+int main() {
+  const auto all = platforms::all_platforms();
+  const double lengths[] = {double(1ull << 27), double(1ull << 28),
+                            double(1ull << 29)};
+
+  for (const auto op : {BulkOp::kXnor, BulkOp::kAdd}) {
+    TextTable table(op == BulkOp::kXnor
+                        ? "Fig. 3b (left): XNOR2 throughput (Gbit/s)"
+                        : "Fig. 3b (right): addition throughput (Gbit/s)");
+    table.set_header({"platform", "2^27-bit", "2^28-bit", "2^29-bit"});
+    for (const auto& p : all) {
+      std::vector<std::string> row{p.name};
+      for (const double bits : lengths)
+        row.push_back(TextTable::num(
+            platforms::bulk_throughput_bits_per_s(p, op, bits) / 1e9, 4));
+      table.add_row(std::move(row));
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::fputs("\n", stdout);
+  }
+
+  // Paper headline ratios for XNOR2.
+  const auto pa = platforms::pim_assembler();
+  const double pa_tp =
+      platforms::bulk_throughput_bits_per_s(pa, BulkOp::kXnor, 1ull << 28);
+  TextTable ratios("XNOR2 throughput ratios (paper-reported vs measured)");
+  ratios.set_header({"comparison", "paper", "measured"});
+  auto ratio_to = [&](const platforms::PlatformSpec& p) {
+    return pa_tp /
+           platforms::bulk_throughput_bits_per_s(p, BulkOp::kXnor, 1ull << 28);
+  };
+  ratios.add_row({"P-A vs CPU", "8.4x",
+                  TextTable::num(ratio_to(platforms::cpu_corei7()), 3) + "x"});
+  ratios.add_row({"P-A vs Ambit", "2.3x",
+                  TextTable::num(ratio_to(platforms::ambit()), 3) + "x"});
+  ratios.add_row(
+      {"P-A vs DRISA-1T1C", "1.9x",
+       TextTable::num(ratio_to(platforms::drisa_1t1c()), 3) + "x"});
+  ratios.add_row(
+      {"P-A vs DRISA-3T1C", "3.7x",
+       TextTable::num(ratio_to(platforms::drisa_3t1c()), 3) + "x"});
+  const double pim_avg = geometric_mean({ratio_to(platforms::ambit()),
+                                         ratio_to(platforms::drisa_1t1c()),
+                                         ratio_to(platforms::drisa_3t1c())});
+  ratios.add_row({"P-A vs recent PIM (avg)", "2.3x",
+                  TextTable::num(pim_avg, 3) + "x"});
+  std::fputs(ratios.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// The paper's chr14 experiment, scaled: assembles a scaled synthetic
+// chromosome functionally at every paper k (16/22/26/32), then projects
+// the measured per-query workload profile to the full chr14 configuration
+// (45,711,162 reads x 101 bp) with the calibrated cost model, reporting
+// the GPU-vs-P-A comparison the paper's Fig. 9 makes.
+#include <cstdio>
+
+#include "assembly/assembler.hpp"
+#include "assembly/verify.hpp"
+#include "common/table.hpp"
+#include "core/cost_model.hpp"
+#include "dna/genome.hpp"
+#include "platforms/presets.hpp"
+
+int main() {
+  using namespace pima;
+
+  // Scaled chromosome: 50 kb with Alu-like repeats, human GC content.
+  dna::GenomeParams gp;
+  gp.length = 50'000;
+  gp.gc_content = 0.41;
+  gp.repeat_count = 12;
+  gp.repeat_length = 300;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.read_length = 101;
+  rp.coverage = 20.0;
+  const auto reads = dna::sample_reads(genome, rp);
+  std::printf("scaled chr14 stand-in: %zu bp, %zu reads x 101 bp\n\n",
+              genome.size(), reads.size());
+
+  TextTable func("functional assembly across the paper's k sweep");
+  func.set_header({"k", "distinct k-mers", "contigs", "N50 (bp)",
+                   "ref coverage", "hash compares/query"});
+  for (const std::size_t k : {16u, 22u, 26u, 32u}) {
+    assembly::AssemblyOptions opt;
+    opt.k = k;
+    const auto result = assembly::assemble(reads, opt);
+    const auto report =
+        assembly::verify_contigs(genome, result.contigs, 2 * k);
+    const double compares_per_query =
+        static_cast<double>(result.ops.hash.comparisons) /
+        static_cast<double>(result.ops.kmers_processed);
+    func.add_row({std::to_string(k), std::to_string(result.distinct_kmers),
+                  std::to_string(result.stats.count),
+                  std::to_string(result.stats.n50),
+                  TextTable::num(100.0 * report.reference_coverage, 4) + "%",
+                  TextTable::num(compares_per_query, 3)});
+  }
+  std::fputs(func.render().c_str(), stdout);
+
+  // Full-scale projection (paper Fig. 9 configuration).
+  TextTable proj("\nfull chr14 projection: GPU vs PIM-Assembler");
+  proj.set_header({"k", "GPU time (s)", "P-A time (s)", "speedup",
+                   "GPU power (W)", "P-A power (W)"});
+  for (const std::size_t k : {16u, 22u, 26u, 32u}) {
+    core::WorkloadParams w;
+    w.k = k;
+    const auto gpu = core::estimate_application(platforms::gpu_1080ti(), w);
+    const auto pa = core::estimate_application(platforms::pim_assembler(), w);
+    proj.add_row({std::to_string(k), TextTable::num(gpu.total_time_s, 4),
+                  TextTable::num(pa.total_time_s, 4),
+                  TextTable::num(gpu.total_time_s / pa.total_time_s, 3) + "x",
+                  TextTable::num(gpu.avg_power_w, 4),
+                  TextTable::num(pa.avg_power_w, 4)});
+  }
+  std::fputs(proj.render().c_str(), stdout);
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Quickstart: generate a synthetic genome, sample short reads, assemble
+// them with the software reference pipeline, and verify the contigs
+// against the ground truth. This exercises the public API end to end in
+// ~40 lines; see pim_assembly.cpp for the same flow on the simulated
+// PIM-Assembler hardware.
+#include <cstdio>
+
+#include "assembly/assembler.hpp"
+#include "assembly/verify.hpp"
+#include "dna/genome.hpp"
+
+int main() {
+  using namespace pima;
+
+  // 1. A 10 kb synthetic chromosome (human-like GC content, a few repeats).
+  dna::GenomeParams genome_params;
+  genome_params.length = 10'000;
+  genome_params.gc_content = 0.42;
+  genome_params.repeat_count = 4;
+  genome_params.repeat_length = 150;
+  const dna::Sequence genome = dna::generate_genome(genome_params);
+  std::printf("genome: %zu bp, GC = %.1f%%\n", genome.size(),
+              100.0 * dna::gc_fraction(genome));
+
+  // 2. Sample 101 bp reads at 15x coverage (the paper's read length).
+  dna::ReadSamplerParams read_params;
+  read_params.read_length = 101;
+  read_params.coverage = 15.0;
+  const auto reads = dna::sample_reads(genome, read_params);
+  std::printf("reads:  %zu x %zu bp (%.0fx coverage)\n", reads.size(),
+              read_params.read_length, read_params.coverage);
+
+  // 3. Assemble: k-mer analysis -> de Bruijn graph -> traversal. Unitig
+  // contigs stop at repeat junctions and therefore verify exactly; set
+  // euler_contigs = true for the paper's Euler-path traversal (which can
+  // spell chimeric joins across repeats).
+  assembly::AssemblyOptions options;
+  options.k = 25;
+  options.euler_contigs = false;
+  const auto result = assembly::assemble(reads, options);
+  std::printf(
+      "assembly: %zu distinct %zu-mers, %zu graph nodes, %zu edges\n",
+      result.distinct_kmers, options.k, result.graph_nodes,
+      result.graph_edges);
+  std::printf(
+      "contigs: %zu pieces, N50 = %zu bp, longest = %zu bp, total = %zu "
+      "bp\n",
+      result.stats.count, result.stats.n50, result.stats.longest,
+      result.stats.total_length);
+
+  // 4. Verify against the ground truth.
+  const auto report =
+      assembly::verify_contigs(genome, result.contigs, 2 * options.k);
+  std::printf("verify: %zu/%zu contigs match, %.1f%% of reference covered\n",
+              report.contigs_matching, report.contigs_checked,
+              100.0 * report.reference_coverage);
+  return report.all_match() ? 0 : 1;
+}

@@ -1,0 +1,199 @@
+#include "assembly/euler.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace pima::assembly {
+namespace {
+
+// Mutable traversal state shared by both algorithms: per-edge remaining
+// multiplicity and per-node cursor into the adjacency list.
+struct TraversalState {
+  explicit TraversalState(const DeBruijnGraph& g)
+      : graph(g), remaining(g.edge_count()), cursor(g.node_count(), 0) {
+    for (std::size_t e = 0; e < g.edge_count(); ++e)
+      remaining[e] = g.edge(e).multiplicity;
+  }
+
+  const DeBruijnGraph& graph;
+  std::vector<std::uint32_t> remaining;
+  std::vector<std::size_t> cursor;
+
+  std::uint32_t remaining_out(NodeId v) const {
+    std::uint32_t n = 0;
+    for (const auto e : graph.out_edges(v)) n += remaining[e];
+    return n;
+  }
+
+  // Next unused out-edge of v (advancing the cursor past exhausted ones),
+  // or nullopt.
+  std::optional<std::uint32_t> next_edge(NodeId v) {
+    auto& c = cursor[v];
+    const auto& adj = graph.out_edges(v);
+    while (c < adj.size() && remaining[adj[c]] == 0) ++c;
+    if (c == adj.size()) return std::nullopt;
+    return adj[c];
+  }
+};
+
+// Hierholzer trail from `start`, consuming edges from `st`.
+EdgeWalk hierholzer_from(TraversalState& st, NodeId start) {
+  EdgeWalk path;
+  // Stack of (node, edge taken to reach it).
+  std::vector<std::pair<NodeId, std::optional<std::uint32_t>>> stack;
+  stack.emplace_back(start, std::nullopt);
+  while (!stack.empty()) {
+    const NodeId v = stack.back().first;
+    if (const auto e = st.next_edge(v)) {
+      --st.remaining[*e];
+      stack.emplace_back(st.graph.edge(*e).to, *e);
+    } else {
+      const auto via = stack.back().second;
+      stack.pop_back();
+      if (via) path.push_back(*via);
+    }
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+// Counts edge instances reachable from v via edges with remaining
+// multiplicity (used by the Fleury bridge test).
+std::uint64_t reachable_instances(const TraversalState& st, NodeId v) {
+  std::vector<bool> seen(st.graph.node_count(), false);
+  std::vector<NodeId> stack{v};
+  seen[v] = true;
+  std::uint64_t count = 0;
+  while (!stack.empty()) {
+    const NodeId u = stack.back();
+    stack.pop_back();
+    for (const auto e : st.graph.out_edges(u)) {
+      if (st.remaining[e] == 0) continue;
+      count += st.remaining[e];
+      const NodeId w = st.graph.edge(e).to;
+      if (!seen[w]) {
+        seen[w] = true;
+        stack.push_back(w);
+      }
+    }
+  }
+  return count;
+}
+
+// Fleury trail from `start`: prefer non-bridge edges so the walk never
+// strands unreached edges.
+EdgeWalk fleury_from(TraversalState& st, NodeId start) {
+  EdgeWalk path;
+  NodeId v = start;
+  for (;;) {
+    // Candidate unused out-edges of v.
+    std::vector<std::uint32_t> candidates;
+    for (const auto e : st.graph.out_edges(v))
+      if (st.remaining[e] > 0) candidates.push_back(e);
+    if (candidates.empty()) break;
+
+    std::uint32_t chosen = candidates.front();
+    if (candidates.size() > 1 || st.remaining[chosen] > 1) {
+      const std::uint64_t before = reachable_instances(st, v);
+      bool picked = false;
+      for (const auto e : candidates) {
+        // An edge with multiplicity > 1 can never disconnect the walk.
+        if (st.remaining[e] > 1) {
+          chosen = e;
+          picked = true;
+          break;
+        }
+        // Tentatively remove e; if the remaining edges stay reachable from
+        // its endpoint, e is not a bridge.
+        --st.remaining[e];
+        const std::uint64_t after =
+            reachable_instances(st, st.graph.edge(e).to);
+        ++st.remaining[e];
+        if (after + 1 == before) {
+          chosen = e;
+          picked = true;
+          break;
+        }
+      }
+      if (!picked) chosen = candidates.front();  // all bridges: take first
+    }
+    --st.remaining[chosen];
+    path.push_back(chosen);
+    v = st.graph.edge(chosen).to;
+  }
+  return path;
+}
+
+}  // namespace
+
+std::vector<EdgeWalk> euler_walks(const DeBruijnGraph& g,
+                                  TraversalAlgorithm algo) {
+  TraversalState st(g);
+  std::vector<EdgeWalk> walks;
+
+  // Remaining in-degree per node tracks unbalance as edges are consumed.
+  auto pick_start = [&]() -> std::optional<NodeId> {
+    // Prefer a node whose remaining out-degree exceeds remaining in-degree
+    // (mandatory Euler-path start), else any node with unused out-edges.
+    std::vector<std::uint32_t> rem_in(g.node_count(), 0);
+    for (std::size_t e = 0; e < g.edge_count(); ++e)
+      rem_in[g.edge(e).to] += st.remaining[e];
+    std::optional<NodeId> fallback;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      const auto out = st.remaining_out(v);
+      if (out == 0) continue;
+      if (out > rem_in[v]) return v;
+      if (!fallback) fallback = v;
+    }
+    return fallback;
+  };
+
+  while (const auto start = pick_start()) {
+    EdgeWalk walk = algo == TraversalAlgorithm::kHierholzer
+                        ? hierholzer_from(st, *start)
+                        : fleury_from(st, *start);
+    PIMA_CHECK(!walk.empty(), "traversal made no progress");
+    // Hierholzer splices detours assuming they are closed cycles, which
+    // holds exactly when the component admits an Eulerian path. On general
+    // read graphs (more than two unbalanced vertices) a splice can jump
+    // between disconnected edges — split the output at every such seam so
+    // each emitted walk is a genuine trail.
+    std::size_t seg_begin = 0;
+    for (std::size_t i = 1; i <= walk.size(); ++i) {
+      const bool seam = i == walk.size() ||
+                        g.edge(walk[i - 1]).to != g.edge(walk[i]).from;
+      if (seam) {
+        walks.emplace_back(walk.begin() + static_cast<std::ptrdiff_t>(seg_begin),
+                           walk.begin() + static_cast<std::ptrdiff_t>(i));
+        seg_begin = i;
+      }
+    }
+  }
+  return walks;
+}
+
+dna::Sequence spell_walk(const DeBruijnGraph& g, const EdgeWalk& walk) {
+  PIMA_CHECK(!walk.empty(), "cannot spell an empty walk");
+  const Edge& first = g.edge(walk.front());
+  dna::Sequence seq = g.node_kmer(first.from).to_sequence();
+  for (const auto e : walk) {
+    const Kmer& km = g.edge(e).kmer;
+    seq.push_back(km.base(km.k() - 1));
+  }
+  return seq;
+}
+
+bool is_valid_trail(const DeBruijnGraph& g, const EdgeWalk& walk) {
+  if (walk.empty()) return true;
+  std::vector<std::uint32_t> used(g.edge_count(), 0);
+  for (std::size_t i = 0; i < walk.size(); ++i) {
+    if (walk[i] >= g.edge_count()) return false;
+    if (++used[walk[i]] > g.edge(walk[i]).multiplicity) return false;
+    if (i > 0 && g.edge(walk[i - 1]).to != g.edge(walk[i]).from) return false;
+  }
+  return true;
+}
+
+}  // namespace pima::assembly

@@ -1,0 +1,38 @@
+// Eulerian traversal (the paper's Traverse(G) procedure).
+//
+// The paper names the Fleury algorithm; we implement both Fleury (faithful,
+// O(E²) — usable on the small graphs the functional simulator runs) and
+// Hierholzer (O(E) — what the benches use at scale). Both spell identical
+// multisets of edges; tests cross-check them. Traversal is per weakly-
+// connected component: each component yields an Eulerian path when exactly
+// 0 or 2 nodes are unbalanced, otherwise the component is decomposed into
+// maximal walks greedily (real read sets rarely form perfect Euler graphs).
+#pragma once
+
+#include <vector>
+
+#include "assembly/debruijn.hpp"
+
+namespace pima::assembly {
+
+/// One walk: a sequence of edge indices forming a trail in the graph.
+using EdgeWalk = std::vector<std::uint32_t>;
+
+enum class TraversalAlgorithm { kHierholzer, kFleury };
+
+/// Decomposes the graph into edge-disjoint walks covering every edge
+/// instance exactly once (an edge with multiplicity m appears in m walks
+/// total). Components with an Eulerian path yield one walk each.
+std::vector<EdgeWalk> euler_walks(const DeBruijnGraph& g,
+                                  TraversalAlgorithm algo =
+                                      TraversalAlgorithm::kHierholzer);
+
+/// Spells the DNA sequence of a walk: node (k-1)-mer of the first edge's
+/// source followed by the last base of every edge's k-mer.
+dna::Sequence spell_walk(const DeBruijnGraph& g, const EdgeWalk& walk);
+
+/// True if `walk` is a valid trail (consecutive edges share endpoints) that
+/// uses no edge more often than its multiplicity.
+bool is_valid_trail(const DeBruijnGraph& g, const EdgeWalk& walk);
+
+}  // namespace pima::assembly

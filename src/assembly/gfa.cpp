@@ -1,0 +1,123 @@
+#include "assembly/gfa.hpp"
+
+#include <map>
+#include <ostream>
+#include <sstream>
+
+#include "assembly/euler.hpp"
+#include "common/error.hpp"
+
+namespace pima::assembly {
+namespace {
+
+struct UnitigPath {
+  EdgeWalk edges;
+  NodeId first_node = 0;
+  NodeId last_node = 0;
+};
+
+// Unitig decomposition keeping edge walks and endpoints (the sequence-only
+// variant lives in contig.cpp; GFA needs the graph provenance too).
+std::vector<UnitigPath> unitig_paths(const DeBruijnGraph& g) {
+  const std::size_t n = g.node_count();
+  std::vector<std::uint32_t> in_distinct(n, 0), out_distinct(n, 0);
+  for (const auto& e : g.edges()) {
+    ++out_distinct[e.from];
+    ++in_distinct[e.to];
+  }
+  auto is_through = [&](NodeId v) {
+    return in_distinct[v] == 1 && out_distinct[v] == 1;
+  };
+
+  std::vector<bool> used(g.edge_count(), false);
+  std::vector<UnitigPath> paths;
+  auto extend = [&](std::uint32_t first_edge) {
+    UnitigPath p;
+    p.edges.push_back(first_edge);
+    p.first_node = g.edge(first_edge).from;
+    used[first_edge] = true;
+    NodeId v = g.edge(first_edge).to;
+    while (is_through(v)) {
+      std::uint32_t next = ~std::uint32_t{0};
+      for (const auto e : g.out_edges(v))
+        if (!used[e]) {
+          next = e;
+          break;
+        }
+      if (next == ~std::uint32_t{0}) break;
+      used[next] = true;
+      p.edges.push_back(next);
+      v = g.edge(next).to;
+    }
+    p.last_node = v;
+    paths.push_back(std::move(p));
+  };
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (is_through(v)) continue;
+    for (const auto e : g.out_edges(v))
+      if (!used[e]) extend(e);
+  }
+  for (std::uint32_t e = 0; e < g.edge_count(); ++e)
+    if (!used[e]) extend(e);
+  return paths;
+}
+
+}  // namespace
+
+GfaGraph build_gfa(const DeBruijnGraph& graph) {
+  GfaGraph gfa;
+  const auto paths = unitig_paths(graph);
+
+  std::multimap<NodeId, std::size_t> starts;  // first node → segment index
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto& p = paths[i];
+    GfaSegment seg;
+    seg.name = "utg" + std::to_string(i + 1);
+    seg.sequence = spell_walk(graph, p.edges);
+    seg.edges = p.edges;
+    double mult = 0.0;
+    for (const auto e : p.edges) mult += graph.edge(e).multiplicity;
+    seg.mean_coverage = mult / static_cast<double>(p.edges.size());
+    starts.emplace(p.first_node, i);
+    gfa.segments.push_back(std::move(seg));
+  }
+
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const NodeId tail = paths[i].last_node;
+    const auto [lo, hi] = starts.equal_range(tail);
+    for (auto it = lo; it != hi; ++it) {
+      GfaLink link;
+      link.from = i;
+      link.to = it->second;
+      // Adjacent unitigs share the junction node's (k-1)-mer.
+      link.overlap = graph.node_kmer(tail).k();
+      gfa.links.push_back(link);
+    }
+  }
+  return gfa;
+}
+
+void write_gfa(std::ostream& out, const GfaGraph& gfa) {
+  out << "H\tVN:Z:1.0\n";
+  for (const auto& seg : gfa.segments) {
+    out << "S\t" << seg.name << '\t' << seg.sequence.to_string()
+        << "\tLN:i:" << seg.sequence.size() << "\tdc:f:" << seg.mean_coverage
+        << '\n';
+  }
+  for (const auto& link : gfa.links) {
+    PIMA_CHECK(link.from < gfa.segments.size() &&
+                   link.to < gfa.segments.size(),
+               "link references unknown segment");
+    out << "L\t" << gfa.segments[link.from].name << "\t+\t"
+        << gfa.segments[link.to].name << "\t+\t" << link.overlap << "M\n";
+  }
+}
+
+std::string to_gfa(const DeBruijnGraph& graph) {
+  std::ostringstream out;
+  write_gfa(out, build_gfa(graph));
+  return out.str();
+}
+
+}  // namespace pima::assembly

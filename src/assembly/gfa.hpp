@@ -1,0 +1,49 @@
+// GFA v1 export of the assembly graph.
+//
+// GFA (Graphical Fragment Assembly) is the interchange format assemblers
+// emit and downstream tools (Bandage, scaffolders, variant callers)
+// consume. We export the unitig graph: one S (segment) line per maximal
+// non-branching path with its sequence and average coverage, and one L
+// (link) line per junction edge with the (k-2)-base overlap two adjacent
+// unitigs share through their junction node.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "assembly/debruijn.hpp"
+
+namespace pima::assembly {
+
+/// One exported segment (unitig) with provenance into the graph.
+struct GfaSegment {
+  std::string name;
+  dna::Sequence sequence;
+  double mean_coverage = 0.0;   ///< average edge multiplicity along the path
+  std::vector<std::uint32_t> edges;  ///< graph edge ids spelled by the path
+};
+
+/// One exported link: `from` unitig's tail overlaps `to` unitig's head.
+struct GfaLink {
+  std::size_t from = 0;  ///< segment index
+  std::size_t to = 0;
+  std::size_t overlap = 0;  ///< bases shared (k-2 for de Bruijn junctions)
+};
+
+struct GfaGraph {
+  std::vector<GfaSegment> segments;
+  std::vector<GfaLink> links;
+};
+
+/// Decomposes `graph` into its unitig segments and junction links.
+GfaGraph build_gfa(const DeBruijnGraph& graph);
+
+/// Writes GFA v1 text: H header, S lines (with dc:f coverage tags),
+/// L lines (all forward orientation — de Bruijn edges are directed).
+void write_gfa(std::ostream& out, const GfaGraph& gfa);
+
+/// Convenience: build + serialize to a string.
+std::string to_gfa(const DeBruijnGraph& graph);
+
+}  // namespace pima::assembly

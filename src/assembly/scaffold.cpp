@@ -1,0 +1,245 @@
+#include "assembly/scaffold.hpp"
+
+#include <algorithm>
+#include <map>
+#include <optional>
+#include <unordered_map>
+
+#include "assembly/kmer.hpp"
+#include "common/error.hpp"
+
+namespace pima::assembly {
+namespace {
+
+// Where a read (or its reverse complement) sits on a contig.
+struct Placement {
+  std::size_t contig = 0;
+  std::size_t offset = 0;   ///< read start in forward-contig coordinates
+  bool reverse = false;     ///< read matched the contig's reverse complement
+};
+
+// K-mer index over contig positions. K-mers occurring in too many places
+// (repeats) are dropped — they cannot place a read uniquely anyway.
+class ContigIndex {
+ public:
+  ContigIndex(const std::vector<dna::Sequence>& contigs, std::size_t k)
+      : contigs_(contigs), k_(k) {
+    constexpr std::size_t kMaxHits = 4;
+    for (std::size_t c = 0; c < contigs.size(); ++c) {
+      const auto& seq = contigs[c];
+      if (seq.size() < k) continue;
+      for (std::size_t o = 0; o + k <= seq.size(); ++o) {
+        auto& hits = index_[Kmer::from_sequence(seq, o, k)];
+        if (hits.size() <= kMaxHits) hits.emplace_back(c, o);
+      }
+    }
+  }
+
+  /// Places `read` on some contig, trying both strands and several anchor
+  /// k-mers, verifying the full read against the contig text.
+  std::optional<Placement> place(const dna::Sequence& read) const {
+    if (read.size() < k_) return std::nullopt;
+    const dna::Sequence rc = read.reverse_complement();
+    for (const bool reverse : {false, true}) {
+      const dna::Sequence& q = reverse ? rc : read;
+      for (std::size_t anchor = 0; anchor + k_ <= q.size(); anchor += k_) {
+        const auto it = index_.find(Kmer::from_sequence(q, anchor, k_));
+        if (it == index_.end()) continue;
+        for (const auto& [c, o] : it->second) {
+          if (o < anchor) continue;
+          const std::size_t start = o - anchor;
+          if (start + q.size() > contigs_[c].size()) continue;
+          if (matches(contigs_[c], start, q)) {
+            Placement p;
+            p.contig = c;
+            p.offset = start;
+            p.reverse = reverse;
+            return p;
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+ private:
+  static bool matches(const dna::Sequence& contig, std::size_t start,
+                      const dna::Sequence& q) {
+    for (std::size_t i = 0; i < q.size(); ++i)
+      if (contig.at(start + i) != q.at(i)) return false;
+    return true;
+  }
+
+  const std::vector<dna::Sequence>& contigs_;
+  std::size_t k_;
+  std::unordered_map<Kmer, std::vector<std::pair<std::size_t, std::size_t>>>
+      index_;
+};
+
+// Presented form of a contig inside the genome: the contig id plus whether
+// the genome shows its reverse complement.
+struct Presented {
+  std::size_t contig;
+  bool reverse;
+  bool operator<(const Presented& o) const {
+    return std::tie(contig, reverse) < std::tie(o.contig, o.reverse);
+  }
+  bool operator==(const Presented& o) const = default;
+};
+
+// Genome-forward interpretation of a placement: which presented contig the
+// read lies on, the read's offset within that presented form, and the
+// presented length.
+struct GenomePlacement {
+  Presented form;
+  std::size_t offset;  ///< read start within the presented form
+};
+
+GenomePlacement presented(const Placement& p, std::size_t contig_len,
+                          std::size_t read_len) {
+  GenomePlacement g;
+  g.form = {p.contig, p.reverse};
+  g.offset = p.reverse ? contig_len - p.offset - read_len : p.offset;
+  return g;
+}
+
+struct LinkStats {
+  std::size_t count = 0;
+  double gap_sum = 0.0;
+};
+
+}  // namespace
+
+std::size_t Scaffold::contig_length(
+    const std::vector<dna::Sequence>& contigs) const {
+  std::size_t len = 0;
+  for (const auto& e : entries) len += contigs.at(e.contig).size();
+  return len;
+}
+
+std::string Scaffold::spell(const std::vector<dna::Sequence>& contigs) const {
+  std::string out;
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    const auto& e = entries[i];
+    const auto& c = contigs.at(e.contig);
+    out += (e.reverse ? c.reverse_complement() : c).to_string();
+    if (i + 1 < entries.size())
+      out.append(static_cast<std::size_t>(std::max<std::int64_t>(
+                     e.gap_after, 1)),
+                 'N');
+  }
+  return out;
+}
+
+ScaffoldResult scaffold_contigs(const std::vector<dna::Sequence>& contigs,
+                                const std::vector<dna::ReadPair>& pairs,
+                                const ScaffoldParams& params) {
+  PIMA_CHECK(params.k >= 8 && params.k <= Kmer::kMaxK,
+             "scaffold index k out of range");
+  ScaffoldResult result;
+  result.pairs_total = pairs.size();
+  if (contigs.empty()) return result;
+
+  const ContigIndex index(contigs, params.k);
+
+  // Collect cross-contig link evidence. Both mates are interpreted on the
+  // genome-forward axis: `first` directly, `second` via its reverse
+  // complement (FR protocol).
+  std::map<std::pair<Presented, Presented>, LinkStats> links;
+  for (const auto& pair : pairs) {
+    const auto p1 = index.place(pair.first);
+    const auto p2 = index.place(pair.second.reverse_complement());
+    if (!p1 || !p2) continue;
+    ++result.pairs_placed;
+    if (p1->contig == p2->contig) continue;
+
+    const auto g1 =
+        presented(*p1, contigs[p1->contig].size(), pair.first.size());
+    const auto g2 =
+        presented(*p2, contigs[p2->contig].size(), pair.second.size());
+    // Fragment spans: first read starts the fragment, the forward image of
+    // the second read ends it. With the fragment start pinned at 0:
+    //   A's presented start = -g1.offset
+    //   B's presented start = insert - L2 - g2.offset
+    const double insert = params.insert_mean;
+    const double a_end = -static_cast<double>(g1.offset) +
+                         static_cast<double>(contigs[g1.form.contig].size());
+    const double b_start = insert -
+                           static_cast<double>(pair.second.size()) -
+                           static_cast<double>(g2.offset);
+    auto& stats = links[{g1.form, g2.form}];
+    ++stats.count;
+    stats.gap_sum += b_start - a_end;
+  }
+
+  // Greedy chaining over the strongest links.
+  struct Candidate {
+    Presented from, to;
+    std::size_t count;
+    double gap;
+  };
+  std::vector<Candidate> candidates;
+  for (const auto& [key, stats] : links) {
+    if (stats.count < params.min_links) continue;
+    candidates.push_back({key.first, key.second, stats.count,
+                          stats.gap_sum / static_cast<double>(stats.count)});
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Candidate& a, const Candidate& b) {
+              return a.count > b.count;
+            });
+
+  // Per contig: fixed orientation once used, plus successor/predecessor.
+  std::vector<std::optional<bool>> orientation(contigs.size());
+  std::vector<std::optional<std::size_t>> successor(contigs.size());
+  std::vector<std::optional<std::size_t>> predecessor(contigs.size());
+  std::vector<double> gap_after(contigs.size(), 0.0);
+
+  auto creates_cycle = [&](std::size_t from, std::size_t to) {
+    std::size_t cur = to;
+    while (true) {
+      if (cur == from) return true;
+      if (!successor[cur]) return false;
+      cur = *successor[cur];
+    }
+  };
+
+  for (const auto& c : candidates) {
+    const auto [a, a_rev] = c.from;
+    const auto [b, b_rev] = c.to;
+    if (a == b) continue;
+    if (orientation[a] && *orientation[a] != a_rev) continue;
+    if (orientation[b] && *orientation[b] != b_rev) continue;
+    if (successor[a] || predecessor[b]) continue;
+    if (creates_cycle(a, b)) continue;
+    orientation[a] = a_rev;
+    orientation[b] = b_rev;
+    successor[a] = b;
+    predecessor[b] = a;
+    gap_after[a] = c.gap;
+    ++result.links_used;
+  }
+
+  // Emit chains from their heads; untouched contigs become singletons.
+  std::vector<bool> emitted(contigs.size(), false);
+  for (std::size_t c = 0; c < contigs.size(); ++c) {
+    if (predecessor[c] || emitted[c]) continue;
+    Scaffold scaffold;
+    std::size_t cur = c;
+    while (true) {
+      emitted[cur] = true;
+      ScaffoldEntry entry;
+      entry.contig = cur;
+      entry.reverse = orientation[cur].value_or(false);
+      entry.gap_after =
+          successor[cur] ? std::llround(gap_after[cur]) : 0;
+      scaffold.entries.push_back(entry);
+      if (!successor[cur]) break;
+      cur = *successor[cur];
+    }
+    result.scaffolds.push_back(std::move(scaffold));
+  }
+  return result;
+}
+
+}  // namespace pima::assembly

@@ -1,0 +1,62 @@
+// Scaffolding — stage 3 of the assembly pipeline (paper Fig. 5a, left as
+// future work in the paper; implemented here as the extension).
+//
+// Mate pairs whose two reads land on different contigs witness that those
+// contigs are adjacent in the genome, at a distance implied by the insert
+// size. The scaffolder:
+//   1. indexes contigs by k-mer (first k-mer of every position),
+//   2. places each read (trying both strands) on a contig,
+//   3. aggregates cross-contig placements into weighted links with gap
+//      estimates (insert − tail of contig A − head of contig B),
+//   4. chains contigs greedily along their strongest consistent links,
+//   5. emits scaffolds: ordered contigs with estimated gap sizes.
+//
+// Orientation handling: contigs enter the scaffold forward or reverse-
+// complemented as the link evidence requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dna/paired.hpp"
+#include "dna/sequence.hpp"
+
+namespace pima::assembly {
+
+struct ScaffoldParams {
+  std::size_t k = 21;            ///< contig-index k-mer length
+  std::size_t min_links = 2;     ///< pairs required to accept a junction
+  double insert_mean = 500.0;    ///< library insert mean (for gap estimates)
+};
+
+/// One placed contig within a scaffold.
+struct ScaffoldEntry {
+  std::size_t contig = 0;       ///< index into the input contig vector
+  bool reverse = false;         ///< placed as reverse complement
+  std::int64_t gap_after = 0;   ///< estimated Ns to the next entry (last: 0)
+};
+
+struct Scaffold {
+  std::vector<ScaffoldEntry> entries;
+
+  /// Total contig bases (gaps excluded).
+  std::size_t contig_length(const std::vector<dna::Sequence>& contigs) const;
+
+  /// FASTA-style rendering with gap runs of 'N' (clamped to >= 1 per gap).
+  std::string spell(const std::vector<dna::Sequence>& contigs) const;
+};
+
+struct ScaffoldResult {
+  std::vector<Scaffold> scaffolds;
+  std::size_t links_used = 0;      ///< accepted cross-contig junctions
+  std::size_t pairs_placed = 0;    ///< pairs with both mates located
+  std::size_t pairs_total = 0;
+};
+
+/// Builds scaffolds from contigs and mate pairs.
+ScaffoldResult scaffold_contigs(const std::vector<dna::Sequence>& contigs,
+                                const std::vector<dna::ReadPair>& pairs,
+                                const ScaffoldParams& params = {});
+
+}  // namespace pima::assembly

@@ -1,0 +1,239 @@
+#include "assembly/simplify.hpp"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/error.hpp"
+
+namespace pima::assembly {
+namespace {
+
+// Working view: alive flags over the graph's edge list plus distinct
+// in/out degree tables (multiplicity-blind — structure decides).
+struct View {
+  explicit View(const DeBruijnGraph& g) : graph(g), alive(g.edge_count(), true) {
+    recount();
+  }
+
+  void recount() {
+    in_distinct.assign(graph.node_count(), 0);
+    out_distinct.assign(graph.node_count(), 0);
+    in_edges.assign(graph.node_count(), {});
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      if (!alive[e]) continue;
+      ++out_distinct[graph.edge(e).from];
+      ++in_distinct[graph.edge(e).to];
+      in_edges[graph.edge(e).to].push_back(static_cast<std::uint32_t>(e));
+    }
+  }
+
+  // The single live out-edge of v, if exactly one.
+  std::optional<std::uint32_t> sole_out(NodeId v) const {
+    std::optional<std::uint32_t> found;
+    for (const auto e : graph.out_edges(v)) {
+      if (!alive[e]) continue;
+      if (found) return std::nullopt;
+      found = e;
+    }
+    return found;
+  }
+
+  std::vector<std::uint32_t> live_out(NodeId v) const {
+    std::vector<std::uint32_t> out;
+    for (const auto e : graph.out_edges(v))
+      if (alive[e]) out.push_back(e);
+    return out;
+  }
+
+  const DeBruijnGraph& graph;
+  std::vector<bool> alive;
+  std::vector<std::uint32_t> in_distinct;
+  std::vector<std::uint32_t> out_distinct;
+  std::vector<std::vector<std::uint32_t>> in_edges;
+};
+
+// Minimum multiplicity along a path.
+std::uint32_t path_min_mult(const View& v,
+                            const std::vector<std::uint32_t>& path) {
+  std::uint32_t m = ~std::uint32_t{0};
+  for (const auto e : path)
+    m = std::min(m, v.graph.edge(e).multiplicity);
+  return m;
+}
+
+// Forward tip: a path from a source node (in-degree 0) through unary nodes
+// that attaches to the main graph at a node with extra in-edges. Clipped
+// only when its coverage evidence is strictly weaker than the competing
+// in-path at the attachment node (Velvet's criterion — otherwise genuine
+// contig heads that touch a repeat node would be destroyed). Returns the
+// clipped edge count.
+std::size_t clip_forward_tips(View& v, std::size_t max_len) {
+  std::size_t clipped = 0;
+  for (NodeId s = 0; s < v.graph.node_count(); ++s) {
+    if (v.in_distinct[s] != 0 || v.out_distinct[s] != 1) continue;
+    std::vector<std::uint32_t> path;
+    NodeId cur = s;
+    bool attaches = false;
+    while (path.size() <= max_len) {
+      const auto e = v.sole_out(cur);
+      if (!e) break;
+      path.push_back(*e);
+      cur = v.graph.edge(*e).to;
+      if (v.in_distinct[cur] > 1) {
+        attaches = true;  // joined the main path: this was a tip
+        break;
+      }
+      if (v.out_distinct[cur] != 1) break;  // dead end or branch
+    }
+    if (!attaches || path.size() > max_len) continue;
+    // Competing evidence: the strongest other in-edge at the attachment.
+    std::uint32_t competing = 0;
+    for (const auto e : v.in_edges[cur])
+      if (e != path.back())
+        competing = std::max(competing, v.graph.edge(e).multiplicity);
+    if (path_min_mult(v, path) < competing) {
+      for (const auto e : path) v.alive[e] = false;
+      clipped += path.size();
+      v.recount();
+    }
+  }
+  return clipped;
+}
+
+// Backward tip: junction → unary path → sink (out-degree 0).
+std::size_t clip_backward_tips(View& v, std::size_t max_len) {
+  std::size_t clipped = 0;
+  for (NodeId j = 0; j < v.graph.node_count(); ++j) {
+    if (v.out_distinct[j] < 2) continue;
+    for (const auto first : v.live_out(j)) {
+      std::vector<std::uint32_t> path{first};
+      NodeId cur = v.graph.edge(first).to;
+      bool is_tip = false;
+      while (path.size() <= max_len) {
+        if (v.in_distinct[cur] != 1) break;  // re-joins the graph: not a tip
+        if (v.out_distinct[cur] == 0) {
+          is_tip = true;
+          break;
+        }
+        if (v.out_distinct[cur] != 1) break;
+        const auto e = v.sole_out(cur);
+        if (!e) break;
+        path.push_back(*e);
+        cur = v.graph.edge(*e).to;
+      }
+      if (!is_tip || path.size() > max_len) continue;
+      // Competing evidence: the strongest other out-edge at the junction.
+      std::uint32_t competing = 0;
+      for (const auto other : v.live_out(j))
+        if (other != first)
+          competing = std::max(competing, v.graph.edge(other).multiplicity);
+      if (path_min_mult(v, path) < competing) {
+        for (const auto e : path) v.alive[e] = false;
+        clipped += path.size();
+        v.recount();
+      }
+    }
+  }
+  return clipped;
+}
+
+// Walks a unary path from `first` for at most max_len edges; returns the
+// edges and the end node, stopping when the walk re-branches.
+struct BranchWalk {
+  std::vector<std::uint32_t> edges;
+  NodeId end = 0;
+  std::uint32_t min_multiplicity = ~std::uint32_t{0};
+  bool unary = true;  ///< every interior node was 1-in/1-out
+};
+
+BranchWalk walk_branch(const View& v, std::uint32_t first,
+                       std::size_t max_len) {
+  BranchWalk w;
+  w.edges.push_back(first);
+  w.min_multiplicity = v.graph.edge(first).multiplicity;
+  NodeId cur = v.graph.edge(first).to;
+  while (w.edges.size() < max_len && v.in_distinct[cur] == 1 &&
+         v.out_distinct[cur] == 1) {
+    const auto e = v.sole_out(cur);
+    if (!e) break;
+    w.edges.push_back(*e);
+    w.min_multiplicity =
+        std::min(w.min_multiplicity, v.graph.edge(*e).multiplicity);
+    cur = v.graph.edge(*e).to;
+  }
+  w.end = cur;
+  return w;
+}
+
+// Bubble: two equal-length branches from one junction converging on one
+// node. The branch with lower minimum multiplicity is removed.
+std::size_t pop_bubbles(View& v, std::size_t max_len) {
+  std::size_t popped = 0;
+  for (NodeId j = 0; j < v.graph.node_count(); ++j) {
+    if (v.out_distinct[j] < 2) continue;
+    const auto outs = v.live_out(j);
+    for (std::size_t a = 0; a < outs.size(); ++a) {
+      for (std::size_t b = a + 1; b < outs.size(); ++b) {
+        const auto wa = walk_branch(v, outs[a], max_len);
+        const auto wb = walk_branch(v, outs[b], max_len);
+        if (wa.end != wb.end || wa.edges.size() != wb.edges.size()) continue;
+        const auto& weaker =
+            wa.min_multiplicity <= wb.min_multiplicity ? wa : wb;
+        for (const auto e : weaker.edges) v.alive[e] = false;
+        ++popped;
+        v.recount();
+      }
+    }
+  }
+  return popped;
+}
+
+DeBruijnGraph rebuild(const View& v) {
+  std::vector<std::pair<Kmer, std::uint32_t>> kept;
+  for (std::size_t e = 0; e < v.graph.edge_count(); ++e)
+    if (v.alive[e])
+      kept.emplace_back(v.graph.edge(e).kmer, v.graph.edge(e).multiplicity);
+  return DeBruijnGraph::from_edges(std::move(kept));
+}
+
+}  // namespace
+
+SimplifyResult simplify_graph(const DeBruijnGraph& graph,
+                              const SimplifyParams& params) {
+  SimplifyResult result;
+  result.graph = graph;
+
+  // Pass 0: coverage filter.
+  if (params.min_edge_multiplicity > 1) {
+    std::vector<std::pair<Kmer, std::uint32_t>> kept;
+    for (const auto& e : result.graph.edges()) {
+      if (e.multiplicity >= params.min_edge_multiplicity)
+        kept.emplace_back(e.kmer, e.multiplicity);
+      else
+        ++result.stats.low_coverage_removed;
+    }
+    result.graph = DeBruijnGraph::from_edges(std::move(kept));
+  }
+
+  for (std::size_t round = 0; round < params.max_rounds; ++round) {
+    View view(result.graph);
+    std::size_t changed = 0;
+    if (params.max_tip_length > 0) {
+      const auto fwd = clip_forward_tips(view, params.max_tip_length);
+      const auto bwd = clip_backward_tips(view, params.max_tip_length);
+      result.stats.tips_removed += fwd + bwd;
+      changed += fwd + bwd;
+    }
+    if (params.max_bubble_length > 0) {
+      const auto popped = pop_bubbles(view, params.max_bubble_length);
+      result.stats.bubbles_popped += popped;
+      changed += popped;
+    }
+    ++result.stats.rounds;
+    if (changed == 0) break;
+    result.graph = rebuild(view);
+  }
+  return result;
+}
+
+}  // namespace pima::assembly

@@ -1,0 +1,50 @@
+// de Bruijn graph simplification (Velvet-style error removal).
+//
+// Sequencing errors inject three graph artifacts that fragment contigs:
+//   * tips — short dead-end paths hanging off the true walk (an error near
+//     a read end),
+//   * bubbles — pairs of short parallel paths between the same endpoints
+//     (an error mid-read creates an alternative spelling),
+//   * low-coverage edges — chimeric k-mers seen once or twice.
+// The cleaner removes them in the standard order (coverage filter → tips →
+// bubbles), re-deriving the graph after each pass. The paper's pipeline
+// (error-free sampled reads) does not need this; it is the extension that
+// makes the assembler usable on reads with a realistic error rate.
+#pragma once
+
+#include <cstdint>
+
+#include "assembly/debruijn.hpp"
+
+namespace pima::assembly {
+
+struct SimplifyParams {
+  /// Drop edges with multiplicity below this (1 disables the filter). Only
+  /// meaningful on graphs built with use_multiplicity = true.
+  std::uint32_t min_edge_multiplicity = 1;
+  /// Remove dead-end paths of at most this many edges (0 disables).
+  std::size_t max_tip_length = 4;
+  /// Pop bubbles whose branches are at most this many edges long
+  /// (0 disables). The lower-coverage branch is removed.
+  std::size_t max_bubble_length = 6;
+  /// Repeat the tip/bubble passes until no change or this many rounds.
+  std::size_t max_rounds = 4;
+};
+
+struct SimplifyStats {
+  std::size_t low_coverage_removed = 0;
+  std::size_t tips_removed = 0;        ///< edges removed by tip clipping
+  std::size_t bubbles_popped = 0;      ///< branches removed
+  std::size_t rounds = 0;
+};
+
+struct SimplifyResult {
+  DeBruijnGraph graph;
+  SimplifyStats stats;
+};
+
+/// Returns a cleaned copy of the graph.
+SimplifyResult simplify_graph(const DeBruijnGraph& graph,
+                              const SimplifyParams& params = {});
+
+}  // namespace pima::assembly

@@ -1,0 +1,57 @@
+#include "assembly/spectrum.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pima::assembly {
+
+Spectrum compute_spectrum(const KmerCounter& counter, std::uint32_t max_freq) {
+  PIMA_CHECK(max_freq >= 2, "spectrum needs at least two bins");
+  Spectrum s;
+  s.histogram.assign(max_freq + 1, 0);
+  counter.for_each([&](const Kmer&, std::uint32_t freq) {
+    ++s.histogram[std::min(freq, max_freq)];
+    ++s.distinct_kmers;
+    s.total_kmers += freq;
+  });
+  return s;
+}
+
+SpectrumAnalysis analyze_spectrum(const Spectrum& spectrum) {
+  SpectrumAnalysis a;
+  const auto& h = spectrum.histogram;
+  if (spectrum.distinct_kmers == 0 || h.size() < 3) return a;
+
+  // Valley: first f ≥ 2 where the histogram stops falling. If the
+  // histogram falls monotonically to the tail there is no error mode.
+  a.error_cutoff = 1;
+  for (std::uint32_t f = 2; f + 1 < h.size(); ++f) {
+    if (h[f] <= h[f + 1]) {
+      a.error_cutoff = f;
+      break;
+    }
+  }
+
+  // Solid peak: the most populated frequency at/after the cutoff
+  // (excluding the aggregated tail bin unless it dominates).
+  std::uint32_t peak = a.error_cutoff;
+  for (std::uint32_t f = a.error_cutoff; f < h.size(); ++f)
+    if (h[f] > h[peak]) peak = f;
+  a.coverage_peak = std::max<std::uint32_t>(peak, 1);
+
+  double solid_mass = 0.0, error_distinct = 0.0;
+  for (std::uint32_t f = 1; f < h.size(); ++f) {
+    if (f >= a.error_cutoff)
+      solid_mass += static_cast<double>(f) * static_cast<double>(h[f]);
+    else
+      error_distinct += static_cast<double>(h[f]);
+  }
+  a.genome_size_estimate =
+      solid_mass / static_cast<double>(a.coverage_peak);
+  a.error_kmer_fraction =
+      error_distinct / static_cast<double>(spectrum.distinct_kmers);
+  return a;
+}
+
+}  // namespace pima::assembly

@@ -1,0 +1,52 @@
+// k-mer spectrum analysis.
+//
+// The histogram of k-mer frequencies ("spectrum") is the standard
+// diagnostic read sets get before assembly: error k-mers pile up at
+// frequency 1–2, true genomic k-mers form a peak near the sequencing
+// coverage, and the valley between them is the frequency cutoff that
+// separates the two (what AssemblyOptions::min_kmer_freq should be set
+// to). The peak position and the total solid k-mer mass also give the
+// classic genome-size estimate Σ(solid counts) / peak-coverage.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assembly/hash_table.hpp"
+
+namespace pima::assembly {
+
+struct Spectrum {
+  /// histogram[f] = number of distinct k-mers with frequency f
+  /// (index 0 unused; the last bin aggregates the tail).
+  std::vector<std::uint64_t> histogram;
+  std::uint64_t distinct_kmers = 0;
+  std::uint64_t total_kmers = 0;
+
+  std::uint64_t count_at(std::uint32_t freq) const {
+    return freq < histogram.size() ? histogram[freq] : 0;
+  }
+};
+
+/// Builds the frequency histogram from a counted table. Frequencies above
+/// `max_freq` aggregate into the final bin.
+Spectrum compute_spectrum(const KmerCounter& counter,
+                          std::uint32_t max_freq = 255);
+
+/// Diagnostics derived from a spectrum.
+struct SpectrumAnalysis {
+  /// First local minimum after frequency 1 — the error/solid cutoff.
+  /// 1 when no valley exists (error-free data).
+  std::uint32_t error_cutoff = 1;
+  /// Frequency of the main (solid) peak at or after the cutoff.
+  std::uint32_t coverage_peak = 1;
+  /// Σ f·histogram[f] over solid k-mers / coverage_peak — the classic
+  /// genome-size estimate.
+  double genome_size_estimate = 0.0;
+  /// Fraction of distinct k-mers below the cutoff (presumed errors).
+  double error_kmer_fraction = 0.0;
+};
+
+SpectrumAnalysis analyze_spectrum(const Spectrum& spectrum);
+
+}  // namespace pima::assembly

@@ -1,0 +1,55 @@
+#include "assembly/verify.hpp"
+
+#include <algorithm>
+#include <string>
+
+namespace pima::assembly {
+
+bool contains_subsequence(const dna::Sequence& haystack,
+                          const dna::Sequence& needle) {
+  if (needle.size() > haystack.size()) return false;
+  // String search over the ASCII renderings: simple and fast enough for the
+  // genome sizes the functional simulator handles.
+  const std::string h = haystack.to_string();
+  const std::string n = needle.to_string();
+  return h.find(n) != std::string::npos;
+}
+
+VerificationReport verify_contigs(const dna::Sequence& reference,
+                                  const std::vector<dna::Sequence>& contigs,
+                                  std::size_t min_length) {
+  VerificationReport report{};
+  const std::string ref = reference.to_string();
+  const std::string ref_rc = reference.reverse_complement().to_string();
+  std::vector<bool> covered(reference.size(), false);
+
+  for (const auto& contig : contigs) {
+    if (contig.size() < min_length) continue;
+    ++report.contigs_checked;
+    const std::string c = contig.to_string();
+    auto pos = ref.find(c);
+    if (pos != std::string::npos) {
+      ++report.contigs_matching;
+      for (std::size_t i = 0; i < c.size(); ++i) covered[pos + i] = true;
+      // Mark every further occurrence too (repeats).
+      while ((pos = ref.find(c, pos + 1)) != std::string::npos)
+        for (std::size_t i = 0; i < c.size(); ++i) covered[pos + i] = true;
+    } else if (ref_rc.find(c) != std::string::npos) {
+      ++report.contigs_matching;
+      const auto rc_pos = ref_rc.find(c);
+      // Map the reverse-complement hit back onto forward coordinates.
+      const std::size_t fwd_start = reference.size() - rc_pos - c.size();
+      for (std::size_t i = 0; i < c.size(); ++i) covered[fwd_start + i] = true;
+    }
+  }
+
+  const auto covered_count =
+      static_cast<std::size_t>(std::count(covered.begin(), covered.end(), true));
+  report.reference_coverage =
+      reference.empty() ? 0.0
+                        : static_cast<double>(covered_count) /
+                              static_cast<double>(reference.size());
+  return report;
+}
+
+}  // namespace pima::assembly

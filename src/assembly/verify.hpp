@@ -1,0 +1,32 @@
+// Assembly verification against the reference genome.
+//
+// The simulator knows the ground truth (it generated the genome), so every
+// assembly run can be checked: each contig must occur verbatim in the
+// reference (or its reverse complement), and together the contigs should
+// cover most of the reference. Tests and examples assert on these.
+#pragma once
+
+#include <vector>
+
+#include "dna/sequence.hpp"
+
+namespace pima::assembly {
+
+struct VerificationReport {
+  std::size_t contigs_checked = 0;
+  std::size_t contigs_matching = 0;  ///< exact substring of ref or ref-RC
+  double reference_coverage = 0.0;   ///< fraction of ref bases covered
+  bool all_match() const { return contigs_checked == contigs_matching; }
+};
+
+/// Verifies contigs against the reference. Contigs shorter than
+/// `min_length` are skipped (tiny fragments are noise, not evidence).
+VerificationReport verify_contigs(const dna::Sequence& reference,
+                                  const std::vector<dna::Sequence>& contigs,
+                                  std::size_t min_length = 1);
+
+/// True iff `needle` occurs in `haystack` (exact match).
+bool contains_subsequence(const dna::Sequence& haystack,
+                          const dna::Sequence& needle);
+
+}  // namespace pima::assembly

@@ -1,0 +1,35 @@
+#include "circuit/area.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+
+AreaReport estimate_area(const AreaModelParams& params) {
+  PIMA_CHECK(params.columns > 0 && params.rows > 0,
+             "sub-array geometry must be non-empty");
+  // Sense-amplifier add-ons: one reconfigurable SA per bit-line.
+  const std::size_t sa = params.sa_addon_per_bitline * params.columns;
+  // Modified row decoder: two extra transistors in each of the 8 compute-row
+  // WL driver buffer chains (paper: 16 add-on transistors total).
+  const std::size_t mrd = params.mrd_addon_total;
+  // Controller: enable-bit drivers and the small FSM; the paper folds this
+  // into its 51-row bound, so by default we budget the remainder of one row.
+  const std::size_t row_transistors =
+      params.columns * params.transistors_per_cell;
+  const std::size_t ctrl = params.ctrl_addon_rows_equiv > 0
+                               ? params.ctrl_addon_rows_equiv * row_transistors
+                               : row_transistors - (mrd % row_transistors);
+
+  AreaReport r{};
+  r.addon_transistors = sa + mrd + ctrl;
+  r.rows_equivalent =
+      static_cast<double>(r.addon_transistors) /
+      static_cast<double>(row_transistors);
+  const double array_transistors =
+      static_cast<double>(params.rows) * static_cast<double>(row_transistors);
+  r.overhead_fraction =
+      static_cast<double>(r.addon_transistors) / array_transistors;
+  return r;
+}
+
+}  // namespace pima::circuit

@@ -1,0 +1,38 @@
+// Area-overhead model (reproduces the paper's §II.B estimate of ~5%).
+//
+// The paper counts three add-on cost sources per computational sub-array:
+// ~50 extra transistors per sense amplifier (one per bit-line), 16 extra
+// transistors in the modified row decoder drivers for the 8 computation
+// rows, and the controller logic for the enable bits — totalling "51 DRAM
+// rows (51×256 transistors) per sub-array at the most", i.e. about 5% of
+// chip area. We reproduce the same transistor-count accounting.
+#pragma once
+
+#include <cstddef>
+
+namespace pima::circuit {
+
+/// Add-on transistor counts (paper §II.B "Area Overhead").
+struct AreaModelParams {
+  std::size_t columns = 256;               ///< bit-lines per sub-array
+  std::size_t rows = 1024;                 ///< rows per sub-array
+  std::size_t sa_addon_per_bitline = 50;   ///< reconfigurable-SA extras
+  std::size_t mrd_addon_total = 16;        ///< modified row decoder extras
+  std::size_t ctrl_addon_rows_equiv = 0;   ///< see ctrl_rows_equiv() below
+  /// Transistors of one DRAM cell (1T1C) — the unit the paper normalizes by
+  /// when expressing overhead as "rows of transistors".
+  std::size_t transistors_per_cell = 1;
+};
+
+struct AreaReport {
+  std::size_t addon_transistors;       ///< total add-on transistors/sub-array
+  double rows_equivalent;              ///< add-on expressed in DRAM-row units
+  double overhead_fraction;            ///< add-on / (data-array transistors)
+};
+
+/// Computes the add-on cost of one computational sub-array. The paper's own
+/// bound (51 row-equivalents, ~5%) emerges from 50·256 SA transistors ≈ 50
+/// rows plus decoder and control in the 51st row.
+AreaReport estimate_area(const AreaModelParams& params = {});
+
+}  // namespace pima::circuit

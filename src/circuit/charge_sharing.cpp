@@ -1,0 +1,35 @@
+#include "circuit/charge_sharing.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+
+ChargeShareResult share_nominal(const TechParams& tech, int k, int n) {
+  PIMA_CHECK(k >= 1, "must activate at least one row");
+  PIMA_CHECK(n >= 0 && n <= k, "ones count must be within activated rows");
+  const double c_cells = static_cast<double>(k) * tech.cell_cap_ff;
+  const double q = tech.bitline_cap_ff * tech.vdd * 0.5 +
+                   static_cast<double>(n) * tech.cell_cap_ff * tech.vdd;
+  const double v = q / (tech.bitline_cap_ff + c_cells);
+  return {v, v / tech.vdd};
+}
+
+ChargeShareResult share_varied(double vdd, double bitline_cap_ff,
+                               std::span<const double> cell_caps_ff,
+                               std::span<const bool> cell_vals) {
+  PIMA_CHECK(cell_caps_ff.size() == cell_vals.size(),
+             "cap/value spans must match");
+  PIMA_CHECK(!cell_caps_ff.empty(), "must activate at least one cell");
+  double c_total = bitline_cap_ff;
+  double q = bitline_cap_ff * vdd * 0.5;
+  for (std::size_t i = 0; i < cell_caps_ff.size(); ++i) {
+    c_total += cell_caps_ff[i];
+    if (cell_vals[i]) q += cell_caps_ff[i] * vdd;
+  }
+  const double v = q / c_total;
+  return {v, v / vdd};
+}
+
+bool inverter_out(double vin, double vs) { return vin <= vs; }
+
+}  // namespace pima::circuit

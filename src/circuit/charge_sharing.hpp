@@ -1,0 +1,41 @@
+// Charge-sharing solver for multi-row activation.
+//
+// When k computation rows are activated simultaneously onto a precharged
+// bit-line, the cell capacitors and the bit-line parasitic equalize:
+//
+//   V_bl = (C_bl·Vdd/2 + n·C_cell·Vdd) / (C_bl + k·C_cell)
+//
+// where n ≤ k is the number of activated cells storing '1'. The paper's
+// simplified expression Vi = n·Vdd/C (C = number of unit capacitors) is the
+// C_bl→0 limit; we keep the full form so the Monte-Carlo engine can model
+// per-cell capacitor mismatch and bit-line variation realistically.
+#pragma once
+
+#include <span>
+
+#include "circuit/tech.hpp"
+
+namespace pima::circuit {
+
+/// Result of one multi-row charge-sharing event.
+struct ChargeShareResult {
+  double v_bl;        ///< settled bit-line voltage (V)
+  double v_bl_frac;   ///< as a fraction of Vdd
+};
+
+/// Nominal charge sharing: k activated cells, n of them storing '1'.
+ChargeShareResult share_nominal(const TechParams& tech, int k, int n);
+
+/// Charge sharing with explicit per-cell capacitances and values — used by
+/// the Monte-Carlo engine. `cell_caps_ff[i]` is the (varied) capacitance of
+/// activated cell i and `cell_vals[i]` its stored bit.
+ChargeShareResult share_varied(double vdd, double bitline_cap_ff,
+                               std::span<const double> cell_caps_ff,
+                               std::span<const bool> cell_vals);
+
+/// Ideal inverter threshold decision: output bit of an inverter with
+/// switching voltage `vs` (V) driven by `vin` (V). Output is logic NOT of
+/// (vin > vs).
+bool inverter_out(double vin, double vs);
+
+}  // namespace pima::circuit

@@ -1,0 +1,104 @@
+#include "circuit/montecarlo.hpp"
+
+#include <array>
+
+#include "circuit/charge_sharing.hpp"
+#include "circuit/sense_amp.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace pima::circuit {
+namespace {
+
+// One perturbed trial of the chosen mechanism. Returns true on failure.
+bool trial_fails(const TechParams& tech, Mechanism mechanism, double x,
+                 const VariationModel& model, Rng& rng) {
+  const DetectorThresholds nominal = design_thresholds(tech);
+
+  // Perturb detector switching points, referenced to Vdd. The sense-margin
+  // noise coefficient depends on the mechanism (see VariationModel).
+  const double vs_sigma =
+      (mechanism == Mechanism::kTripleRowActivation
+           ? model.tra_sense_sigma_per_x2 * x * x
+           : model.two_row_sense_sigma_per_x * x) *
+      tech.vdd;
+  DetectorThresholds th = nominal;
+  th.low_vs += rng.gaussian(0.0, vs_sigma);
+  th.high_vs += rng.gaussian(0.0, vs_sigma);
+  th.normal_vs += rng.gaussian(0.0, vs_sigma);
+
+  // Perturb the array-side parameters.
+  const double bl_cap =
+      tech.bitline_cap_ff *
+      (1.0 + rng.gaussian(0.0, model.bl_cap_rel_sigma_per_x * x));
+
+  const int k = mechanism == Mechanism::kTripleRowActivation ? 3 : 2;
+  std::array<double, 3> caps{};
+  std::array<bool, 3> vals{};
+  std::array<double, 3> cell_v{};
+  for (int i = 0; i < k; ++i) {
+    caps[static_cast<std::size_t>(i)] =
+        tech.cell_cap_ff *
+        (1.0 + rng.gaussian(0.0, model.cell_cap_rel_sigma_per_x * x));
+    vals[static_cast<std::size_t>(i)] = rng.bernoulli(0.5);
+    cell_v[static_cast<std::size_t>(i)] =
+        tech.vdd *
+        (1.0 + rng.gaussian(0.0, model.cell_v_rel_sigma_per_x * x));
+  }
+
+  // Charge sharing with imperfect stored voltages: Q = Cbl·Vdd/2 + Σ Ci·Vi
+  // where Vi is the (perturbed) restored voltage of cells storing '1'.
+  double c_total = bl_cap;
+  double q = bl_cap * tech.vdd * 0.5;
+  for (int i = 0; i < k; ++i) {
+    const auto idx = static_cast<std::size_t>(i);
+    c_total += caps[idx];
+    if (vals[idx]) q += caps[idx] * cell_v[idx];
+  }
+  const double v_bl = q / c_total;
+
+  SenseAmp sa(tech, th);
+  if (mechanism == Mechanism::kTripleRowActivation) {
+    const bool ideal =
+        (static_cast<int>(vals[0]) + static_cast<int>(vals[1]) +
+         static_cast<int>(vals[2])) >= 2;
+    return sa.sense_carry(v_bl) != ideal;
+  }
+  const bool ideal = vals[0] == vals[1];
+  return sa.sense_two_row(v_bl).xnor2 != ideal;
+}
+
+}  // namespace
+
+VariationResult run_variation_trials(const TechParams& tech,
+                                     Mechanism mechanism, double variation,
+                                     std::size_t trials, std::uint64_t seed,
+                                     const VariationModel& model) {
+  PIMA_CHECK(variation >= 0.0 && variation <= 1.0,
+             "variation level must be a fraction in [0,1]");
+  PIMA_CHECK(trials > 0, "need at least one trial");
+  Rng rng(seed);
+  std::size_t failures = 0;
+  for (std::size_t t = 0; t < trials; ++t)
+    if (trial_fails(tech, mechanism, variation, model, rng)) ++failures;
+  return {variation, trials, failures,
+          100.0 * static_cast<double>(failures) / static_cast<double>(trials)};
+}
+
+VariationTable run_variation_table(const TechParams& tech, std::size_t trials,
+                                   std::uint64_t seed,
+                                   const VariationModel& model) {
+  VariationTable table;
+  table.levels = {0.05, 0.10, 0.15, 0.20, 0.30};
+  for (std::size_t i = 0; i < table.levels.size(); ++i) {
+    const double x = table.levels[i];
+    table.tra.push_back(run_variation_trials(
+        tech, Mechanism::kTripleRowActivation, x, trials, seed + 2 * i, model));
+    table.two_row.push_back(run_variation_trials(
+        tech, Mechanism::kTwoRowActivation, x, trials, seed + 2 * i + 1,
+        model));
+  }
+  return table;
+}
+
+}  // namespace pima::circuit

@@ -1,0 +1,75 @@
+// Monte-Carlo process-variation analysis (reproduces paper Table I).
+//
+// The paper runs 10,000 Spectre trials per variation level (±5%…±30%) on
+// both the Ambit-style triple-row activation (TRA) and PIM-Assembler's
+// two-row activation, counting functional failures. We reproduce this with
+// a behavioural variation model: each trial perturbs the storage-cell
+// capacitances, the bit-line capacitance, the restored cell voltage and the
+// SA detector switching points with Gaussian deviates scaled by the
+// variation level, then checks whether the sensed logic output still equals
+// the ideal one for a random operand combination.
+//
+// Why two-row wins structurally: a two-cell share has three voltage levels
+// separated by Vdd·Ccell/(Cbl+2Ccell) while a three-cell share has four
+// levels separated by Vdd·Ccell/(Cbl+3Ccell) — the TRA margin is strictly
+// smaller, so the same parameter noise crosses it first. The Monte-Carlo
+// makes that quantitative.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "circuit/tech.hpp"
+
+namespace pima::circuit {
+
+/// How a "±x%" variation level maps onto per-parameter Gaussian sigmas.
+/// Capacitor and stored-voltage mismatch follow the common 3-sigma reading;
+/// the dominant term is the sense-margin noise, which differs by mechanism:
+/// the reconfigurable SA's static shifted-VTC detectors degrade roughly
+/// linearly with device mismatch, while the TRA differential sense
+/// compounds the three-cell charge division with the sense race and
+/// degrades superlinearly (modelled quadratic). The two sense coefficients
+/// are the calibrated constants of this model — fitted once against the
+/// paper's Table I and recorded in EXPERIMENTS.md (E3).
+struct VariationModel {
+  double cell_cap_rel_sigma_per_x = 1.0 / 3.0;   ///< σ(Ccell)/Ccell per unit x
+  double bl_cap_rel_sigma_per_x = 1.0 / 3.0;     ///< σ(Cbl)/Cbl per unit x
+  double cell_v_rel_sigma_per_x = 1.0 / 6.0;     ///< σ(Vcell)/Vdd per unit x
+  double two_row_sense_sigma_per_x = 0.22;  ///< σ(Vs)/Vdd = 0.22·x (2-row)
+  double tra_sense_sigma_per_x2 = 2.6;      ///< σ(Vs)/Vdd = 2.6·x² (TRA)
+};
+
+/// Which in-memory mechanism a trial exercises.
+enum class Mechanism : std::uint8_t {
+  kTripleRowActivation,  ///< Ambit-style MAJ3 (baseline)
+  kTwoRowActivation,     ///< PIM-Assembler XNOR2
+};
+
+struct VariationResult {
+  double variation;        ///< the ±x level as a fraction (0.10 = ±10%)
+  std::size_t trials;
+  std::size_t failures;
+  double failure_percent;  ///< 100 · failures / trials
+};
+
+/// Runs `trials` Monte-Carlo trials of `mechanism` at variation level
+/// `variation` (e.g. 0.15 for ±15%). Deterministic in `seed`.
+VariationResult run_variation_trials(const TechParams& tech,
+                                     Mechanism mechanism, double variation,
+                                     std::size_t trials, std::uint64_t seed,
+                                     const VariationModel& model = {});
+
+/// Full Table I sweep: both mechanisms over the paper's variation levels
+/// {±5, ±10, ±15, ±20, ±30}%.
+struct VariationTable {
+  std::vector<double> levels;
+  std::vector<VariationResult> tra;
+  std::vector<VariationResult> two_row;
+};
+
+VariationTable run_variation_table(const TechParams& tech, std::size_t trials,
+                                   std::uint64_t seed,
+                                   const VariationModel& model = {});
+
+}  // namespace pima::circuit

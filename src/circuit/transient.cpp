@@ -1,0 +1,62 @@
+#include "circuit/transient.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+namespace {
+
+// First-order settling from v0 toward v_target with time constant tau.
+double settle(double v0, double v_target, double t_ns, double tau_ns) {
+  return v_target + (v0 - v_target) * std::exp(-t_ns / tau_ns);
+}
+
+}  // namespace
+
+double restored_cell_voltage(const TechParams& tech, bool di, bool dj) {
+  SenseAmp sa(tech);
+  return sa.xnor2(di, dj) ? tech.vdd : 0.0;
+}
+
+std::vector<TransientPoint> simulate_xnor2_transient(
+    const TechParams& tech, bool di, bool dj, double dt_ns,
+    const TransientPhases& phases) {
+  PIMA_CHECK(dt_ns > 0.0, "sample step must be positive");
+  PIMA_CHECK(phases.precharge_end_ns < phases.share_end_ns &&
+                 phases.share_end_ns < phases.sense_end_ns,
+             "phase boundaries must be increasing");
+
+  const int n = static_cast<int>(di) + static_cast<int>(dj);
+  const double v_share = share_nominal(tech, 2, n).v_bl;
+  const double v_final = restored_cell_voltage(tech, di, dj);
+  const double v_pre = tech.vdd * 0.5;
+
+  // Time constants: precharge equalization and charge sharing are fast
+  // (sub-ns RC of BL), the SA restore is the slow full-swing phase.
+  const double tau_pre = 0.4, tau_share = 0.8, tau_sense = 3.0;
+
+  std::vector<TransientPoint> out;
+  const double v_cell_initial = tech.vdd * (n > 0 ? 1.0 : 0.0);
+  for (double t = 0.0; t <= phases.sense_end_ns + 1e-9; t += dt_ns) {
+    TransientPoint p{};
+    p.t_ns = t;
+    if (t < phases.precharge_end_ns) {
+      p.v_bl = settle(0.0, v_pre, t, tau_pre);
+      p.v_cell = v_cell_initial;
+    } else if (t < phases.share_end_ns) {
+      const double dt = t - phases.precharge_end_ns;
+      p.v_bl = settle(v_pre, v_share, dt, tau_share);
+      // Activated cells equalize with the BL during sharing.
+      p.v_cell = settle(v_cell_initial, v_share, dt, tau_share);
+    } else {
+      const double dt = t - phases.share_end_ns;
+      p.v_bl = settle(v_share, v_final, dt, tau_sense);
+      p.v_cell = settle(v_share, v_final, dt, tau_sense);
+    }
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace pima::circuit

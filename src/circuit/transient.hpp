@@ -1,0 +1,45 @@
+// Transient waveform generator for the in-memory XNOR2 operation
+// (reproduces paper Fig. 3a).
+//
+// The Spectre transient in the paper shows, for each operand combination
+// DiDj ∈ {00,01,10,11}, the bit-line settling through three phases:
+// precharge (BL at Vdd/2), charge sharing after the two-row ACTIVATE, and
+// sense amplification where the reconfigured SA drives BL to the full-swing
+// XNOR2 result (Vdd for 00/11, GND for 01/10). We model each phase as a
+// first-order RC settling toward the phase's target voltage, which captures
+// the waveform shape the figure reports.
+#pragma once
+
+#include <vector>
+
+#include "circuit/sense_amp.hpp"
+#include "circuit/tech.hpp"
+
+namespace pima::circuit {
+
+/// One sampled point of the transient.
+struct TransientPoint {
+  double t_ns;
+  double v_bl;     ///< bit-line voltage
+  double v_cell;   ///< computation-cell capacitor voltage (restored value)
+};
+
+/// Phase boundaries used by the waveform (also returned for plotting).
+struct TransientPhases {
+  double precharge_end_ns = 5.0;
+  double share_end_ns = 12.0;     ///< charge sharing settles (fast)
+  double sense_end_ns = 35.0;     ///< SA full-swing restore (tRAS-class)
+};
+
+/// Simulates the XNOR2 transient for stored operand bits (di, dj).
+/// Returns samples at `dt_ns` spacing covering all three phases.
+std::vector<TransientPoint> simulate_xnor2_transient(
+    const TechParams& tech, bool di, bool dj, double dt_ns = 0.1,
+    const TransientPhases& phases = {});
+
+/// Final restored cell voltage for (di,dj) — Vdd when XNOR2=1, 0 otherwise.
+/// (Paper: "cell's capacitor is accordingly charged to Vdd when DiDj=00/11
+/// or discharged to GND when DiDj=10/01".)
+double restored_cell_voltage(const TechParams& tech, bool di, bool dj);
+
+}  // namespace pima::circuit

@@ -1,0 +1,43 @@
+// Error handling helpers for PIM-Assembler.
+//
+// The library reports precondition violations and unrecoverable state errors
+// by throwing std::logic_error / std::runtime_error subclasses. Simulation
+// code is exception-free on the hot path; checks compile to a branch + cold
+// throw helper.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace pima {
+
+/// Thrown when an API precondition is violated (caller bug).
+class PreconditionError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when the simulated machine reaches an inconsistent state
+/// (configuration error, resource exhaustion of the modelled hardware).
+class SimulationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void throw_precondition(const char* expr, const char* file,
+                                            int line, const std::string& msg) {
+  throw PreconditionError(std::string(file) + ":" + std::to_string(line) +
+                          ": precondition failed: " + expr +
+                          (msg.empty() ? "" : " — " + msg));
+}
+}  // namespace detail
+
+}  // namespace pima
+
+/// Precondition check: throws pima::PreconditionError with location info.
+#define PIMA_CHECK(expr, msg)                                              \
+  do {                                                                     \
+    if (!(expr)) [[unlikely]]                                              \
+      ::pima::detail::throw_precondition(#expr, __FILE__, __LINE__, (msg)); \
+  } while (false)

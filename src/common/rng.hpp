@@ -1,0 +1,93 @@
+// Deterministic pseudo-random number generation.
+//
+// All stochastic parts of the simulator (synthetic genomes, read sampling,
+// Monte-Carlo process variation) draw from this xoshiro256** generator so
+// that every experiment is reproducible from a single seed.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace pima {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded via splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    std::uint64_t x = seed;
+    for (auto& s : state_) s = splitmix64(x);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, n). n must be > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t uniform(std::uint64_t n) {
+    PIMA_CHECK(n > 0, "uniform(0) is ill-defined");
+    const std::uint64_t threshold = (0 - n) % n;
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return r % n;
+    }
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform_real() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Standard normal via Box–Muller (no state caching; simple and exact).
+  double gaussian() {
+    double u1 = uniform_real();
+    while (u1 <= 0.0) u1 = uniform_real();
+    const double u2 = uniform_real();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  /// Normal with given mean and standard deviation.
+  double gaussian(double mean, double sigma) {
+    return mean + sigma * gaussian();
+  }
+
+  /// Bernoulli(p).
+  bool bernoulli(double p) { return uniform_real() < p; }
+
+  /// Derives an independent stream for a sub-task (stable fork).
+  Rng fork(std::uint64_t stream_id) {
+    return Rng(state_[0] ^ (0xbf58476d1ce4e5b9ull * (stream_id + 1)));
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  static std::uint64_t splitmix64(std::uint64_t& x) {
+    std::uint64_t z = (x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace pima

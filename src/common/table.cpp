@@ -1,0 +1,58 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pima {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  PIMA_CHECK(header_.empty() || row.size() == header_.size(),
+             "row width differs from header width");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", precision, v);
+  return buf;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (widths.size() < row.size()) widths.resize(row.size(), 0);
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+  };
+  widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      line += row[c];
+      line.append(widths[c] - row[c].size() + 2, ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+
+  std::string out = "== " + title_ + " ==\n";
+  if (!header_.empty()) {
+    out += emit_row(header_);
+    std::size_t rule = 0;
+    for (const auto w : widths) rule += w + 2;
+    out.append(rule > 2 ? rule - 2 : rule, '-');
+    out += "\n";
+  }
+  for (const auto& r : rows_) out += emit_row(r);
+  return out;
+}
+
+}  // namespace pima

@@ -1,0 +1,30 @@
+// Plain-text table rendering for benchmark harnesses. Every bench binary
+// prints its table/figure as an aligned text table so the output can be
+// diffed against the paper's reported rows.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pima {
+
+/// Column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title) : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pima

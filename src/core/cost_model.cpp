@@ -1,0 +1,124 @@
+#include "core/cost_model.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace pima::core {
+namespace {
+
+using platforms::PlatformKind;
+using platforms::PlatformSpec;
+
+double key_words(std::size_t k) {
+  return std::ceil(static_cast<double>(2 * k) / 32.0);
+}
+
+// Platform utilization of its power envelope at this operating point.
+// PIM: activation budget scales with Pd (Pd=4 ⇒ the full 512-sub-array
+// budget). Von-Neumann: near-full under the streaming assembly load, with
+// a mild k-dependence (wider keys keep more of the memory system busy).
+double power_utilization(const PlatformSpec& p, std::size_t k, unsigned pd,
+                         const CostModelParams& prm) {
+  if (p.kind == PlatformKind::kProcessingInMemory)
+    return static_cast<double>(pd) * prm.units_per_pd /
+           static_cast<double>(p.concurrent_subarrays);
+  return 0.90 + 0.05 * static_cast<double>(k >= 16 ? k - 16 : 0) / 16.0;
+}
+
+double platform_power_w(const PlatformSpec& p, std::size_t k, unsigned pd,
+                        const CostModelParams& prm) {
+  return p.idle_power_w +
+         p.peak_dynamic_power_w * power_utilization(p, k, pd, prm);
+}
+
+// PIM stage time from a serial row-cycle count: parallel part spread over
+// the active sub-arrays plus an Amdahl serial floor at Pd = 1 concurrency.
+double pim_stage_time_s(double cycles, double row_cycle_ns, double units,
+                        double base_units, double serial_fraction) {
+  const double serial_s = cycles * row_cycle_ns * 1e-9;
+  return serial_s / units + serial_fraction * serial_s / base_units;
+}
+
+}  // namespace
+
+AppCost estimate_application(const PlatformSpec& platform,
+                             const WorkloadParams& w, unsigned pd,
+                             const CostModelParams& prm) {
+  PIMA_CHECK(pd >= 1, "parallelism degree must be >= 1");
+  PIMA_CHECK(w.read_length >= w.k, "reads shorter than k");
+  AppCost cost{};
+
+  const double nq = w.queries();
+  const double d = w.distinct_kmers();
+  const double hits = nq - d;
+  const double e_edges = d;  // one de Bruijn edge per distinct k-mer
+  const double words = key_words(w.k);
+
+  if (platform.kind == PlatformKind::kProcessingInMemory) {
+    const double rc = platform.row_cycle_ns;
+    const double compare = platform.xnor_cycles + platform.pim_aux_cycles +
+                           prm.dpu_cycles;
+
+    // Stage 1: temp-row staging + probe chain per query; counter RMW on
+    // hits; RowClone insert on new keys. One row compare covers the whole
+    // key regardless of k — the PIM advantage that widens with k.
+    const double hash_cycles = nq * (1.0 + prm.probes_per_query * compare) +
+                               hits * prm.counter_rmw_cycles +
+                               d * prm.insert_cycles;
+
+    // Stage 2a: two node probes + three MEM_inserts per distinct k-mer.
+    const double debruijn_cycles =
+        d * (2.0 * prm.probes_per_query * compare +
+             3.0 * prm.graph_insert_cycles);
+
+    // Stage 2b: degree computation over adjacency rows (carry-save 3:2
+    // compression + bit-serial adds) and one row read per walked edge.
+    const double adj_rows = 2.0 * e_edges / static_cast<double>(platform.row_bits);
+    const double traverse_cycles =
+        e_edges * 1.0 + adj_rows * (9.0 + 3.0 * platform.add_cycles_per_bit);
+
+    const double units = prm.units_per_pd * pd;
+    const double base = prm.units_per_pd;
+    const double graph_units =
+        std::max(1.0, units * prm.graph_parallel_fraction);
+    const double graph_base = std::max(1.0, base * prm.graph_parallel_fraction);
+
+    cost.hashmap.time_s =
+        pim_stage_time_s(hash_cycles, rc, units, base, prm.serial_fraction);
+    cost.debruijn.time_s =
+        pim_stage_time_s(debruijn_cycles, rc, units, base,
+                         prm.serial_fraction);
+    cost.traverse.time_s = pim_stage_time_s(traverse_cycles, rc, graph_units,
+                                            graph_base, prm.serial_fraction);
+  } else {
+    // Von-Neumann (the paper's application baseline is the GPU): hash
+    // probing is random-access bound and scales with the key word count;
+    // graph stages pay per-operation costs of the GPU-Euler class.
+    const double query_ns =
+        prm.gpu_query_base_ns + prm.gpu_query_word_ns * words;
+    const double graph_op_ns =
+        prm.gpu_graph_op_ns * (1.0 + prm.gpu_graph_word_factor * (words - 1.0));
+    cost.hashmap.time_s = nq * query_ns * 1e-9;
+    cost.debruijn.time_s = 3.0 * d * graph_op_ns * 1e-9;
+    cost.traverse.time_s = 1.5 * e_edges * graph_op_ns * 1e-9;
+  }
+
+  cost.total_time_s =
+      cost.hashmap.time_s + cost.debruijn.time_s + cost.traverse.time_s;
+  cost.avg_power_w = platform_power_w(platform, w.k, pd, prm);
+  cost.hashmap.energy_j = cost.avg_power_w * cost.hashmap.time_s;
+  cost.debruijn.energy_j = cost.avg_power_w * cost.debruijn.time_s;
+  cost.traverse.energy_j = cost.avg_power_w * cost.traverse.time_s;
+
+  // Memory-bottleneck ratio: workload stall profile (presets document the
+  // provenance) with the paper's k-dependence; RUR is the non-stalled
+  // fraction capped by the architecture's utilization ceiling.
+  const double k_scale =
+      static_cast<double>(w.k >= 16 ? w.k - 16 : 0) / 16.0;
+  cost.mbr = platform.mbr_base + platform.mbr_k_slope * k_scale;
+  cost.rur = (1.0 - cost.mbr) * platform.arch_utilization;
+  return cost;
+}
+
+}  // namespace pima::core

@@ -1,0 +1,220 @@
+#include "core/degree.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pima::core {
+namespace {
+
+// Row allocator over a sub-array's data rows with recycling: carry-save
+// intermediates are freed as soon as they are consumed, so the reduction
+// runs in O(live numbers) rows instead of O(total intermediates).
+class RowAllocator {
+ public:
+  explicit RowAllocator(const dram::Geometry& g) : limit_(g.data_rows()) {}
+
+  dram::RowAddr alloc() {
+    if (!free_.empty()) {
+      const auto r = free_.back();
+      free_.pop_back();
+      return r;
+    }
+    PIMA_CHECK(next_ < limit_, "sub-array out of reserved rows");
+    return next_++;
+  }
+
+  std::vector<dram::RowAddr> alloc_span(std::size_t n) {
+    std::vector<dram::RowAddr> s(n);
+    for (auto& r : s) r = alloc();
+    return s;
+  }
+
+  void free(dram::RowAddr r) { free_.push_back(r); }
+
+ private:
+  dram::RowAddr next_ = 0;
+  std::size_t limit_;
+  std::vector<dram::RowAddr> free_;
+};
+
+// A vertical multi-bit number: row addresses LSB-first.
+using Number = std::vector<dram::RowAddr>;
+
+// XOR3 of three data rows into a fresh row: x1 ← a, x2 ← b, XOR → x1 holds
+// a⊕b; x2 ← c, XOR → dst.
+dram::RowAddr xor3(dram::Subarray& sa, RowAllocator& alloc, dram::RowAddr a,
+                   dram::RowAddr b, dram::RowAddr c) {
+  const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1);
+  const auto dst = alloc.alloc();
+  sa.aap_copy(a, x1);
+  sa.aap_copy(b, x2);
+  sa.aap_xor(x1, x2, x1);  // x1 = x2 = a⊕b
+  sa.aap_copy(c, x2);
+  sa.aap_xor(x1, x2, dst);
+  return dst;
+}
+
+// MAJ3 of three data rows into a fresh row via TRA.
+dram::RowAddr maj3(dram::Subarray& sa, RowAllocator& alloc, dram::RowAddr a,
+                   dram::RowAddr b, dram::RowAddr c) {
+  const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1),
+             x3 = sa.compute_row(2);
+  const auto dst = alloc.alloc();
+  sa.aap_copy(a, x1);
+  sa.aap_copy(b, x2);
+  sa.aap_copy(c, x3);
+  sa.aap_tra_carry(x1, x2, x3, dst);
+  return dst;
+}
+
+// 3:2 compression of three equal-width numbers: returns {sum, carry<<1}.
+std::pair<Number, Number> compress(dram::Subarray& sa, RowAllocator& alloc,
+                                   dram::RowAddr zero_row, const Number& a,
+                                   const Number& b, const Number& c) {
+  const std::size_t w = std::max({a.size(), b.size(), c.size()});
+  auto bit = [&](const Number& n, std::size_t i) {
+    return i < n.size() ? n[i] : zero_row;
+  };
+  Number sum, carry;
+  carry.push_back(zero_row);  // carry has weight 2: shift left one bit
+  for (std::size_t i = 0; i < w; ++i) {
+    sum.push_back(xor3(sa, alloc, bit(a, i), bit(b, i), bit(c, i)));
+    carry.push_back(maj3(sa, alloc, bit(a, i), bit(b, i), bit(c, i)));
+  }
+  return {std::move(sum), std::move(carry)};
+}
+
+// Bit-serial addition of two numbers via Subarray::add_vertical.
+Number add(dram::Subarray& sa, RowAllocator& alloc, dram::RowAddr zero_row,
+           const Number& a, const Number& b) {
+  const std::size_t w = std::max(a.size(), b.size());
+  Number ap = a, bp = b;
+  ap.resize(w, zero_row);
+  bp.resize(w, zero_row);
+  Number out = alloc.alloc_span(w);
+  const auto carry_out = alloc.alloc();
+  sa.add_vertical(ap, bp, out, carry_out);
+  out.push_back(carry_out);
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> pim_column_sums(
+    dram::Subarray& sa, const std::vector<BitVector>& rows) {
+  const std::size_t width = sa.geometry().columns;
+  RowAllocator alloc(sa.geometry());
+
+  // Dedicated all-zero row for padding narrower numbers.
+  const auto zero_row = alloc.alloc();
+  sa.write_row(zero_row, BitVector(width));
+
+  if (rows.empty()) return std::vector<std::uint32_t>(width, 0);
+
+  // Map the adjacency rows in (paper "mapping" stage).
+  std::vector<Number> numbers;
+  numbers.reserve(rows.size());
+  for (const auto& r : rows) {
+    PIMA_CHECK(r.size() == width, "adjacency row width mismatch");
+    const auto addr = alloc.alloc();
+    sa.write_row(addr, r);
+    numbers.push_back(Number{addr});
+  }
+
+  // Carry-save reduction: 3 → 2 until two numbers remain. Consumed
+  // operand rows are recycled immediately (the reserved-row budget of a
+  // sub-array is finite).
+  auto free_number = [&](const Number& n) {
+    for (const auto r : n)
+      if (r != zero_row) alloc.free(r);
+  };
+  while (numbers.size() > 2) {
+    std::vector<Number> next;
+    std::size_t i = 0;
+    for (; i + 3 <= numbers.size(); i += 3) {
+      auto [s, c] = compress(sa, alloc, zero_row, numbers[i], numbers[i + 1],
+                             numbers[i + 2]);
+      free_number(numbers[i]);
+      free_number(numbers[i + 1]);
+      free_number(numbers[i + 2]);
+      next.push_back(std::move(s));
+      next.push_back(std::move(c));
+    }
+    for (; i < numbers.size(); ++i) next.push_back(std::move(numbers[i]));
+    numbers = std::move(next);
+  }
+
+  // Final bit-serial addition.
+  Number result = numbers[0];
+  if (numbers.size() == 2) {
+    result = add(sa, alloc, zero_row, numbers[0], numbers[1]);
+    free_number(numbers[0]);
+    free_number(numbers[1]);
+  }
+
+  // Read the vertical result out through the row buffer.
+  std::vector<std::uint32_t> sums(width, 0);
+  for (std::size_t bitpos = 0; bitpos < result.size(); ++bitpos) {
+    PIMA_CHECK(bitpos < 32, "degree exceeds 32-bit readout");
+    const BitVector& row = sa.read_row(result[bitpos]);
+    for (std::size_t c = 0; c < width; ++c)
+      if (row.get(c)) sums[c] |= std::uint32_t{1} << bitpos;
+  }
+  return sums;
+}
+
+DegreeResult pim_degrees(dram::Device& device,
+                         const assembly::DeBruijnGraph& g,
+                         const GraphPartition& partition) {
+  const auto width = device.geometry().columns;
+  DegreeResult result;
+  result.in_degree.assign(g.node_count(), 0);
+  result.out_degree.assign(g.node_count(), 0);
+
+  const auto m = partition.intervals;
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const EdgeBlock& block = partition.block(i, j);
+      if (block.edges.empty()) continue;
+      const auto& src_vertices = partition.interval_vertices[i];
+      const auto& dst_vertices = partition.interval_vertices[j];
+      PIMA_CHECK(dst_vertices.size() <= width,
+                 "interval too wide for one sub-array row — increase M");
+      PIMA_CHECK(src_vertices.size() <= width,
+                 "interval too wide for one sub-array row — increase M");
+
+      // In-degrees: column sums of the block's adjacency rows.
+      {
+        dram::Subarray& sa = device.subarray(
+            (static_cast<std::size_t>(i) * m + j) % device.geometry().total_subarrays());
+        const auto rows =
+            block_adjacency_rows(block, src_vertices.size(), width);
+        const auto sums = pim_column_sums(sa, rows);
+        for (std::size_t c = 0; c < dst_vertices.size(); ++c)
+          result.in_degree[dst_vertices[c]] += sums[c];
+      }
+
+      // Out-degrees: column sums of the transposed block.
+      {
+        dram::Subarray& sa = device.subarray(
+            (static_cast<std::size_t>(j) * m + i + m * m) %
+            device.geometry().total_subarrays());
+        EdgeBlock transposed;
+        transposed.source_interval = j;
+        transposed.dest_interval = i;
+        transposed.edges.reserve(block.edges.size());
+        for (const auto& e : block.edges)
+          transposed.edges.push_back({e.to, e.from, e.multiplicity});
+        const auto rows =
+            block_adjacency_rows(transposed, dst_vertices.size(), width);
+        const auto sums = pim_column_sums(sa, rows);
+        for (std::size_t c = 0; c < src_vertices.size(); ++c)
+          result.out_degree[src_vertices[c]] += sums[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pima::core

@@ -1,0 +1,42 @@
+// In-memory vertex-degree computation (paper Fig. 8, "mapping" stage).
+//
+// The adjacency rows of an edge block are mapped onto consecutive sub-array
+// rows; the degree of every destination vertex is the column sum of those
+// 1-bit rows. PIM-Assembler computes the sums with a carry-save reduction:
+// every three rows are compressed to a (Carry, Sum) pair — one TRA for the
+// carry, two two-row XORs for the sum — written back to reserved rows; the
+// resulting multi-bit vertical numbers are then combined with bit-serial
+// additions (2 compute cycles per bit) until one number per column remains.
+// All 256 columns advance in parallel at every step.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_map.hpp"
+#include "dram/device.hpp"
+#include "dram/subarray.hpp"
+
+namespace pima::core {
+
+/// Column sums of `rows` (each a 1-bit-per-column adjacency row) computed
+/// entirely with PIM operations inside `sa`. Returns one sum per column.
+/// Requires enough free data rows for inputs + carry-save intermediates
+/// (≈ 3× the input row count).
+std::vector<std::uint32_t> pim_column_sums(dram::Subarray& sa,
+                                           const std::vector<BitVector>& rows);
+
+/// Degrees of every vertex of `g`, computed block-by-block on `device`
+/// (block (i,j) of the partition runs on its own sub-array; per-vertex
+/// partial degrees from the M blocks of a row/column are accumulated by
+/// the controller).
+struct DegreeResult {
+  std::vector<std::uint32_t> in_degree;
+  std::vector<std::uint32_t> out_degree;
+};
+
+DegreeResult pim_degrees(dram::Device& device,
+                         const assembly::DeBruijnGraph& g,
+                         const GraphPartition& partition);
+
+}  // namespace pima::core

@@ -1,0 +1,84 @@
+#include "core/graph_map.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::core {
+
+GraphPartition partition_graph(const assembly::DeBruijnGraph& g,
+                               std::uint32_t m_intervals) {
+  PIMA_CHECK(m_intervals >= 1, "need at least one interval");
+  GraphPartition p;
+  p.intervals = m_intervals;
+  const auto n = g.node_count();
+  p.vertex_interval.resize(n);
+  p.vertex_local.resize(n);
+  p.interval_vertices.resize(m_intervals);
+
+  // Hash-based vertex → interval assignment (paper cites GraphH/GraphS):
+  // the node's (k-1)-mer hash spreads hot vertices evenly.
+  for (assembly::NodeId v = 0; v < n; ++v) {
+    const auto interval =
+        static_cast<std::uint32_t>(g.node_kmer(v).hash() % m_intervals);
+    p.vertex_interval[v] = interval;
+    p.vertex_local[v] =
+        static_cast<std::uint32_t>(p.interval_vertices[interval].size());
+    p.interval_vertices[interval].push_back(v);
+  }
+
+  p.blocks.resize(static_cast<std::size_t>(m_intervals) * m_intervals);
+  for (std::uint32_t i = 0; i < m_intervals; ++i)
+    for (std::uint32_t j = 0; j < m_intervals; ++j) {
+      auto& b = p.blocks[i * m_intervals + j];
+      b.source_interval = i;
+      b.dest_interval = j;
+    }
+
+  for (const auto& e : g.edges()) {
+    const auto si = p.vertex_interval[e.from];
+    const auto di = p.vertex_interval[e.to];
+    p.blocks[si * m_intervals + di].edges.push_back(
+        {p.vertex_local[e.from], p.vertex_local[e.to], e.multiplicity});
+  }
+  return p;
+}
+
+std::size_t subarrays_for_vertices(std::size_t n_vertices,
+                                   const dram::Geometry& geom) {
+  const std::size_t f = std::min(geom.data_rows(), geom.columns);
+  PIMA_CHECK(f > 0, "degenerate sub-array");
+  return (n_vertices + f - 1) / f;
+}
+
+std::vector<BitVector> block_adjacency_rows(const EdgeBlock& block,
+                                            std::size_t n_local_sources,
+                                            std::size_t width) {
+  std::vector<BitVector> rows;
+  rows.reserve(n_local_sources);
+  for (std::size_t r = 0; r < n_local_sources; ++r)
+    rows.emplace_back(width);
+  for (const auto& e : block.edges) {
+    PIMA_CHECK(e.from < n_local_sources, "edge source outside block");
+    PIMA_CHECK(e.to < width, "edge destination outside row width");
+    // Multiplicity m > 1 contributes m instances; dense 1-bit rows can
+    // carry one instance each, so extra instances append duplicate rows.
+    rows[e.from].set(e.to, true);
+    for (std::uint32_t extra = 1; extra < e.multiplicity; ++extra) {
+      BitVector dup(width);
+      dup.set(e.to, true);
+      rows.push_back(std::move(dup));
+    }
+  }
+  return rows;
+}
+
+std::vector<std::uint32_t> block_column_degrees(const EdgeBlock& block,
+                                                std::size_t width) {
+  std::vector<std::uint32_t> deg(width, 0);
+  for (const auto& e : block.edges) {
+    PIMA_CHECK(e.to < width, "edge destination outside row width");
+    deg[e.to] += e.multiplicity;
+  }
+  return deg;
+}
+
+}  // namespace pima::core

@@ -1,0 +1,67 @@
+// Interval-block graph partitioning and adjacency mapping (paper Fig. 8,
+// stages "partitioning" and "allocation").
+//
+// The hash-based method divides the N vertices into M intervals and the
+// edges into M² blocks — block (i, j) holds the edges from interval i to
+// interval j. Each block is allocated to a chip and mapped onto its
+// sub-arrays as a dense adjacency sub-matrix: one matrix row per sub-array
+// row. An N-vertex sub-graph needs Ns = ceil(N / f) sub-arrays, with
+// f = min(a, b) for an a×b sub-array.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "assembly/debruijn.hpp"
+#include "common/bitvector.hpp"
+#include "dram/geometry.hpp"
+
+namespace pima::core {
+
+/// One edge block: edges between two vertex intervals, in local ids.
+struct EdgeBlock {
+  std::uint32_t source_interval = 0;
+  std::uint32_t dest_interval = 0;
+  /// Edges as (local source index, local dest index, multiplicity).
+  struct LocalEdge {
+    std::uint32_t from, to, multiplicity;
+  };
+  std::vector<LocalEdge> edges;
+};
+
+/// The complete partition: interval assignment plus M² blocks.
+struct GraphPartition {
+  std::uint32_t intervals = 1;                 ///< M
+  std::vector<std::uint32_t> vertex_interval;  ///< node → interval
+  std::vector<std::uint32_t> vertex_local;     ///< node → index in interval
+  std::vector<std::vector<assembly::NodeId>> interval_vertices;
+  std::vector<EdgeBlock> blocks;               ///< M² blocks, row-major
+
+  const EdgeBlock& block(std::uint32_t i, std::uint32_t j) const {
+    return blocks.at(i * intervals + j);
+  }
+};
+
+/// Hash-partitions the graph into M intervals and M² edge blocks.
+GraphPartition partition_graph(const assembly::DeBruijnGraph& g,
+                               std::uint32_t m_intervals);
+
+/// Number of sub-arrays needed to process an n-vertex sub-graph on a×b
+/// sub-arrays: Ns = ceil(n / min(a, b)).
+std::size_t subarrays_for_vertices(std::size_t n_vertices,
+                                   const dram::Geometry& geom);
+
+/// Renders a block as dense adjacency rows (paper "mapping" stage): row r
+/// holds the out-edges of local source vertex r; column c is set iff an
+/// edge (r → c) exists. `width` is the sub-array column count; blocks wider
+/// than a row are split by the caller. Multiplicities above 1 repeat rows
+/// (each instance contributes 1 to the destination's in-degree).
+std::vector<BitVector> block_adjacency_rows(const EdgeBlock& block,
+                                            std::size_t n_local_sources,
+                                            std::size_t width);
+
+/// Software reference: per-destination in-degree of a block (column sums).
+std::vector<std::uint32_t> block_column_degrees(const EdgeBlock& block,
+                                                std::size_t width);
+
+}  // namespace pima::core

@@ -1,0 +1,40 @@
+#include "core/pd_optimizer.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pima::core {
+
+std::vector<PdPoint> sweep_parallelism(const platforms::PlatformSpec& platform,
+                                       const WorkloadParams& workload,
+                                       const std::vector<unsigned>& pds,
+                                       const CostModelParams& params) {
+  PIMA_CHECK(!pds.empty(), "empty Pd sweep");
+  std::vector<PdPoint> points;
+  points.reserve(pds.size());
+  for (const auto pd : pds) {
+    const AppCost c = estimate_application(platform, workload, pd, params);
+    PdPoint pt;
+    pt.pd = pd;
+    pt.delay_s = c.total_time_s;
+    pt.power_w = c.avg_power_w;
+    pt.energy_j = c.avg_power_w * c.total_time_s;
+    pt.edp = pt.energy_j * pt.delay_s;
+    points.push_back(pt);
+  }
+  return points;
+}
+
+PdPoint optimal_parallelism(const platforms::PlatformSpec& platform,
+                            const WorkloadParams& workload,
+                            const std::vector<unsigned>& pds,
+                            const CostModelParams& params) {
+  const auto points = sweep_parallelism(platform, workload, pds, params);
+  return *std::min_element(points.begin(), points.end(),
+                           [](const PdPoint& a, const PdPoint& b) {
+                             return a.energy_j < b.energy_j;
+                           });
+}
+
+}  // namespace pima::core

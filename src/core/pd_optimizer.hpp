@@ -1,0 +1,42 @@
+// Mapping optimization framework (paper §II.B item 3 / Fig. 10).
+//
+// The behavioural simulator "has a mapping optimization framework to
+// maximize the performance according to the available resources": it sweeps
+// the parallelism degree Pd (number of replicated sub-array groups) and
+// picks the operating point that balances delay against the power cost of
+// extra activation. Larger Pd always shrinks delay and grows power; below
+// the Amdahl knee the delay gain outruns the power cost (energy falls),
+// past it extra activation burns watts for little speedup (energy rises) —
+// so the optimizer minimizes energy (power × delay). The paper lands on
+// Pd ≈ 2.
+#pragma once
+
+#include <vector>
+
+#include "core/cost_model.hpp"
+
+namespace pima::core {
+
+/// One point of the Fig. 10 trade-off curve.
+struct PdPoint {
+  unsigned pd = 1;
+  double delay_s = 0.0;
+  double power_w = 0.0;
+  double energy_j = 0.0;        ///< power × delay
+  double edp = 0.0;             ///< energy × delay
+};
+
+/// Evaluates the trade-off at each Pd in `pds` (default {1,2,4,8}).
+std::vector<PdPoint> sweep_parallelism(const platforms::PlatformSpec& platform,
+                                       const WorkloadParams& workload,
+                                       const std::vector<unsigned>& pds =
+                                           {1, 2, 4, 8},
+                                       const CostModelParams& params = {});
+
+/// The Pd minimizing energy (power × delay) over the sweep.
+PdPoint optimal_parallelism(const platforms::PlatformSpec& platform,
+                            const WorkloadParams& workload,
+                            const std::vector<unsigned>& pds = {1, 2, 4, 8},
+                            const CostModelParams& params = {});
+
+}  // namespace pima::core

@@ -1,0 +1,140 @@
+#include "core/pim_bfs.hpp"
+
+#include "common/error.hpp"
+#include "dram/dpu.hpp"
+
+namespace pima::core {
+namespace {
+
+// Fixed row plan within the sub-array's data region: adjacency rows first,
+// then the working rows.
+struct BfsRows {
+  dram::RowAddr ones;      ///< constant all-ones row (TRA OR operand)
+  dram::RowAddr frontier;  ///< current frontier bits
+  dram::RowAddr visited;   ///< accumulated visited bits
+  dram::RowAddr next;      ///< OR accumulator for the next frontier
+};
+
+BfsRows plan_rows(const dram::Subarray& sa, std::size_t n_adjacency) {
+  PIMA_CHECK(n_adjacency + 4 <= sa.geometry().data_rows(),
+             "graph too large for one sub-array");
+  BfsRows r;
+  r.ones = n_adjacency;
+  r.frontier = n_adjacency + 1;
+  r.visited = n_adjacency + 2;
+  r.next = n_adjacency + 3;
+  return r;
+}
+
+// next ← next ∨ adjacency[v]: TRA(next, adj, ones) = MAJ3 with a constant
+// one = OR. Operands staged into compute rows as always.
+void or_into_next(dram::Subarray& sa, const BfsRows& rows,
+                  dram::RowAddr adj_row) {
+  const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1),
+             x3 = sa.compute_row(2);
+  sa.aap_copy(rows.next, x1);
+  sa.aap_copy(adj_row, x2);
+  sa.aap_copy(rows.ones, x3);
+  sa.aap_tra_carry(x1, x2, x3, rows.next);
+}
+
+// dst ← a ∧ ¬b, computed with the in-memory ops:
+//   t = a ⊕ b (two-row XOR), dst = t ∧ a = MAJ3(t, a, 0)… MAJ3 needs a
+// constant zero; a ∧ ¬b = (a ⊕ b) ∧ a, and AND(x, y) = MAJ3(x, y, 0).
+void and_not(dram::Subarray& sa, const BfsRows& rows, dram::RowAddr a,
+             dram::RowAddr b, dram::RowAddr dst, dram::RowAddr zero_row) {
+  const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1),
+             x3 = sa.compute_row(2);
+  sa.aap_copy(a, x1);
+  sa.aap_copy(b, x2);
+  sa.aap_xor(x1, x2, x1);      // x1 = a ⊕ b
+  sa.aap_copy(a, x2);
+  sa.aap_copy(zero_row, x3);
+  sa.aap_tra_carry(x1, x2, x3, dst);  // MAJ3(a⊕b, a, 0) = (a⊕b) ∧ a
+}
+
+}  // namespace
+
+ReachabilityResult pim_reachability(dram::Subarray& sa,
+                                    const std::vector<BitVector>& adjacency,
+                                    std::size_t start) {
+  const std::size_t width = sa.geometry().columns;
+  const std::size_t n = adjacency.size();
+  PIMA_CHECK(n > 0 && n <= width, "vertex count must fit one row");
+  PIMA_CHECK(start < n, "start vertex out of graph");
+
+  const BfsRows rows = plan_rows(sa, n);
+
+  // Map the graph and constants in.
+  for (std::size_t v = 0; v < n; ++v) {
+    PIMA_CHECK(adjacency[v].size() == width, "adjacency row width mismatch");
+    sa.write_row(v, adjacency[v]);
+  }
+  BitVector ones(width);
+  ones.fill(true);
+  sa.write_row(rows.ones, ones);
+  BitVector seed(width);
+  seed.set(start, true);
+  sa.write_row(rows.frontier, seed);
+  sa.write_row(rows.visited, seed);
+
+  ReachabilityResult result;
+  for (;;) {
+    // next ← 0, then OR in the adjacency row of every frontier vertex.
+    sa.write_row(rows.next, BitVector(width));
+    const BitVector frontier_bits = sa.dpu_fetch(rows.frontier);
+    bool any = false;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (!frontier_bits.get(v)) continue;
+      any = true;
+      or_into_next(sa, rows, v);
+    }
+    if (!any) break;
+    ++result.levels;
+
+    // frontier ← next ∧ ¬visited. A scratch zero row is needed; write one
+    // into the (already consumed) frontier row.
+    sa.write_row(rows.frontier, BitVector(width));
+    and_not(sa, rows, rows.next, rows.visited, rows.frontier,
+            rows.frontier);
+    // visited ← visited ∨ frontier.
+    const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1),
+               x3 = sa.compute_row(2);
+    sa.aap_copy(rows.visited, x1);
+    sa.aap_copy(rows.frontier, x2);
+    sa.aap_copy(rows.ones, x3);
+    sa.aap_tra_carry(x1, x2, x3, rows.visited);
+    if (!dram::Dpu::or_reduce(sa, rows.frontier, width)) break;
+  }
+
+  const BitVector visited = sa.dpu_fetch(rows.visited);
+  result.reachable.assign(n, false);
+  for (std::size_t v = 0; v < n; ++v) result.reachable[v] = visited.get(v);
+  return result;
+}
+
+std::vector<std::uint32_t> pim_components(
+    dram::Subarray& sa, const std::vector<BitVector>& adjacency) {
+  const std::size_t n = adjacency.size();
+  const std::size_t width = sa.geometry().columns;
+  PIMA_CHECK(n <= width, "vertex count must fit one row");
+
+  // Symmetrize: und[u][v] = adj[u][v] ∨ adj[v][u].
+  std::vector<BitVector> und = adjacency;
+  for (std::size_t u = 0; u < n; ++u)
+    for (std::size_t v = 0; v < n; ++v)
+      if (adjacency[u].get(v)) und[v].set(u, true);
+
+  std::vector<std::uint32_t> comp(n, ~std::uint32_t{0});
+  std::uint32_t next_id = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (comp[s] != ~std::uint32_t{0}) continue;
+    const auto reach = pim_reachability(sa, und, s);
+    for (std::size_t v = 0; v < n; ++v)
+      if (reach.reachable[v]) comp[v] = next_id;
+    ++next_id;
+  }
+  return comp;
+}
+
+}  // namespace pima::core

@@ -1,0 +1,48 @@
+// In-memory graph reachability (GraphIDE-style bulk frontier expansion).
+//
+// The authors' companion work (GraphIDE, cited in the paper) runs graph
+// kernels on the same in-DRAM substrate. Here the mechanism is the bulk OR
+// that triple-row activation provides for free: MAJ3(a, b, 1) = a ∨ b, so
+// TRA against a constant all-ones row ORs one adjacency row into the
+// frontier accumulator in a single cycle.
+//
+// BFS over an adjacency matrix stored one row per vertex:
+//   frontier ← {start};   visited ← frontier
+//   repeat: next ← OR of adjacency rows of all frontier vertices (one TRA
+//           each), frontier ← next ∧ ¬visited (two-row ops + DPU),
+//           visited ← visited ∨ frontier — until the frontier empties.
+// All bit-level work happens in the sub-array; the controller only decodes
+// the frontier bits (a DPU read per level) to know which rows to activate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph_map.hpp"
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+class Device;
+}
+
+namespace pima::core {
+
+/// Result of an in-memory reachability query.
+struct ReachabilityResult {
+  std::vector<bool> reachable;   ///< per vertex (includes the start)
+  std::size_t levels = 0;        ///< BFS depth reached
+};
+
+/// Computes the set of vertices reachable from `start` over the adjacency
+/// rows (row v = out-edges of vertex v, one bit per destination; vertex
+/// count = rows.size() ≤ sub-array columns). Runs entirely inside `sa`.
+ReachabilityResult pim_reachability(dram::Subarray& sa,
+                                    const std::vector<BitVector>& adjacency,
+                                    std::size_t start);
+
+/// Weakly-connected component id per vertex, computed by repeated
+/// in-memory reachability over the symmetrized adjacency.
+std::vector<std::uint32_t> pim_components(
+    dram::Subarray& sa, const std::vector<BitVector>& adjacency);
+
+}  // namespace pima::core

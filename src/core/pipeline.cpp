@@ -1,0 +1,138 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "core/degree.hpp"
+#include "core/graph_map.hpp"
+
+namespace pima::core {
+
+dram::DeviceStats PipelineResult::total() const {
+  dram::DeviceStats t{};
+  t.time_ns = hashmap.device.time_ns + debruijn.device.time_ns +
+              traverse.device.time_ns;
+  t.serial_ns = hashmap.device.serial_ns + debruijn.device.serial_ns +
+                traverse.device.serial_ns;
+  t.energy_pj = hashmap.device.energy_pj + debruijn.device.energy_pj +
+                traverse.device.energy_pj;
+  t.commands = hashmap.device.commands + debruijn.device.commands +
+               traverse.device.commands;
+  t.subarrays_used =
+      std::max({hashmap.device.subarrays_used, debruijn.device.subarrays_used,
+                traverse.device.subarrays_used});
+  return t;
+}
+
+namespace {
+
+// Picks the number of vertex intervals so every interval fits the column
+// width of a sub-array row (hash distribution is near-uniform; retry with
+// more intervals if an outlier interval overflows).
+GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
+                                 const dram::Geometry& geom,
+                                 std::uint32_t requested) {
+  const std::size_t width = geom.columns;
+  std::uint32_t m =
+      requested > 0
+          ? requested
+          : static_cast<std::uint32_t>(
+                std::max<std::size_t>(1, (g.node_count() + (width * 4) / 5 - 1) /
+                                             ((width * 4) / 5)));
+  for (;; ++m) {
+    GraphPartition p = partition_graph(g, m);
+    const bool fits = std::all_of(
+        p.interval_vertices.begin(), p.interval_vertices.end(),
+        [&](const auto& iv) { return iv.size() <= width; });
+    if (fits) return p;
+    PIMA_CHECK(requested == 0,
+               "requested interval count leaves an oversized interval");
+  }
+}
+
+}  // namespace
+
+PipelineResult run_pipeline(dram::Device& device,
+                            const std::vector<dna::Sequence>& reads,
+                            const PipelineOptions& options) {
+  PipelineResult result;
+  device.clear_stats();
+
+  // ---- Stage 1: k-mer analysis (Hashmap(S, k)) ----
+  PimHashTable table(device, options.hash_shards);
+  for (const auto& read : reads) {
+    if (read.size() < options.k) continue;
+    assembly::Kmer window =
+        assembly::Kmer::from_sequence(read, 0, options.k);
+    for (std::size_t i = 0;; ++i) {
+      table.insert_or_increment(window);
+      if (i + options.k >= read.size()) break;
+      window = window.rolled(read.at(i + options.k));
+    }
+  }
+  result.distinct_kmers = table.distinct_kmers();
+  result.hashmap = {device.roll_up(), "hashmap"};
+  device.clear_stats();
+
+  // ---- Stage 2a: de Bruijn construction (DeBruijn(Hashmap, k)) ----
+  // Read the counted table out of the hash shards and materialize the
+  // graph. Node/edge MEM_inserts land on the graph sub-arrays (one row
+  // write per insert, round-robin over the shard range) — the construction
+  // is controller-sequenced but storage-local, exactly the paper's
+  // MEM_insert traffic.
+  const auto entries = table.extract();
+  assembly::KmerCounter counter(entries.size());
+  for (const auto& [km, freq] : entries)
+    for (std::uint32_t i = 0; i < freq; ++i) counter.insert_or_increment(km);
+  const auto graph = assembly::DeBruijnGraph::from_counter(
+      counter, options.use_multiplicity);
+  result.graph_nodes = graph.node_count();
+  result.graph_edges = graph.edge_count();
+  {
+    const std::size_t graph_base = options.hash_shards;
+    const std::size_t graph_arrays = std::max<std::size_t>(
+        1, std::min(options.hash_shards,
+                    device.geometry().total_subarrays() - graph_base));
+    const BitVector row_image(device.geometry().columns);
+    std::size_t rr = 0;
+    auto mem_insert = [&] {
+      dram::Subarray& sa =
+          device.subarray(graph_base + (rr++ % graph_arrays));
+      // Adjacency/edge-list rows are appended cyclically over data rows.
+      sa.write_row((rr / graph_arrays) % sa.geometry().data_rows(),
+                   row_image);
+    };
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      mem_insert();  // node 1 (prefix) insert
+      mem_insert();  // node 2 (suffix) insert
+      mem_insert();  // edge-list insert
+    }
+  }
+  result.debruijn = {device.roll_up(), "debruijn"};
+  device.clear_stats();
+
+  // ---- Stage 2b: traversal (Traverse(G)) ----
+  const GraphPartition partition =
+      partition_fitting(graph, device.geometry(), options.graph_intervals);
+  const DegreeResult degrees = pim_degrees(device, graph, partition);
+  // The controller uses the PIM-computed degrees to pick Euler start
+  // vertices; the walk itself streams edge lookups (one row read each).
+  (void)degrees;
+  result.contigs = options.euler_contigs
+                       ? assembly::contigs_from_euler(graph, options.traversal)
+                       : assembly::contigs_from_unitigs(graph);
+  {
+    std::size_t rr = 0;
+    const std::size_t arrays = std::max<std::size_t>(1, options.hash_shards);
+    for (std::uint64_t e = 0; e < graph.edge_instances(); ++e) {
+      dram::Subarray& sa = device.subarray(rr++ % arrays);
+      sa.read_row((rr / arrays) % sa.geometry().data_rows());
+    }
+  }
+  result.traverse = {device.roll_up(), "traverse"};
+  device.clear_stats();
+
+  result.contig_stats = assembly::compute_stats(result.contigs);
+  return result;
+}
+
+}  // namespace pima::core

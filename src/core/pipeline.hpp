@@ -1,0 +1,55 @@
+// The PIM-Assembler execution pipeline (paper Fig. 5): k-mer analysis →
+// de Bruijn construction → traversal, run end-to-end on the functional DRAM
+// model with per-stage time/energy roll-ups.
+//
+// This is the bit-accurate counterpart of the paper's behavioural
+// simulator: it produces real contigs (verifiable against the reference
+// genome) *and* the exact command mix each stage issued, which the
+// full-scale cost model (cost_model.hpp) scales to the paper's chr14
+// workload.
+#pragma once
+
+#include <vector>
+
+#include "assembly/assembler.hpp"
+#include "core/pim_hash_table.hpp"
+#include "dram/device.hpp"
+
+namespace pima::core {
+
+struct PipelineOptions {
+  std::size_t k = 16;
+  std::size_t hash_shards = 4;     ///< sub-arrays for the hash table
+  std::uint32_t graph_intervals = 0;  ///< M; 0 = derived from graph size
+  bool use_multiplicity = false;   ///< Euler over edge multiplicities
+  bool euler_contigs = true;       ///< Euler walks vs unitigs
+  assembly::TraversalAlgorithm traversal =
+      assembly::TraversalAlgorithm::kHierholzer;
+};
+
+/// Per-stage roll-up (device stats snapshot over the stage's commands).
+struct StageStats {
+  dram::DeviceStats device;
+  const char* name = "";
+};
+
+struct PipelineResult {
+  std::vector<dna::Sequence> contigs;
+  assembly::ContigStats contig_stats;
+  StageStats hashmap;
+  StageStats debruijn;
+  StageStats traverse;
+  std::size_t distinct_kmers = 0;
+  std::size_t graph_nodes = 0;
+  std::size_t graph_edges = 0;
+
+  dram::DeviceStats total() const;
+};
+
+/// Runs the full pipeline on `device`. The device's sub-array contents and
+/// stats are consumed (stats cleared per stage).
+PipelineResult run_pipeline(dram::Device& device,
+                            const std::vector<dna::Sequence>& reads,
+                            const PipelineOptions& options);
+
+}  // namespace pima::core

@@ -1,0 +1,66 @@
+// DNA base alphabet and the 2-bit binary encoding used by PIM-Assembler.
+//
+// The paper (Fig. 7) encodes bases as: T=00, G=01, A=10, C=11. We keep that
+// exact encoding so that the bit patterns stored in the simulated DRAM rows
+// match the paper's mapping figure, and so that complementarity is a bitwise
+// NOT (A=10 ↔ T=00? no — see complement()).
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+
+namespace pima::dna {
+
+/// The four DNA bases with the paper's 2-bit code as the underlying value.
+enum class Base : std::uint8_t { T = 0b00, G = 0b01, A = 0b10, C = 0b11 };
+
+/// 2-bit code of a base (T=00, G=01, A=10, C=11 — paper Fig. 7).
+constexpr std::uint8_t to_code(Base b) { return static_cast<std::uint8_t>(b); }
+
+/// Base from a 2-bit code. Codes 0..3 are all valid.
+constexpr Base from_code(std::uint8_t code) {
+  return static_cast<Base>(code & 0b11u);
+}
+
+/// Base from an ASCII character (accepts lower/upper case). Throws on
+/// non-ACGT characters; callers handling 'N's must filter first.
+constexpr Base from_char(char c) {
+  switch (c) {
+    case 'A': case 'a': return Base::A;
+    case 'C': case 'c': return Base::C;
+    case 'G': case 'g': return Base::G;
+    case 'T': case 't': return Base::T;
+    default:
+      throw PreconditionError("invalid DNA character");
+  }
+}
+
+constexpr char to_char(Base b) {
+  switch (b) {
+    case Base::A: return 'A';
+    case Base::C: return 'C';
+    case Base::G: return 'G';
+    case Base::T: return 'T';
+  }
+  return '?';
+}
+
+/// Watson–Crick complement (A↔T, C↔G). With this encoding the complement is
+/// code XOR 0b10: T(00)↔A(10), G(01)↔C(11).
+constexpr Base complement(Base b) {
+  return from_code(static_cast<std::uint8_t>(to_code(b) ^ 0b10u));
+}
+
+/// True for A/C/G/T (upper or lower case).
+constexpr bool is_valid_char(char c) {
+  switch (c) {
+    case 'A': case 'a': case 'C': case 'c':
+    case 'G': case 'g': case 'T': case 't':
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace pima::dna

@@ -1,0 +1,123 @@
+#include "dna/fasta.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pima::dna {
+namespace {
+
+// Deterministic substitute for an ambiguous call: cycles A,C,G,T by position
+// so repeated runs produce identical sequences.
+Base substitute_base(std::size_t pos) {
+  static constexpr Base kCycle[4] = {Base::A, Base::C, Base::G, Base::T};
+  return kCycle[pos % 4];
+}
+
+// Appends `line` to `seq`; returns false if the record must be skipped.
+bool append_bases(Sequence& seq, const std::string& line,
+                  AmbiguityPolicy policy) {
+  for (const char c : line) {
+    if (c == '\r' || c == ' ' || c == '\t') continue;
+    if (is_valid_char(c)) {
+      seq.push_back(from_char(c));
+    } else {
+      switch (policy) {
+        case AmbiguityPolicy::kSkipRecord:
+          return false;
+        case AmbiguityPolicy::kSubstitute:
+          seq.push_back(substitute_base(seq.size()));
+          break;
+        case AmbiguityPolicy::kThrow:
+          throw SimulationError(std::string("non-ACGT character '") + c +
+                                "' in sequence data");
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Record> read_fasta(std::istream& in, AmbiguityPolicy policy) {
+  std::vector<Record> records;
+  std::string line;
+  Record current;
+  bool in_record = false;
+  bool skip = false;
+
+  auto flush = [&] {
+    if (in_record && !skip && !current.seq.empty())
+      records.push_back(std::move(current));
+    current = Record{};
+    skip = false;
+  };
+
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      flush();
+      in_record = true;
+      current.id = line.substr(1);
+      while (!current.id.empty() &&
+             (current.id.back() == '\r' || current.id.back() == ' '))
+        current.id.pop_back();
+    } else if (in_record && !skip) {
+      if (!append_bases(current.seq, line, policy)) skip = true;
+    }
+  }
+  flush();
+  return records;
+}
+
+std::vector<Record> read_fasta_file(const std::string& path,
+                                    AmbiguityPolicy policy) {
+  std::ifstream in(path);
+  if (!in) throw SimulationError("cannot open FASTA file: " + path);
+  return read_fasta(in, policy);
+}
+
+std::vector<Record> read_fastq(std::istream& in, AmbiguityPolicy policy) {
+  std::vector<Record> records;
+  std::string header, bases, plus, qual;
+  while (std::getline(in, header)) {
+    if (header.empty()) continue;
+    PIMA_CHECK(header[0] == '@', "FASTQ record must start with '@'");
+    if (!std::getline(in, bases) || !std::getline(in, plus) ||
+        !std::getline(in, qual))
+      throw SimulationError("truncated FASTQ record: " + header);
+    PIMA_CHECK(!plus.empty() && plus[0] == '+', "FASTQ separator must be '+'");
+    while (!bases.empty() && bases.back() == '\r') bases.pop_back();
+    while (!qual.empty() && qual.back() == '\r') qual.pop_back();
+    if (qual.size() != bases.size())
+      throw SimulationError("FASTQ quality length mismatch: " + header);
+    Record rec;
+    rec.id = header.substr(1);
+    if (append_bases(rec.seq, bases, policy)) records.push_back(std::move(rec));
+  }
+  return records;
+}
+
+void write_fasta(std::ostream& out, const std::vector<Record>& records,
+                 std::size_t line_width) {
+  PIMA_CHECK(line_width > 0, "line width must be positive");
+  for (const auto& rec : records) {
+    out << '>' << rec.id << '\n';
+    const std::string s = rec.seq.to_string();
+    for (std::size_t i = 0; i < s.size(); i += line_width)
+      out << s.substr(i, line_width) << '\n';
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Record>& records,
+                      std::size_t line_width) {
+  std::ofstream out(path);
+  if (!out) throw SimulationError("cannot open FASTA file for write: " + path);
+  write_fasta(out, records, line_width);
+}
+
+}  // namespace pima::dna

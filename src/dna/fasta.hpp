@@ -1,0 +1,51 @@
+// Minimal FASTA / FASTQ reading and writing.
+//
+// The paper samples reads from the NCBI chr14 FASTA; our examples and tests
+// exchange data in the same formats. 'N' (and other non-ACGT) characters are
+// policy-controlled: skip the record or substitute a deterministic base —
+// mirroring how assemblers preprocess ambiguous calls.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dna/sequence.hpp"
+
+namespace pima::dna {
+
+/// One FASTA/FASTQ record: id line (without '>'/'@') and the sequence.
+struct Record {
+  std::string id;
+  Sequence seq;
+};
+
+/// What to do with non-ACGT characters while parsing.
+enum class AmbiguityPolicy {
+  kSkipRecord,      ///< drop the whole record (assembler default for reads)
+  kSubstitute,      ///< replace with a base derived from the position
+  kThrow,           ///< reject the file
+};
+
+/// Parses FASTA text from a stream. Multi-line sequences are supported.
+std::vector<Record> read_fasta(std::istream& in,
+                               AmbiguityPolicy policy = AmbiguityPolicy::kSkipRecord);
+
+/// Parses FASTA from a file path.
+std::vector<Record> read_fasta_file(const std::string& path,
+                                    AmbiguityPolicy policy = AmbiguityPolicy::kSkipRecord);
+
+/// Parses FASTQ text (4-line records; quality line is validated for length
+/// and discarded — the simulator models error-free sampling separately).
+std::vector<Record> read_fastq(std::istream& in,
+                               AmbiguityPolicy policy = AmbiguityPolicy::kSkipRecord);
+
+/// Writes records as FASTA with the given line width.
+void write_fasta(std::ostream& out, const std::vector<Record>& records,
+                 std::size_t line_width = 70);
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Record>& records,
+                      std::size_t line_width = 70);
+
+}  // namespace pima::dna

@@ -1,0 +1,126 @@
+#include "dna/genome.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace pima::dna {
+namespace {
+
+// Draws one base given the GC class decided by the Markov chain.
+Base draw_base(Rng& rng, bool gc_class) {
+  if (gc_class) return rng.bernoulli(0.5) ? Base::G : Base::C;
+  return rng.bernoulli(0.5) ? Base::A : Base::T;
+}
+
+Base random_other_base(Rng& rng, Base b) {
+  for (;;) {
+    const Base cand = from_code(static_cast<std::uint8_t>(rng.uniform(4)));
+    if (cand != b) return cand;
+  }
+}
+
+}  // namespace
+
+Sequence generate_genome(const GenomeParams& params) {
+  PIMA_CHECK(params.length > 0, "genome length must be positive");
+  PIMA_CHECK(params.gc_content > 0.0 && params.gc_content < 1.0,
+             "gc_content must be in (0,1)");
+  PIMA_CHECK(params.markov_persistence >= 0.0 &&
+                 params.markov_persistence <= 1.0,
+             "markov_persistence must be in [0,1]");
+  Rng rng(params.seed);
+
+  // Base composition via a two-state (GC / AT) Markov chain whose stationary
+  // distribution matches gc_content. Persistence p keeps local composition
+  // correlated like real chromatin isochores.
+  const double p = params.markov_persistence;
+  // Transition probabilities chosen so stationary P(GC) = gc_content:
+  // stay-in-class prob differs per class around the persistence knob.
+  const double to_gc_from_at =
+      std::clamp((1.0 - p) * params.gc_content * 2.0, 0.0, 1.0);
+  const double to_at_from_gc =
+      std::clamp((1.0 - p) * (1.0 - params.gc_content) * 2.0, 0.0, 1.0);
+
+  Sequence genome;
+  bool gc_class = rng.bernoulli(params.gc_content);
+  for (std::size_t i = 0; i < params.length; ++i) {
+    genome.push_back(draw_base(rng, gc_class));
+    if (gc_class)
+      gc_class = !rng.bernoulli(to_at_from_gc);
+    else
+      gc_class = rng.bernoulli(to_gc_from_at);
+  }
+
+  // Plant interspersed repeats: one master element copied (with rare
+  // divergence) to random positions, emulating Alu-like repeat families.
+  if (params.repeat_count > 0 && params.repeat_length > 0 &&
+      params.repeat_length < params.length) {
+    Sequence element;
+    Rng elem_rng = rng.fork(1);
+    for (std::size_t i = 0; i < params.repeat_length; ++i)
+      element.push_back(draw_base(elem_rng, elem_rng.bernoulli(0.5)));
+
+    Sequence mutable_genome = genome;  // rebuild with repeats overlaid
+    std::string s = mutable_genome.to_string();
+    Rng place_rng = rng.fork(2);
+    for (std::size_t r = 0; r < params.repeat_count; ++r) {
+      const std::size_t pos =
+          place_rng.uniform(params.length - params.repeat_length);
+      for (std::size_t i = 0; i < params.repeat_length; ++i) {
+        Base b = element.at(i);
+        if (place_rng.bernoulli(0.02)) b = random_other_base(place_rng, b);
+        s[pos + i] = to_char(b);
+      }
+    }
+    genome = Sequence::from_string(s);
+  }
+  return genome;
+}
+
+std::vector<Sequence> sample_reads(const Sequence& genome,
+                                   const ReadSamplerParams& params) {
+  PIMA_CHECK(params.read_length > 0, "read length must be positive");
+  PIMA_CHECK(genome.size() >= params.read_length,
+             "genome shorter than read length");
+  std::size_t count = params.read_count;
+  if (count == 0) {
+    PIMA_CHECK(params.coverage > 0.0, "coverage must be positive");
+    count = static_cast<std::size_t>(
+        params.coverage * static_cast<double>(genome.size()) /
+        static_cast<double>(params.read_length));
+    count = std::max<std::size_t>(count, 1);
+  }
+
+  Rng rng(params.seed);
+  std::vector<Sequence> reads;
+  reads.reserve(count);
+  const std::size_t span = genome.size() - params.read_length + 1;
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t pos = rng.uniform(span);
+    Sequence read = genome.subseq(pos, params.read_length);
+    if (params.error_rate > 0.0) {
+      std::string s = read.to_string();
+      for (auto& c : s)
+        if (rng.bernoulli(params.error_rate))
+          c = to_char(random_other_base(rng, from_char(c)));
+      read = Sequence::from_string(s);
+    }
+    if (params.both_strands && rng.bernoulli(0.5))
+      read = read.reverse_complement();
+    reads.push_back(std::move(read));
+  }
+  return reads;
+}
+
+double gc_fraction(const Sequence& seq) {
+  if (seq.empty()) return 0.0;
+  std::size_t gc = 0;
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    const Base b = seq.at(i);
+    if (b == Base::G || b == Base::C) ++gc;
+  }
+  return static_cast<double>(gc) / static_cast<double>(seq.size());
+}
+
+}  // namespace pima::dna

@@ -1,0 +1,36 @@
+// Paired-end read simulation.
+//
+// Scaffolding (the paper's stage 3, left as future work there) needs mate
+// pairs: two reads sequenced from the ends of one DNA fragment of a known
+// approximate length (the insert). We simulate the standard FR protocol:
+// the first read is the fragment's 5' prefix on the forward strand, the
+// second is the reverse complement of the fragment's 3' suffix.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "dna/sequence.hpp"
+
+namespace pima::dna {
+
+struct ReadPair {
+  Sequence first;    ///< forward-strand prefix of the fragment
+  Sequence second;   ///< reverse complement of the fragment's suffix
+  std::size_t true_insert = 0;  ///< actual fragment length (ground truth)
+};
+
+struct PairedReadParams {
+  std::size_t read_length = 101;
+  double insert_mean = 500.0;   ///< fragment length mean
+  double insert_sd = 30.0;      ///< fragment length standard deviation
+  std::size_t pair_count = 0;   ///< if 0, derived from coverage
+  double coverage = 20.0;       ///< read-base coverage when pair_count == 0
+  std::uint64_t seed = 404;
+};
+
+/// Samples mate pairs from `genome` per the FR protocol.
+std::vector<ReadPair> sample_read_pairs(const Sequence& genome,
+                                        const PairedReadParams& params);
+
+}  // namespace pima::dna

@@ -1,0 +1,61 @@
+#include "dram/device.hpp"
+
+#include <algorithm>
+
+#include "common/units.hpp"
+
+namespace pima::dram {
+
+double DeviceStats::dynamic_power_w() const {
+  return power_watts(energy_pj, time_ns);
+}
+
+Device::Device(const Geometry& geometry, const circuit::Technology& tech)
+    : geom_(geometry), tech_(tech) {
+  geom_.validate();
+  subarrays_.resize(geom_.total_subarrays());
+}
+
+Subarray& Device::subarray(const SubarrayId& id) {
+  return subarray(flat_index(geom_, id));
+}
+
+Subarray& Device::subarray(std::size_t flat) {
+  PIMA_CHECK(flat < subarrays_.size(), "sub-array index out of device");
+  if (!subarrays_[flat])
+    subarrays_[flat] = std::make_unique<Subarray>(geom_, tech_);
+  return *subarrays_[flat];
+}
+
+const Subarray* Device::subarray_if(std::size_t flat) const {
+  PIMA_CHECK(flat < subarrays_.size(), "sub-array index out of device");
+  return subarrays_[flat].get();
+}
+
+std::size_t Device::instantiated_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(subarrays_.begin(), subarrays_.end(),
+                    [](const auto& p) { return p != nullptr; }));
+}
+
+DeviceStats Device::roll_up() const {
+  DeviceStats s{};
+  for (const auto& sa : subarrays_) {
+    if (!sa) continue;
+    const auto& st = sa->stats();
+    if (st.total_commands() == 0) continue;
+    ++s.subarrays_used;
+    s.time_ns = std::max(s.time_ns, st.busy_ns);
+    s.serial_ns += st.busy_ns;
+    s.energy_pj += st.energy_pj;
+    s.commands += st.total_commands();
+  }
+  return s;
+}
+
+void Device::clear_stats() {
+  for (const auto& sa : subarrays_)
+    if (sa) sa->clear_stats();
+}
+
+}  // namespace pima::dram

@@ -1,0 +1,63 @@
+// Device-level controller: a collection of computational sub-arrays with
+// parallelism-aware time/energy roll-up (paper Fig. 1a Ctrl).
+//
+// Sub-arrays compute independently — that is the whole point of the
+// platform — so device time is the maximum of the per-sub-array busy times
+// of the sub-arrays that participated, while device energy is the sum.
+// Sub-arrays are instantiated lazily: a full device has 2048 sub-arrays but
+// a given workload usually touches a few.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "circuit/tech.hpp"
+#include "dram/geometry.hpp"
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+
+/// Rolled-up execution statistics of a device (or a kernel run on it).
+struct DeviceStats {
+  double time_ns = 0.0;      ///< critical path: max busy time over sub-arrays
+  double serial_ns = 0.0;    ///< sum of busy times (1-sub-array equivalent)
+  double energy_pj = 0.0;
+  std::size_t commands = 0;
+  std::size_t subarrays_used = 0;
+
+  /// Average dynamic power in watts over the rolled-up interval.
+  double dynamic_power_w() const;
+};
+
+class Device {
+ public:
+  explicit Device(const Geometry& geometry,
+                  const circuit::Technology& tech =
+                      circuit::default_technology());
+
+  const Geometry& geometry() const { return geom_; }
+  const circuit::Technology& technology() const { return tech_; }
+
+  /// Sub-array handle (created on first touch).
+  Subarray& subarray(const SubarrayId& id);
+  Subarray& subarray(std::size_t flat);
+
+  /// Read-only handle if the sub-array has been instantiated, else null.
+  const Subarray* subarray_if(std::size_t flat) const;
+
+  std::size_t instantiated_count() const;
+
+  /// Rolls up stats over all instantiated sub-arrays.
+  DeviceStats roll_up() const;
+
+  /// Clears every sub-array's command statistics (contents preserved).
+  void clear_stats();
+
+ private:
+  Geometry geom_;
+  circuit::Technology tech_;
+  std::vector<std::unique_ptr<Subarray>> subarrays_;
+};
+
+}  // namespace pima::dram

@@ -1,0 +1,45 @@
+#include "dram/dpu.hpp"
+
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+namespace {
+
+// Reads the row via a costed DPU_REDUCE command and returns the prefix.
+BitVector fetch_prefix(Subarray& sa, std::size_t row, std::size_t width) {
+  PIMA_CHECK(width <= sa.geometry().columns, "reduce width exceeds row");
+  return sa.dpu_fetch(row).slice(0, width);
+}
+
+}  // namespace
+
+bool Dpu::and_reduce(Subarray& sa, std::size_t row, std::size_t width) {
+  return fetch_prefix(sa, row, width).all();
+}
+
+bool Dpu::or_reduce(Subarray& sa, std::size_t row, std::size_t width) {
+  return fetch_prefix(sa, row, width).any();
+}
+
+std::size_t Dpu::popcount(Subarray& sa, std::size_t row, std::size_t width) {
+  return fetch_prefix(sa, row, width).popcount();
+}
+
+std::size_t Dpu::popcount_range(Subarray& sa, std::size_t row, std::size_t lo,
+                                std::size_t width) {
+  PIMA_CHECK(lo + width <= sa.geometry().columns, "reduce range exceeds row");
+  return sa.dpu_fetch(row).slice(lo, width).popcount();
+}
+
+std::size_t Dpu::popcount_pairs(Subarray& sa, std::size_t row, std::size_t lo,
+                                std::size_t pairs) {
+  PIMA_CHECK(lo + 2 * pairs <= sa.geometry().columns,
+             "pair range exceeds row");
+  const BitVector& bits = sa.dpu_fetch(row);
+  std::size_t n = 0;
+  for (std::size_t p = 0; p < pairs; ++p)
+    if (bits.get(lo + 2 * p) && bits.get(lo + 2 * p + 1)) ++n;
+  return n;
+}
+
+}  // namespace pima::dram

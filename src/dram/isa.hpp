@@ -1,0 +1,93 @@
+// The AAP instruction set (paper §II.B "Software Support").
+//
+// PIM-Assembler is programmed with ACTIVATE-ACTIVATE-PRECHARGE primitives;
+// the paper defines three instruction types that differ only in the number
+// of activated source rows:
+//
+//   type-1  AAP(src, des, size)               — RowClone copy
+//   type-2  AAP(src1, src2, des, size)        — two-row activation (X(N)OR)
+//   type-3  AAP(src1, src2, src3, des, size)  — Ambit-TRA (MAJ3 carry)
+//
+// plus ordinary row reads/writes, the sum cycle, DPU reductions and latch
+// reset as host-visible operations. `size` is in row units: "the size of
+// input vectors for in-memory computation must be a multiple of DRAM row
+// size, otherwise the application must pad it with dummy data" — an
+// instruction with size = n expands to n consecutive-row operations.
+//
+// This module gives the command stream a concrete form: an Instruction
+// value type, a tiny assembler/disassembler for a human-readable text
+// format, and an executor that runs programs against a dram::Device. The
+// higher-level kernels drive Subarray directly for speed; the ISA layer is
+// the documented contract (and lets tests replay traces).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "dram/device.hpp"
+
+namespace pima::dram {
+
+/// Instruction opcodes. The three AAP types follow the paper; the rest are
+/// the host/DPU operations the controller interleaves with them.
+enum class Opcode : std::uint8_t {
+  kAapCopy,    ///< type-1: AAP(src, des, size)
+  kAapXnor,    ///< type-2: AAP(src1, src2, des, size), MUX → XNOR2
+  kAapXor,     ///< type-2 with the complementary MUX selection
+  kAapTra,     ///< type-3: AAP(src1, src2, src3, des, size)
+  kSum,        ///< sum cycle: two-row activation + latch XOR
+  kResetLatch, ///< Rst on the carry latch
+  kRowWrite,   ///< host row write through the GRB (data in `payload`)
+  kRowRead,    ///< host row read through the GRB
+  kDpuAnd,     ///< DPU AND-reduce over `width` bits of a row
+  kDpuOr,      ///< DPU OR-reduce
+  kDpuPopcount ///< DPU popcount
+};
+
+/// One decoded instruction. Unused fields are zero.
+struct Instruction {
+  Opcode op = Opcode::kAapCopy;
+  std::size_t subarray = 0;  ///< flat sub-array index
+  RowAddr src1 = 0;
+  RowAddr src2 = 0;
+  RowAddr src3 = 0;
+  RowAddr dst = 0;
+  std::size_t size = 1;      ///< row count (consecutive-row expansion)
+  std::size_t width = 0;     ///< DPU reduce width in bits
+  BitVector payload;         ///< ROW_WRITE data (row-sized)
+
+  bool operator==(const Instruction& o) const = default;
+};
+
+/// A program is a flat instruction sequence.
+using Program = std::vector<Instruction>;
+
+/// Renders one instruction in the text format, e.g.
+///   `AAP2_XNOR sa=3 src1=1016 src2=1017 dst=42 size=1`
+std::string to_text(const Instruction& inst);
+
+/// Parses one text line (inverse of to_text). Throws PreconditionError on
+/// malformed input. Blank lines and '#' comments yield std::nullopt.
+std::optional<Instruction> parse_instruction(const std::string& line);
+
+/// Serializes / parses whole programs.
+std::string to_text(const Program& program);
+Program parse_program(std::istream& in);
+
+/// Result values produced by the read/reduce instructions, in program
+/// order.
+struct ExecutionResults {
+  std::vector<BitVector> rows_read;        ///< one per ROW_READ
+  std::vector<bool> reductions;            ///< one per DPU_AND / DPU_OR
+  std::vector<std::size_t> popcounts;      ///< one per DPU_POPCOUNT
+};
+
+/// Executes a program against a device. Each instruction expands its
+/// `size` consecutive-row repetitions. Costs accrue on the touched
+/// sub-arrays exactly as if the kernels had issued the commands directly.
+ExecutionResults execute(Device& device, const Program& program);
+
+}  // namespace pima::dram

@@ -1,0 +1,181 @@
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+
+Subarray::Subarray(const Geometry& geometry, const circuit::Technology& tech)
+    : geom_(geometry), tech_(tech), latch_(geometry.columns) {
+  geom_.validate();
+  rows_.assign(geom_.rows, BitVector(geom_.columns));
+}
+
+RowAddr Subarray::compute_row(std::size_t i) const {
+  PIMA_CHECK(i < geom_.compute_rows, "compute row index out of range");
+  return geom_.data_rows() + i;
+}
+
+bool Subarray::is_compute_row(RowAddr r) const {
+  return r >= geom_.data_rows() && r < geom_.rows;
+}
+
+void Subarray::check_row(RowAddr r) const {
+  PIMA_CHECK(r < geom_.rows, "row address out of sub-array");
+}
+
+void Subarray::check_compute(RowAddr r, const char* what) const {
+  check_row(r);
+  PIMA_CHECK(is_compute_row(r),
+             std::string("multi-row activation outside computation rows: ") +
+                 what);
+}
+
+void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
+                      RowAddr dst) {
+  const double latency = command_latency_ns(k, tech_.timing);
+  const double energy = command_energy_pj(k, geom_.columns, tech_.energy);
+  if (trace_ != nullptr) {
+    TraceEntry e;
+    e.kind = k;
+    e.row_a = a;
+    e.row_b = b;
+    e.row_c = c;
+    e.dst = dst;
+    e.start_ns = stats_.busy_ns;
+    e.latency_ns = latency;
+    e.energy_pj = energy;
+    trace_->record(e);
+  }
+  stats_.record(k, latency, energy);
+}
+
+const BitVector& Subarray::read_row(RowAddr r) {
+  check_row(r);
+  record(CommandKind::kRowRead, r);
+  return rows_[r];
+}
+
+void Subarray::write_row(RowAddr r, const BitVector& bits) {
+  check_row(r);
+  PIMA_CHECK(bits.size() == geom_.columns, "row width mismatch");
+  record(CommandKind::kRowWrite, r);
+  rows_[r] = bits;
+}
+
+const BitVector& Subarray::peek_row(RowAddr r) const {
+  check_row(r);
+  return rows_[r];
+}
+
+void Subarray::inject_bit_flip(RowAddr r, std::size_t col) {
+  check_row(r);
+  PIMA_CHECK(col < geom_.columns, "fault column out of row");
+  rows_[r].set(col, !rows_[r].get(col));
+}
+
+void Subarray::aap_copy(RowAddr src, RowAddr dst) {
+  check_row(src);
+  check_row(dst);
+  record(CommandKind::kAapCopy, src, 0, 0, dst);
+  rows_[dst] = rows_[src];
+}
+
+void Subarray::aap_xnor(RowAddr xa, RowAddr xb, RowAddr dst) {
+  check_compute(xa, "xnor operand a");
+  check_compute(xb, "xnor operand b");
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
+  const BitVector result = BitVector::bit_xnor(rows_[xa], rows_[xb]);
+  // Charge sharing destroys both operands; the SA restores the result.
+  rows_[xa] = result;
+  rows_[xb] = result;
+  rows_[dst] = result;
+}
+
+void Subarray::aap_xor(RowAddr xa, RowAddr xb, RowAddr dst) {
+  check_compute(xa, "xor operand a");
+  check_compute(xb, "xor operand b");
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
+  const BitVector result = BitVector::bit_xor(rows_[xa], rows_[xb]);
+  rows_[xa] = result;
+  rows_[xb] = result;
+  rows_[dst] = result;
+}
+
+void Subarray::aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst) {
+  check_compute(xa, "tra operand a");
+  check_compute(xb, "tra operand b");
+  check_compute(xc, "tra operand c");
+  check_row(dst);
+  PIMA_CHECK(xa != xb && xb != xc && xa != xc,
+             "TRA needs three distinct rows");
+  record(CommandKind::kAapTra, xa, xb, xc, dst);
+  const BitVector maj = BitVector::bit_maj3(rows_[xa], rows_[xb], rows_[xc]);
+  rows_[xa] = maj;
+  rows_[xb] = maj;
+  rows_[xc] = maj;
+  rows_[dst] = maj;
+  latch_ = maj;
+}
+
+void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
+  check_compute(xa, "sum operand a");
+  check_compute(xb, "sum operand b");
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  record(CommandKind::kSumCycle, xa, xb, 0, dst);
+  const BitVector sum =
+      BitVector::bit_xor(BitVector::bit_xor(rows_[xa], rows_[xb]), latch_);
+  rows_[xa] = sum;
+  rows_[xb] = sum;
+  rows_[dst] = sum;
+}
+
+void Subarray::reset_latch() { latch_.fill(false); }
+
+const BitVector& Subarray::dpu_fetch(RowAddr r) {
+  check_row(r);
+  record(CommandKind::kDpuReduce, r);
+  return rows_[r];
+}
+
+void Subarray::add_vertical(const std::vector<RowAddr>& a_rows,
+                            const std::vector<RowAddr>& b_rows,
+                            const std::vector<RowAddr>& sum_rows,
+                            RowAddr carry_out_row) {
+  const std::size_t m = a_rows.size();
+  PIMA_CHECK(m > 0, "addition needs at least one bit row");
+  PIMA_CHECK(b_rows.size() == m && sum_rows.size() == m,
+             "operand/result row spans must have equal length");
+  const RowAddr x1 = compute_row(0), x2 = compute_row(1), x3 = compute_row(2);
+
+  // Initialize carry chain: latch ← 0, x3 ← 0 (x3 carries c_i between bits;
+  // the latch carries it into the sum cycle).
+  reset_latch();
+  // Carry-in = 0: zero x3 via a host row write (a dedicated all-zero row
+  // plus an AAP copy would be equivalent in cost).
+  write_row(x3, BitVector(geom_.columns));
+
+  for (std::size_t i = 0; i < m; ++i) {
+    // Sum cycle uses the carry latched by the previous bit's TRA (c_i).
+    aap_copy(a_rows[i], x1);
+    aap_copy(b_rows[i], x2);
+    sum_cycle(x1, x2, sum_rows[i]);
+    // The sum cycle destroyed x1/x2; restage for the carry TRA. x3 holds
+    // c_i from the previous TRA write-back.
+    aap_copy(a_rows[i], x1);
+    aap_copy(b_rows[i], x2);
+    aap_tra_carry(x1, x2, x3, x3);  // latch ← c_{i+1}, x3 ← c_{i+1}
+  }
+  aap_copy(x3, carry_out_row);
+}
+
+void Subarray::compare_rows(RowAddr a, RowAddr b, RowAddr result_row) {
+  const RowAddr x1 = compute_row(0), x2 = compute_row(1);
+  aap_copy(a, x1);
+  aap_copy(b, x2);
+  aap_xnor(x1, x2, result_row);
+}
+
+}  // namespace pima::dram

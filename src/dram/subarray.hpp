@@ -1,0 +1,129 @@
+// Bit-accurate functional model of one computational sub-array
+// (paper Fig. 1b / Fig. 2a).
+//
+// The sub-array stores real row contents (one BitVector per row) and
+// executes the PIM command set with the exact electrical side effects of
+// the mechanisms it models:
+//   * AAP copy (RowClone): destination row ← source row.
+//   * Two-row activation: both activated computation rows are destroyed by
+//     charge sharing and restored to the result the SA drives on the
+//     bit-lines (XNOR2 or XOR2, per MUX configuration); the result is also
+//     written to a destination row within the same AAP.
+//   * TRA: the three activated rows are overwritten with MAJ3 (Ambit
+//     semantics), the per-column carry latch captures MAJ3, destination
+//     row ← MAJ3.
+//   * Sum cycle: two-row activation whose SA XOR gate combines the fresh
+//     XOR2 with the latched carry; activated rows and destination get the
+//     sum bits.
+// Multi-row activation is only legal on computation rows (x1..x8) — the
+// modified row decoder enforces this — while AAP copies may address any row.
+//
+// Every operation records its latency and energy into CommandStats.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "circuit/tech.hpp"
+#include "common/bitvector.hpp"
+#include "dram/command.hpp"
+#include "dram/geometry.hpp"
+#include "dram/trace.hpp"
+
+namespace pima::dram {
+
+class Subarray {
+ public:
+  Subarray(const Geometry& geometry, const circuit::Technology& tech);
+
+  const Geometry& geometry() const { return geom_; }
+
+  /// Address of computation row x{i+1}, i in [0, compute_rows).
+  RowAddr compute_row(std::size_t i) const;
+  bool is_compute_row(RowAddr r) const;
+
+  /// Host-side row access through the row buffer (costed as ROW_READ/WRITE).
+  const BitVector& read_row(RowAddr r);
+  void write_row(RowAddr r, const BitVector& bits);
+
+  /// Zero-cost inspection for tests/verification (no commands recorded).
+  const BitVector& peek_row(RowAddr r) const;
+  const BitVector& peek_latch() const { return latch_; }
+
+  /// Fault injection for reliability experiments: flips one stored cell in
+  /// place without issuing a command (models a retention failure or
+  /// particle strike between accesses).
+  void inject_bit_flip(RowAddr r, std::size_t col);
+
+  // ---- PIM primitives (each is one costed command) ----
+
+  /// Type-1 AAP: RowClone copy src → dst.
+  void aap_copy(RowAddr src, RowAddr dst);
+
+  /// Type-2 AAP: two-row activation of computation rows xa, xb; the SA MUX
+  /// drives XNOR2 onto the bit-lines. xa, xb and dst all end up holding the
+  /// XNOR2 result.
+  void aap_xnor(RowAddr xa, RowAddr xb, RowAddr dst);
+
+  /// Same mechanism with the MUX selecting the complementary output (XOR2).
+  void aap_xor(RowAddr xa, RowAddr xb, RowAddr dst);
+
+  /// Type-3 AAP: TRA majority of computation rows xa, xb, xc. All three
+  /// rows, the destination, and the per-column carry latch get MAJ3.
+  void aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst);
+
+  /// Sum cycle: two-row activation of xa, xb combined with the latched
+  /// carry: dst ← xa ⊕ xb ⊕ latch (per column). xa, xb also get the sum.
+  /// The latch is preserved (it is consumed by the XOR gate, not cleared).
+  void sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst);
+
+  /// Clears the carry latch (Rst signal in Fig. 2a).
+  void reset_latch();
+
+  /// Records one DPU reduction (row read into the GRB + combinational
+  /// reduce) and returns the row contents for the DPU to reduce. Used by
+  /// dram::Dpu; costed as DPU_REDUCE.
+  const BitVector& dpu_fetch(RowAddr r);
+
+  // ---- Composite operations built from the primitives ----
+
+  /// Full bit-serial vertical addition (paper Fig. 8): interprets
+  /// `a_rows`/`b_rows` as m-bit operands stored LSB-first across rows
+  /// (element j of each operand lives in column j), writes the m-bit sum to
+  /// `sum_rows` and the final carry-out to `carry_out_row`. All row spans
+  /// must have the same length m and address data rows; computation rows
+  /// x1..x3 are used as scratch. Cost: per bit, 4 staging copies + 1 sum
+  /// cycle + 1 TRA (the paper's "2×m cycles" counts the compute cycles).
+  void add_vertical(const std::vector<RowAddr>& a_rows,
+                    const std::vector<RowAddr>& b_rows,
+                    const std::vector<RowAddr>& sum_rows,
+                    RowAddr carry_out_row);
+
+  /// Row-wide compare of two data rows (the PIM_XNOR building block):
+  /// stages both rows into x1/x2, performs the single-cycle XNOR, and
+  /// leaves the per-column match bits in `result_row`. The DPU reduces the
+  /// result separately.
+  void compare_rows(RowAddr a, RowAddr b, RowAddr result_row);
+
+  const CommandStats& stats() const { return stats_; }
+  void clear_stats() { stats_ = CommandStats{}; }
+
+  /// Attaches a trace sink; every subsequent command is recorded into it
+  /// (nullptr detaches). The sink must outlive the sub-array's use.
+  void attach_trace(TraceSink* sink) { trace_ = sink; }
+
+ private:
+  void check_row(RowAddr r) const;
+  void check_compute(RowAddr r, const char* what) const;
+  void record(CommandKind k, RowAddr a = 0, RowAddr b = 0, RowAddr c = 0,
+              RowAddr dst = 0);
+
+  Geometry geom_;
+  circuit::Technology tech_;
+  std::vector<BitVector> rows_;
+  BitVector latch_;       ///< per-column carry latch
+  CommandStats stats_;
+  TraceSink* trace_ = nullptr;
+};
+
+}  // namespace pima::dram

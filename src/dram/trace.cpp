@@ -1,0 +1,81 @@
+#include "dram/trace.hpp"
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace pima::dram {
+
+std::string TraceSink::to_csv() const {
+  std::ostringstream out;
+  out << "kind,row_a,row_b,row_c,dst,start_ns,latency_ns,energy_pj\n";
+  for (const auto& e : entries_) {
+    out << to_string(e.kind) << ',' << e.row_a << ',' << e.row_b << ','
+        << e.row_c << ',' << e.dst << ',' << e.start_ns << ','
+        << e.latency_ns << ',' << e.energy_pj << '\n';
+  }
+  return out.str();
+}
+
+std::string EnergyBreakdown::render(const std::string& title) const {
+  TextTable table(title);
+  table.set_header({"command", "count", "time (ns)", "energy (pJ)",
+                    "energy share"});
+  for (const auto& row : rows) {
+    const double share =
+        total_energy_pj > 0.0 ? row.energy_pj / total_energy_pj : 0.0;
+    table.add_row({std::string(to_string(row.kind)),
+                   std::to_string(row.count), TextTable::num(row.time_ns, 5),
+                   TextTable::num(row.energy_pj, 5),
+                   TextTable::num(share * 100.0, 3) + "%"});
+  }
+  table.add_row({"total", "", TextTable::num(total_time_ns, 5),
+                 TextTable::num(total_energy_pj, 5), "100%"});
+  return table.render();
+}
+
+namespace {
+
+EnergyBreakdown finish(std::vector<EnergyBreakdown::Row> acc) {
+  EnergyBreakdown b;
+  for (auto& row : acc) {
+    if (row.count == 0) continue;
+    b.total_energy_pj += row.energy_pj;
+    b.total_time_ns += row.time_ns;
+    b.rows.push_back(row);
+  }
+  return b;
+}
+
+}  // namespace
+
+EnergyBreakdown breakdown_from_trace(const std::vector<TraceEntry>& trace) {
+  std::vector<EnergyBreakdown::Row> acc(kCommandKindCount);
+  for (std::size_t k = 0; k < kCommandKindCount; ++k)
+    acc[k].kind = static_cast<CommandKind>(k);
+  for (const auto& e : trace) {
+    auto& row = acc[static_cast<std::size_t>(e.kind)];
+    ++row.count;
+    row.energy_pj += e.energy_pj;
+    row.time_ns += e.latency_ns;
+  }
+  return finish(std::move(acc));
+}
+
+EnergyBreakdown breakdown_from_stats(const CommandStats& stats,
+                                     std::size_t columns,
+                                     const circuit::Technology& tech) {
+  std::vector<EnergyBreakdown::Row> acc(kCommandKindCount);
+  for (std::size_t k = 0; k < kCommandKindCount; ++k) {
+    const auto kind = static_cast<CommandKind>(k);
+    acc[k].kind = kind;
+    acc[k].count = stats.counts[k];
+    acc[k].time_ns = static_cast<double>(stats.counts[k]) *
+                     command_latency_ns(kind, tech.timing);
+    acc[k].energy_pj = static_cast<double>(stats.counts[k]) *
+                       command_energy_pj(kind, columns, tech.energy);
+  }
+  return finish(std::move(acc));
+}
+
+}  // namespace pima::dram

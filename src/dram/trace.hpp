@@ -1,0 +1,71 @@
+// Command tracing and energy breakdown.
+//
+// A TraceSink attached to a sub-array records every command it executes
+// (kind, rows, start time) — the raw material for waveform-style debugging,
+// replay through the ISA layer, and the per-command-kind energy breakdown
+// tables the architecture evaluation wants. Tracing is opt-in and costs
+// nothing when disabled.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/command.hpp"
+#include "dram/geometry.hpp"
+
+namespace pima::dram {
+
+/// One traced command.
+struct TraceEntry {
+  CommandKind kind;
+  RowAddr row_a = 0;       ///< first source row (or the addressed row)
+  RowAddr row_b = 0;       ///< second source (multi-row ops), else 0
+  RowAddr row_c = 0;       ///< third source (TRA), else 0
+  RowAddr dst = 0;         ///< destination row, else 0
+  double start_ns = 0.0;   ///< sub-array-local issue time
+  double latency_ns = 0.0;
+  double energy_pj = 0.0;
+};
+
+/// Append-only trace buffer shared by the sub-arrays it is attached to.
+class TraceSink {
+ public:
+  void record(const TraceEntry& e) { entries_.push_back(e); }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+  void clear() { entries_.clear(); }
+
+  /// CSV rendering: kind,row_a,row_b,row_c,dst,start_ns,latency_ns,energy_pj
+  std::string to_csv() const;
+
+ private:
+  std::vector<TraceEntry> entries_;
+};
+
+/// Aggregated per-command-kind totals over a trace (or a CommandStats).
+struct EnergyBreakdown {
+  struct Row {
+    CommandKind kind;
+    std::size_t count = 0;
+    double energy_pj = 0.0;
+    double time_ns = 0.0;
+  };
+  std::vector<Row> rows;   ///< one per command kind that occurred
+  double total_energy_pj = 0.0;
+  double total_time_ns = 0.0;
+
+  /// Aligned text table for reports.
+  std::string render(const std::string& title) const;
+};
+
+EnergyBreakdown breakdown_from_trace(const std::vector<TraceEntry>& trace);
+
+/// Breakdown from accumulated CommandStats (no trace needed): uses the
+/// technology's per-command cost model for the energy/time split.
+EnergyBreakdown breakdown_from_stats(const CommandStats& stats,
+                                     std::size_t columns,
+                                     const circuit::Technology& tech);
+
+}  // namespace pima::dram

@@ -1,0 +1,150 @@
+#include "platforms/presets.hpp"
+
+#include "circuit/tech.hpp"
+
+namespace pima::platforms {
+namespace {
+
+double default_aap_ns() {
+  return circuit::default_technology().timing.aap_ns();
+}
+
+PlatformSpec pim_base(std::string name) {
+  PlatformSpec p;
+  p.name = std::move(name);
+  p.kind = PlatformKind::kProcessingInMemory;
+  p.row_cycle_ns = default_aap_ns();
+  p.row_bits = 256;
+  // Identical physical memory configuration for every PIM platform (paper:
+  // "an identical physical memory configuration is also considered"). The
+  // concurrency level — how many sub-arrays the power/thermal budget allows
+  // to activate simultaneously — is the one calibrated constant shared by
+  // all PIM presets (EXPERIMENTS.md, E2).
+  p.concurrent_subarrays = 512;
+  return p;
+}
+
+}  // namespace
+
+PlatformSpec cpu_corei7() {
+  PlatformSpec p;
+  p.name = "CPU";
+  p.kind = PlatformKind::kVonNeumann;
+  p.mem_bw_gbs = 34.1;      // 2 × 64-bit DDR4-2133
+  p.bw_efficiency = 0.70;   // achieved streaming fraction of peak
+  p.bytes_per_result_byte = 3.0;
+  p.idle_power_w = 20.0;
+  p.peak_dynamic_power_w = 45.0;
+  p.arch_utilization = 0.50;
+  p.mbr_base = 0.55;
+  p.mbr_k_slope = 0.10;
+  return p;
+}
+
+PlatformSpec gpu_1080ti() {
+  PlatformSpec p;
+  p.name = "GPU";
+  p.kind = PlatformKind::kVonNeumann;
+  p.mem_bw_gbs = 484.0;     // 352-bit GDDR5X
+  p.bw_efficiency = 0.75;
+  p.staging_bw_gbs = 15.8;  // PCIe 3.0 ×16 effective — the paper's "limited
+                            // memory capacity" penalty: assembly datasets
+                            // stream through host memory
+  p.bytes_per_result_byte = 3.0;
+  p.idle_power_w = 55.0;
+  p.peak_dynamic_power_w = 195.0;
+  p.arch_utilization = 0.55;
+  p.mbr_base = 0.58;
+  p.mbr_k_slope = 0.12;
+  return p;
+}
+
+PlatformSpec hmc2() {
+  PlatformSpec p;
+  p.name = "HMC";
+  p.kind = PlatformKind::kVonNeumann;  // logic-layer compute, vault-limited
+  p.mem_bw_gbs = 320.0;     // 32 vaults × 10 GB/s
+  p.bw_efficiency = 0.50;   // packetization + vault conflicts
+  p.bytes_per_result_byte = 3.0;
+  p.idle_power_w = 12.0;
+  p.peak_dynamic_power_w = 18.0;
+  p.arch_utilization = 0.58;
+  p.mbr_base = 0.40;
+  p.mbr_k_slope = 0.08;
+  return p;
+}
+
+PlatformSpec ambit() {
+  PlatformSpec p = pim_base("Ambit");
+  // X(N)OR needs 7 memory cycles including row initialization (paper §I);
+  // a full-adder bit from majority logic costs ≈12 cycles with staging.
+  p.xnor_cycles = 7.0;
+  p.add_cycles_per_bit = 12.0;
+  // Row initialization before TRA-based ops plus result readout to the
+  // host (no MAT-level DPU).
+  p.pim_aux_cycles = 5.0;
+  p.idle_power_w = 10.0;
+  p.peak_dynamic_power_w = 194.0;
+  p.arch_utilization = 0.65;
+  p.mbr_base = 0.30;
+  p.mbr_k_slope = 0.08;
+  return p;
+}
+
+PlatformSpec drisa_1t1c() {
+  PlatformSpec p = pim_base("DRISA-1T1C");
+  // 1T1C-NOR logic: X(N)OR composed from NOR steps (≈6 row cycles total);
+  // addition ≈10 cycles/bit.
+  p.xnor_cycles = 6.0;
+  p.add_cycles_per_bit = 10.0;
+  p.pim_aux_cycles = 3.0;  // shift/latch staging, host-side reduce
+  p.idle_power_w = 10.0;
+  p.peak_dynamic_power_w = 220.0;
+  p.arch_utilization = 0.66;
+  p.mbr_base = 0.32;
+  p.mbr_k_slope = 0.09;
+  return p;
+}
+
+PlatformSpec drisa_3t1c() {
+  PlatformSpec p = pim_base("DRISA-3T1C");
+  // 3T1C cells compute NOR natively but the larger cell trades density and
+  // needs more steps for X(N)OR (≈11 cycles) and addition (≈14/bit).
+  p.xnor_cycles = 11.0;
+  p.add_cycles_per_bit = 14.0;
+  p.pim_aux_cycles = 4.0;  // inter-lane moves in the 3T1C array
+  p.idle_power_w = 10.0;
+  p.peak_dynamic_power_w = 260.0;
+  p.arch_utilization = 0.63;
+  p.mbr_base = 0.35;
+  p.mbr_k_slope = 0.10;
+  return p;
+}
+
+PlatformSpec pim_assembler() {
+  PlatformSpec p = pim_base("P-A");
+  // Single-cycle two-row X(N)OR + 2 operand-staging RowClones = 3 cycles;
+  // addition: sum + TRA (2 compute cycles) + 4 staging copies = 6
+  // cycles/bit (the paper's "2×m cycles" counts the compute cycles).
+  p.xnor_cycles = 3.0;
+  p.add_cycles_per_bit = 6.0;
+  p.pim_aux_cycles = 0.0;  // reconfigurable SA + MAT DPU close the loop
+  p.idle_power_w = 8.0;
+  p.peak_dynamic_power_w = 50.0;
+  p.arch_utilization = 0.72;
+  p.mbr_base = 0.09;
+  p.mbr_k_slope = 0.07;
+  return p;
+}
+
+std::vector<PlatformSpec> all_platforms() {
+  return {cpu_corei7(), gpu_1080ti(), hmc2(),        ambit(),
+          drisa_1t1c(), drisa_3t1c(), pim_assembler()};
+}
+
+std::vector<PlatformSpec> application_platforms() {
+  return {gpu_1080ti(), pim_assembler(), ambit(), drisa_3t1c(),
+          drisa_1t1c()};
+}
+
+}  // namespace pima::platforms

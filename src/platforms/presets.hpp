@@ -1,0 +1,43 @@
+// The seven evaluated platforms (paper §II.B and §IV).
+//
+// Each preset documents where its parameters come from (public spec sheets,
+// the cited papers' mechanisms, or calibration noted in EXPERIMENTS.md).
+#pragma once
+
+#include <vector>
+
+#include "platforms/platform.hpp"
+
+namespace pima::platforms {
+
+/// Intel Core i7-6700: 4C/8T, two 64-bit DDR4-1866/2133 channels.
+PlatformSpec cpu_corei7();
+
+/// NVIDIA GTX 1080Ti: 3584 CUDA cores @1.5 GHz, 352-bit GDDR5X, PCIe 3 x16.
+PlatformSpec gpu_1080ti();
+
+/// HMC 2.0: 32 vaults × 10 GB/s.
+PlatformSpec hmc2();
+
+/// Ambit (Seshadri et al., MICRO'17): TRA-based bulk ops; X(N)OR costs 7
+/// memory cycles including row initialization.
+PlatformSpec ambit();
+
+/// DRISA-1T1C (Li et al., MICRO'17), "D1".
+PlatformSpec drisa_1t1c();
+
+/// DRISA-3T1C (Li et al., MICRO'17), "D3".
+PlatformSpec drisa_3t1c();
+
+/// PIM-Assembler ("P-A"): single-cycle two-row X(N)OR + 2 staging copies;
+/// 2 compute cycles/bit addition + operand staging.
+PlatformSpec pim_assembler();
+
+/// All seven, in the paper's Fig. 3b order.
+std::vector<PlatformSpec> all_platforms();
+
+/// The five application-level platforms of Figs. 9–11
+/// (GPU, P-A, Ambit, D3, D1 — in the paper's bar order).
+std::vector<PlatformSpec> application_platforms();
+
+}  // namespace pima::platforms

@@ -1,0 +1,22 @@
+# Drives the CLI end to end: generate -> assemble -> verify exit codes.
+file(MAKE_DIRECTORY ${WORK})
+execute_process(
+  COMMAND ${CLI} generate --genome ${WORK}/g.fa --reads ${WORK}/r.fa
+          --length 6000 --coverage 10 --repeats 2
+  RESULT_VARIABLE rc1)
+if(NOT rc1 EQUAL 0)
+  message(FATAL_ERROR "generate failed: ${rc1}")
+endif()
+execute_process(
+  COMMAND ${CLI} assemble --reads ${WORK}/r.fa --k 21
+          --out ${WORK}/contigs.fa --reference ${WORK}/g.fa
+  RESULT_VARIABLE rc2 OUTPUT_VARIABLE out2)
+if(NOT rc2 EQUAL 0)
+  message(FATAL_ERROR "assemble failed: ${rc2}")
+endif()
+if(NOT out2 MATCHES "reference coverage")
+  message(FATAL_ERROR "assemble output missing verification line")
+endif()
+if(NOT EXISTS ${WORK}/contigs.fa)
+  message(FATAL_ERROR "contigs.fa not written")
+endif()

@@ -1,0 +1,47 @@
+#include "circuit/area.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+namespace {
+
+TEST(Area, PaperBoundHolds) {
+  // Paper §II.B: at most 51 row-equivalents per sub-array, ~5% of chip area.
+  const auto r = estimate_area();
+  EXPECT_LE(r.rows_equivalent, 51.0 + 1e-9);
+  EXPECT_GT(r.rows_equivalent, 49.0);  // 50 rows of SA add-ons + ctrl
+  EXPECT_NEAR(r.overhead_fraction, 0.05, 0.005);
+}
+
+TEST(Area, TransistorAccounting) {
+  const auto r = estimate_area();
+  // 50 × 256 SA + 16 MRD + controller remainder of one row.
+  EXPECT_GE(r.addon_transistors, 50u * 256u + 16u);
+  EXPECT_LE(r.addon_transistors, 51u * 256u);
+}
+
+TEST(Area, ScalesWithSaCost) {
+  AreaModelParams cheap;
+  cheap.sa_addon_per_bitline = 10;
+  const auto small = estimate_area(cheap);
+  const auto full = estimate_area();
+  EXPECT_LT(small.overhead_fraction, full.overhead_fraction);
+}
+
+TEST(Area, ExplicitCtrlBudget) {
+  AreaModelParams p;
+  p.ctrl_addon_rows_equiv = 2;
+  const auto r = estimate_area(p);
+  EXPECT_GT(r.rows_equivalent, 51.0);
+}
+
+TEST(Area, InvalidGeometryThrows) {
+  AreaModelParams p;
+  p.columns = 0;
+  EXPECT_THROW(estimate_area(p), PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::circuit

@@ -1,0 +1,148 @@
+#include "assembly/assembler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembly/verify.hpp"
+#include "dna/genome.hpp"
+
+namespace pima::assembly {
+namespace {
+
+std::vector<dna::Sequence> make_reads(const dna::Sequence& genome,
+                                      double coverage, std::size_t len,
+                                      std::uint64_t seed = 101) {
+  dna::ReadSamplerParams rp;
+  rp.coverage = coverage;
+  rp.read_length = len;
+  rp.seed = seed;
+  return dna::sample_reads(genome, rp);
+}
+
+TEST(Assembler, ReconstructsRepeatFreeGenome) {
+  dna::GenomeParams gp;
+  gp.length = 2000;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  const auto reads = make_reads(genome, 15.0, 80);
+
+  AssemblyOptions opt;
+  opt.k = 21;  // long k: a 2 kb random genome is almost surely repeat-free
+  const auto result = assemble(reads, opt);
+
+  // At 15× coverage the genome should come back as one (or very few)
+  // contigs covering essentially everything.
+  const auto report = verify_contigs(genome, result.contigs, 2 * opt.k);
+  EXPECT_TRUE(report.all_match());
+  EXPECT_GT(report.reference_coverage, 0.95);
+  EXPECT_LE(result.stats.count, 5u);
+  EXPECT_GE(result.stats.longest, 1800u);
+}
+
+TEST(Assembler, UnitigModeAlsoVerifies) {
+  dna::GenomeParams gp;
+  gp.length = 3000;
+  gp.repeat_count = 4;
+  gp.repeat_length = 120;
+  const auto genome = dna::generate_genome(gp);
+  const auto reads = make_reads(genome, 12.0, 90);
+
+  AssemblyOptions opt;
+  opt.k = 25;
+  opt.euler_contigs = false;  // unitigs stop at repeat junctions
+  const auto result = assemble(reads, opt);
+  const auto report = verify_contigs(genome, result.contigs, 2 * opt.k);
+  EXPECT_TRUE(report.all_match());
+  EXPECT_GT(report.reference_coverage, 0.85);
+}
+
+TEST(Assembler, ReportsStageOpCounts) {
+  dna::GenomeParams gp;
+  gp.length = 1000;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  const auto reads = make_reads(genome, 8.0, 60);
+  AssemblyOptions opt;
+  opt.k = 17;
+  const auto result = assemble(reads, opt);
+
+  const std::uint64_t expected_kmers =
+      reads.size() * (60 - opt.k + 1);
+  EXPECT_EQ(result.ops.kmers_processed, expected_kmers);
+  EXPECT_EQ(result.ops.hash.inserts, result.distinct_kmers);
+  EXPECT_EQ(result.ops.hash.increments,
+            expected_kmers - result.distinct_kmers);
+  EXPECT_EQ(result.ops.edge_inserts, result.graph_edges);
+  EXPECT_EQ(result.ops.node_inserts, 2 * result.graph_edges);
+  EXPECT_GT(result.ops.degree_additions, 0u);
+  EXPECT_EQ(result.ops.edges_walked, result.graph_edges);  // multiplicity off
+}
+
+TEST(Assembler, MinFrequencyFilterDropsErrors) {
+  dna::GenomeParams gp;
+  gp.length = 2000;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  // High coverage + 1% errors: true k-mers recur, error k-mers are rare.
+  dna::ReadSamplerParams rp;
+  rp.coverage = 25.0;
+  rp.read_length = 80;
+  rp.error_rate = 0.01;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  AssemblyOptions no_filter;
+  no_filter.k = 21;
+  AssemblyOptions filtered = no_filter;
+  filtered.min_kmer_freq = 3;
+
+  const auto raw = assemble(reads, no_filter);
+  const auto clean = assemble(reads, filtered);
+  EXPECT_LT(clean.graph_edges, raw.graph_edges);
+  const auto report = verify_contigs(genome, clean.contigs, 3 * 21);
+  // Filtered contigs of meaningful length should align to the reference.
+  EXPECT_GT(report.reference_coverage, 0.7);
+}
+
+TEST(Assembler, FilterByFrequencyExact) {
+  KmerCounter c(16);
+  const auto s = dna::Sequence::from_string("CGTGCGTGCTT");
+  for (std::size_t i = 0; i + 5 <= s.size(); ++i)
+    c.insert_or_increment(Kmer::from_sequence(s, i, 5));
+  const auto f = filter_by_frequency(c, 2);
+  EXPECT_EQ(f.distinct_kmers(), 1u);  // only CGTGC has frequency 2
+  const auto key = dna::Sequence::from_string("CGTGC");
+  EXPECT_EQ(f.lookup(Kmer::from_sequence(key, 0, 5)).value(), 2u);
+}
+
+TEST(Assembler, ShortReadsIgnored) {
+  std::vector<dna::Sequence> reads{dna::Sequence::from_string("ACG")};
+  AssemblyOptions opt;
+  opt.k = 15;
+  const auto result = assemble(reads, opt);
+  EXPECT_EQ(result.distinct_kmers, 0u);
+  EXPECT_TRUE(result.contigs.empty());
+}
+
+// Paper k sweep: assembly must verify at every evaluated k.
+class AssemblerKSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AssemblerKSweep, VerifiesAtPaperK) {
+  dna::GenomeParams gp;
+  gp.length = 1500;
+  gp.repeat_count = 0;
+  gp.seed = 7;
+  const auto genome = dna::generate_genome(gp);
+  const auto reads = make_reads(genome, 14.0, 101);
+  AssemblyOptions opt;
+  opt.k = GetParam();
+  const auto result = assemble(reads, opt);
+  const auto report =
+      verify_contigs(genome, result.contigs, 2 * opt.k);
+  EXPECT_TRUE(report.all_match());
+  EXPECT_GT(report.reference_coverage, 0.9);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperKValues, AssemblerKSweep,
+                         ::testing::Values(16, 22, 26, 32));
+
+}  // namespace
+}  // namespace pima::assembly

@@ -1,0 +1,169 @@
+#include "common/bitvector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace pima {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector v;
+  EXPECT_EQ(v.size(), 0u);
+  EXPECT_TRUE(v.empty());
+  EXPECT_TRUE(v.none());
+  EXPECT_TRUE(v.all());  // vacuously
+}
+
+TEST(BitVector, ConstructedZeroed) {
+  BitVector v(200);
+  EXPECT_EQ(v.size(), 200u);
+  EXPECT_EQ(v.popcount(), 0u);
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(v.get(i));
+}
+
+TEST(BitVector, SetGetRoundTrip) {
+  BitVector v(130);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(129, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(129));
+  EXPECT_EQ(v.popcount(), 4u);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  EXPECT_EQ(v.popcount(), 3u);
+}
+
+TEST(BitVector, OutOfRangeThrows) {
+  BitVector v(10);
+  EXPECT_THROW(v.get(10), PreconditionError);
+  EXPECT_THROW(v.set(10, true), PreconditionError);
+}
+
+TEST(BitVector, FromStringAndToString) {
+  const auto v = BitVector::from_string("10110");
+  EXPECT_EQ(v.size(), 5u);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.to_string(), "10110");
+  EXPECT_THROW(BitVector::from_string("10x"), PreconditionError);
+}
+
+TEST(BitVector, FillKeepsTailClear) {
+  BitVector v(70);
+  v.fill(true);
+  EXPECT_EQ(v.popcount(), 70u);
+  EXPECT_TRUE(v.all());
+  // Tail bits beyond size must stay zero so popcount over words is exact.
+  EXPECT_EQ(v.word(1) >> 6, 0u);
+  v.fill(false);
+  EXPECT_TRUE(v.none());
+}
+
+TEST(BitVector, SetWordClearsTail) {
+  BitVector v(68);
+  v.set_word(1, ~std::uint64_t{0});
+  EXPECT_EQ(v.popcount(), 4u);  // only 4 valid bits in the last word
+}
+
+TEST(BitVector, EqualityIsValueBased) {
+  BitVector a(100), b(100);
+  a.set(42, true);
+  EXPECT_NE(a, b);
+  b.set(42, true);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, BitVector(101));
+}
+
+TEST(BitVector, XnorTruthTable) {
+  const auto a = BitVector::from_string("0011");
+  const auto b = BitVector::from_string("0101");
+  EXPECT_EQ(BitVector::bit_xnor(a, b).to_string(), "1001");
+}
+
+TEST(BitVector, XorTruthTable) {
+  const auto a = BitVector::from_string("0011");
+  const auto b = BitVector::from_string("0101");
+  EXPECT_EQ(BitVector::bit_xor(a, b).to_string(), "0110");
+}
+
+TEST(BitVector, AndOrNotTruthTables) {
+  const auto a = BitVector::from_string("0011");
+  const auto b = BitVector::from_string("0101");
+  EXPECT_EQ(BitVector::bit_and(a, b).to_string(), "0001");
+  EXPECT_EQ(BitVector::bit_or(a, b).to_string(), "0111");
+  EXPECT_EQ(BitVector::bit_not(a).to_string(), "1100");
+}
+
+TEST(BitVector, Maj3TruthTable) {
+  const auto a = BitVector::from_string("00001111");
+  const auto b = BitVector::from_string("00110011");
+  const auto c = BitVector::from_string("01010101");
+  EXPECT_EQ(BitVector::bit_maj3(a, b, c).to_string(), "00010111");
+}
+
+TEST(BitVector, MismatchedSizesThrow) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(BitVector::bit_xnor(a, b), PreconditionError);
+  EXPECT_THROW(BitVector::bit_maj3(a, a, b), PreconditionError);
+}
+
+TEST(BitVector, NotKeepsTailClear) {
+  BitVector a(70);
+  const auto r = BitVector::bit_not(a);
+  EXPECT_EQ(r.popcount(), 70u);
+}
+
+TEST(BitVector, XnorKeepsTailClear) {
+  BitVector a(70), b(70);
+  const auto r = BitVector::bit_xnor(a, b);  // ~(0^0) = all ones
+  EXPECT_EQ(r.popcount(), 70u);
+  EXPECT_TRUE(r.all());
+}
+
+TEST(BitVector, CopyRangeAndSlice) {
+  BitVector dst(32);
+  const auto src = BitVector::from_string("1101");
+  dst.copy_range_from(src, 10);
+  EXPECT_EQ(dst.slice(10, 4), src);
+  EXPECT_EQ(dst.popcount(), 3u);
+  EXPECT_THROW(dst.copy_range_from(src, 30), PreconditionError);
+  EXPECT_THROW(dst.slice(30, 4), PreconditionError);
+}
+
+// Property: XNOR is an involution partner of XOR, MAJ3 is symmetric, and
+// De Morgan identities hold on random vectors.
+class BitVectorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BitVectorProperty, AlgebraicIdentities) {
+  Rng rng(GetParam());
+  const std::size_t n = 64 + rng.uniform(200);
+  BitVector a(n), b(n), c(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+    c.set(i, rng.bernoulli(0.5));
+  }
+  EXPECT_EQ(BitVector::bit_xnor(a, b),
+            BitVector::bit_not(BitVector::bit_xor(a, b)));
+  EXPECT_EQ(BitVector::bit_maj3(a, b, c), BitVector::bit_maj3(c, a, b));
+  EXPECT_EQ(BitVector::bit_xor(a, a), BitVector(n));
+  EXPECT_EQ(BitVector::bit_xnor(a, a).popcount(), n);
+  // MAJ(a,b,c) = (a&b) | (b&c) | (a&c).
+  const auto maj = BitVector::bit_or(
+      BitVector::bit_or(BitVector::bit_and(a, b), BitVector::bit_and(b, c)),
+      BitVector::bit_and(a, c));
+  EXPECT_EQ(BitVector::bit_maj3(a, b, c), maj);
+  // Popcount consistency under NOT.
+  EXPECT_EQ(a.popcount() + BitVector::bit_not(a).popcount(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomSeeds, BitVectorProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+}  // namespace
+}  // namespace pima

@@ -1,0 +1,103 @@
+#include "assembly/contig.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pima::assembly {
+namespace {
+
+DeBruijnGraph graph_of(const std::vector<std::string>& reads, std::size_t k) {
+  std::vector<dna::Sequence> seqs;
+  for (const auto& r : reads) seqs.push_back(dna::Sequence::from_string(r));
+  return DeBruijnGraph::from_counter(build_hashmap(seqs, k));
+}
+
+bool contains(const std::vector<dna::Sequence>& contigs,
+              const std::string& s) {
+  return std::any_of(contigs.begin(), contigs.end(),
+                     [&](const auto& c) { return c.to_string() == s; });
+}
+
+TEST(Contigs, PaperFig5cUnitigs) {
+  // Paper Fig. 5c: the k-mer set {CGTG GTGC TGCT GCTT CTTA TTAC TACG ACGG
+  // TTAG TAGG} branches at node TTA and yields three contigs:
+  // Contig-II "TTACGG" and Contig-III "TTAGG" exactly as in the figure;
+  // the first unitig runs CGTG...CTT into the junction ("CGTGCTTA" here —
+  // the figure's Contig-I "CGTGCTT" stops one base earlier at the branch).
+  const auto g = graph_of({"CGTGCTTACGG", "CGTGCTTAGG"}, 4);
+  const auto contigs = contigs_from_unitigs(g);
+  EXPECT_TRUE(contains(contigs, "TTACGG"));
+  EXPECT_TRUE(contains(contigs, "TTAGG"));
+  EXPECT_TRUE(contains(contigs, "CGTGCTTA"));
+}
+
+TEST(Contigs, UnitigsUseEveryEdgeOnce) {
+  const auto g = graph_of({"CGTGCTTACGG", "CGTGCTTAGG"}, 4);
+  const auto contigs = contigs_from_unitigs(g);
+  std::size_t spelled_edges = 0;
+  for (const auto& c : contigs) spelled_edges += c.size() - 3;  // k-1 = 3
+  EXPECT_EQ(spelled_edges, g.edge_count());
+}
+
+TEST(Contigs, UnitigsStopAtJunctions) {
+  const auto g = graph_of({"CGTGCTTACGG", "CGTGCTTAGG"}, 4);
+  // No unitig may contain the junction TTA in its interior... i.e. every
+  // contig containing "TTAC" or "TTAG" must start with TTA.
+  for (const auto& c : contigs_from_unitigs(g)) {
+    const auto s = c.to_string();
+    const auto pos = s.find("TTA");
+    if (pos != std::string::npos && pos + 4 <= s.size() &&
+        (s[pos + 3] == 'C' || s[pos + 3] == 'G')) {
+      EXPECT_EQ(pos, 0u) << s;
+    }
+  }
+}
+
+TEST(Contigs, PerfectCycleBecomesOneContig) {
+  // A circular 3-mer chain with no junctions: the cycle-sweep must pick
+  // it up (ACG→CGT→GTA→TAC→ACG).
+  std::vector<dna::Sequence> seqs{dna::Sequence::from_string("ACGTACG")};
+  const auto g = DeBruijnGraph::from_counter(build_hashmap(seqs, 4));
+  const auto contigs = contigs_from_unitigs(g);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].size(), 7u);
+}
+
+TEST(Contigs, EulerContigsReconstructLinearSequence) {
+  const auto g = graph_of({"ACGGTCAGGTTT"}, 4);
+  const auto contigs = contigs_from_euler(g);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].to_string(), "ACGGTCAGGTTT");
+}
+
+TEST(ContigStats, EmptyInput) {
+  const auto s = compute_stats({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.n50, 0u);
+  EXPECT_EQ(s.total_length, 0u);
+}
+
+TEST(ContigStats, KnownValues) {
+  std::vector<dna::Sequence> contigs;
+  for (const auto len : {10, 20, 30, 40}) {
+    dna::Sequence s;
+    for (int i = 0; i < len; ++i) s.push_back(dna::Base::A);
+    contigs.push_back(std::move(s));
+  }
+  const auto st = compute_stats(contigs);
+  EXPECT_EQ(st.count, 4u);
+  EXPECT_EQ(st.total_length, 100u);
+  EXPECT_EQ(st.longest, 40u);
+  EXPECT_DOUBLE_EQ(st.mean_length, 25.0);
+  // Sorted desc: 40 (40), +30 = 70 ≥ 50 ⇒ N50 = 30.
+  EXPECT_EQ(st.n50, 30u);
+}
+
+TEST(ContigStats, N50SingleContig) {
+  std::vector<dna::Sequence> contigs{dna::Sequence::from_string("ACGTACGT")};
+  EXPECT_EQ(compute_stats(contigs).n50, 8u);
+}
+
+}  // namespace
+}  // namespace pima::assembly

@@ -1,0 +1,173 @@
+#include "core/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/pd_optimizer.hpp"
+#include "platforms/presets.hpp"
+
+namespace pima::core {
+namespace {
+
+using platforms::ambit;
+using platforms::drisa_1t1c;
+using platforms::drisa_3t1c;
+using platforms::gpu_1080ti;
+using platforms::pim_assembler;
+
+WorkloadParams chr14(std::size_t k) {
+  WorkloadParams w;
+  w.k = k;
+  return w;
+}
+
+TEST(Workload, Chr14Derived) {
+  const auto w = chr14(16);
+  EXPECT_NEAR(w.coverage(), 53.0, 1.0);  // 45.7M × 101 / 87.2M
+  EXPECT_NEAR(w.queries(), 45'711'162.0 * 86.0, 1.0);
+  EXPECT_NEAR(w.distinct_kmers(), 87'191'201.0, 1.0);
+}
+
+TEST(CostModel, HeadlineSpeedupOverGpu) {
+  // Paper: P-A reduces execution time ~5× vs GPU on average over k.
+  std::vector<double> ratios;
+  for (const std::size_t k : {16u, 22u, 26u, 32u}) {
+    const auto gpu = estimate_application(gpu_1080ti(), chr14(k));
+    const auto pa = estimate_application(pim_assembler(), chr14(k));
+    ratios.push_back(gpu.total_time_s / pa.total_time_s);
+  }
+  const double avg =
+      (ratios[0] + ratios[1] + ratios[2] + ratios[3]) / 4.0;
+  EXPECT_GT(avg, 3.5);
+  EXPECT_LT(avg, 7.5);
+}
+
+TEST(CostModel, HeadlinePowerReduction) {
+  // Paper: ~7.5× lower power than GPU; ~2.8× lower than the best PIM.
+  const auto gpu = estimate_application(gpu_1080ti(), chr14(16));
+  const auto pa = estimate_application(pim_assembler(), chr14(16));
+  EXPECT_NEAR(gpu.avg_power_w / pa.avg_power_w, 7.5, 1.5);
+  double best_pim_power = 1e9;
+  for (const auto& p : {ambit(), drisa_1t1c(), drisa_3t1c()})
+    best_pim_power = std::min(
+        best_pim_power, estimate_application(p, chr14(16)).avg_power_w);
+  EXPECT_NEAR(best_pim_power / pa.avg_power_w, 2.8, 0.9);
+}
+
+TEST(CostModel, SpeedupGrowsWithK) {
+  // Paper: hashmap acceleration 5.2× at k=16 rising to 9.8× at k=32 — the
+  // structural effect is that the ratio must grow with k.
+  const auto g16 = estimate_application(gpu_1080ti(), chr14(16));
+  const auto p16 = estimate_application(pim_assembler(), chr14(16));
+  const auto g32 = estimate_application(gpu_1080ti(), chr14(32));
+  const auto p32 = estimate_application(pim_assembler(), chr14(32));
+  const double r16 = g16.hashmap.time_s / p16.hashmap.time_s;
+  const double r32 = g32.hashmap.time_s / p32.hashmap.time_s;
+  EXPECT_GT(r16, 3.5);
+  EXPECT_GT(r32, r16 * 1.2);
+  EXPECT_LT(r32, 12.0);
+}
+
+TEST(CostModel, HashmapDominatesGpuTime) {
+  // Paper: stage 1 takes over 60% of GPU execution time.
+  const auto gpu = estimate_application(gpu_1080ti(), chr14(16));
+  EXPECT_GT(gpu.hashmap.time_s, 0.6 * gpu.total_time_s);
+}
+
+TEST(CostModel, PaBeatsEveryPimBaseline) {
+  for (const std::size_t k : {16u, 32u}) {
+    const auto pa = estimate_application(pim_assembler(), chr14(k));
+    for (const auto& p : {ambit(), drisa_1t1c(), drisa_3t1c()}) {
+      const auto other = estimate_application(p, chr14(k));
+      EXPECT_GT(other.total_time_s, pa.total_time_s) << p.name << " k=" << k;
+      EXPECT_GT(other.avg_power_w, pa.avg_power_w) << p.name;
+    }
+  }
+}
+
+TEST(CostModel, GpuExecutionTimeInPaperRange) {
+  // Paper Fig. 9a y-axis: total GPU time is on the order of 100–200 s.
+  for (const std::size_t k : {16u, 22u, 26u, 32u}) {
+    const auto gpu = estimate_application(gpu_1080ti(), chr14(k));
+    EXPECT_GT(gpu.total_time_s, 60.0) << k;
+    EXPECT_LT(gpu.total_time_s, 250.0) << k;
+  }
+}
+
+TEST(CostModel, PaPowerNearPaperValue) {
+  // Paper: P-A averages 38.4 W over the three procedures.
+  const auto pa = estimate_application(pim_assembler(), chr14(22));
+  EXPECT_NEAR(pa.avg_power_w, 38.4, 8.0);
+}
+
+TEST(CostModel, MbrShapeMatchesFig11) {
+  // Paper Fig. 11a: P-A ~9% at k=16 and under ~16% at k=32; GPU rises to
+  // ~70% at k=32; every PIM is far below the GPU.
+  const auto pa16 = estimate_application(pim_assembler(), chr14(16));
+  const auto pa32 = estimate_application(pim_assembler(), chr14(32));
+  EXPECT_NEAR(pa16.mbr, 0.09, 0.02);
+  EXPECT_LE(pa32.mbr, 0.17);
+  const auto gpu32 = estimate_application(gpu_1080ti(), chr14(32));
+  EXPECT_NEAR(gpu32.mbr, 0.70, 0.05);
+  for (const auto& p : {ambit(), drisa_1t1c(), drisa_3t1c()})
+    EXPECT_LT(estimate_application(p, chr14(32)).mbr, gpu32.mbr);
+}
+
+TEST(CostModel, RurShapeMatchesFig11) {
+  // Paper Fig. 11b: P-A up to ~65% at k=16; PIM solutions above 45%, GPU
+  // well below.
+  const auto pa16 = estimate_application(pim_assembler(), chr14(16));
+  EXPECT_NEAR(pa16.rur, 0.65, 0.05);
+  for (const auto& p : {ambit(), drisa_1t1c(), drisa_3t1c()})
+    EXPECT_GT(estimate_application(p, chr14(16)).rur, 0.40) << p.name;
+  const auto gpu16 = estimate_application(gpu_1080ti(), chr14(16));
+  EXPECT_LT(gpu16.rur, 0.30);
+  // P-A has the highest RUR of all platforms.
+  for (const auto& p : platforms::application_platforms())
+    EXPECT_GE(pa16.rur, estimate_application(p, chr14(16)).rur) << p.name;
+}
+
+TEST(CostModel, EnergyConsistentWithPowerAndTime) {
+  const auto pa = estimate_application(pim_assembler(), chr14(16));
+  const double e = pa.hashmap.energy_j + pa.debruijn.energy_j +
+                   pa.traverse.energy_j;
+  EXPECT_NEAR(e, pa.avg_power_w * pa.total_time_s, 1e-6);
+}
+
+TEST(CostModel, InvalidInputsThrow) {
+  EXPECT_THROW(estimate_application(pim_assembler(), chr14(16), 0),
+               pima::PreconditionError);
+  WorkloadParams w;
+  w.k = 200;  // longer than the reads
+  EXPECT_THROW(estimate_application(pim_assembler(), w),
+               pima::PreconditionError);
+}
+
+TEST(PdSweep, DelayFallsPowerRises) {
+  // Fig. 10: larger Pd → smaller delay, higher power, for k=16 and k=32.
+  for (const std::size_t k : {16u, 32u}) {
+    const auto points = sweep_parallelism(pim_assembler(), chr14(k));
+    ASSERT_EQ(points.size(), 4u);
+    for (std::size_t i = 1; i < points.size(); ++i) {
+      EXPECT_LT(points[i].delay_s, points[i - 1].delay_s) << "k=" << k;
+      EXPECT_GT(points[i].power_w, points[i - 1].power_w) << "k=" << k;
+    }
+  }
+}
+
+TEST(PdSweep, DelaySaturates) {
+  // The Amdahl floor: Pd 4→8 gains less than Pd 1→2.
+  const auto points = sweep_parallelism(pim_assembler(), chr14(16));
+  const double gain_12 = points[0].delay_s / points[1].delay_s;
+  const double gain_48 = points[2].delay_s / points[3].delay_s;
+  EXPECT_GT(gain_12, gain_48);
+}
+
+TEST(PdOptimizer, PicksModerateParallelism) {
+  // Paper: optimum at Pd ≈ 2.
+  const auto best = optimal_parallelism(pim_assembler(), chr14(16));
+  EXPECT_EQ(best.pd, 2u);
+}
+
+}  // namespace
+}  // namespace pima::core

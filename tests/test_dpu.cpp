@@ -1,0 +1,79 @@
+#include "dram/dpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+namespace {
+
+Geometry tiny() {
+  Geometry g;
+  g.rows = 32;
+  g.compute_rows = 8;
+  g.columns = 64;
+  return g;
+}
+
+class DpuTest : public ::testing::Test {
+ protected:
+  DpuTest() : sa_(tiny(), circuit::default_technology()) {}
+  Subarray sa_;
+};
+
+TEST_F(DpuTest, AndReduceFullRow) {
+  BitVector ones(64);
+  ones.fill(true);
+  sa_.write_row(0, ones);
+  EXPECT_TRUE(Dpu::and_reduce(sa_, 0, 64));
+  ones.set(63, false);
+  sa_.write_row(0, ones);
+  EXPECT_FALSE(Dpu::and_reduce(sa_, 0, 64));
+}
+
+TEST_F(DpuTest, AndReducePrefixIgnoresTail) {
+  // The paper's k-mer compare only reduces the first 2k bits; a mismatch
+  // in padding must not matter.
+  BitVector v(64);
+  for (std::size_t i = 0; i < 32; ++i) v.set(i, true);
+  sa_.write_row(0, v);
+  EXPECT_TRUE(Dpu::and_reduce(sa_, 0, 32));
+  EXPECT_FALSE(Dpu::and_reduce(sa_, 0, 33));
+}
+
+TEST_F(DpuTest, OrReduce) {
+  BitVector v(64);
+  sa_.write_row(0, v);
+  EXPECT_FALSE(Dpu::or_reduce(sa_, 0, 64));
+  v.set(40, true);
+  sa_.write_row(0, v);
+  EXPECT_TRUE(Dpu::or_reduce(sa_, 0, 64));
+  EXPECT_FALSE(Dpu::or_reduce(sa_, 0, 40));  // prefix excludes bit 40
+}
+
+TEST_F(DpuTest, Popcount) {
+  BitVector v(64);
+  v.set(0, true);
+  v.set(10, true);
+  v.set(63, true);
+  sa_.write_row(0, v);
+  EXPECT_EQ(Dpu::popcount(sa_, 0, 64), 3u);
+  EXPECT_EQ(Dpu::popcount(sa_, 0, 11), 2u);
+}
+
+TEST_F(DpuTest, WidthValidated) {
+  EXPECT_THROW(Dpu::and_reduce(sa_, 0, 65), pima::PreconditionError);
+}
+
+TEST_F(DpuTest, ReduceIsCosted) {
+  sa_.write_row(0, BitVector(64));
+  sa_.clear_stats();
+  Dpu::and_reduce(sa_, 0, 64);
+  EXPECT_EQ(
+      sa_.stats().counts[static_cast<std::size_t>(CommandKind::kDpuReduce)],
+      1u);
+  EXPECT_GT(sa_.stats().energy_pj, 0.0);
+}
+
+}  // namespace
+}  // namespace pima::dram

@@ -1,0 +1,105 @@
+#include "dna/fasta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace pima::dna {
+namespace {
+
+TEST(Fasta, ParsesSingleRecord) {
+  std::istringstream in(">chr1 test\nACGT\nACGT\n");
+  const auto recs = read_fasta(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].id, "chr1 test");
+  EXPECT_EQ(recs[0].seq.to_string(), "ACGTACGT");
+}
+
+TEST(Fasta, ParsesMultipleRecords) {
+  std::istringstream in(">a\nAC\n>b\nGGTT\n>c\nA\n");
+  const auto recs = read_fasta(in);
+  ASSERT_EQ(recs.size(), 3u);
+  EXPECT_EQ(recs[1].id, "b");
+  EXPECT_EQ(recs[1].seq.to_string(), "GGTT");
+}
+
+TEST(Fasta, SkipsBlankLinesAndCarriageReturns) {
+  std::istringstream in(">a\r\nAC\r\n\nGT\r\n");
+  const auto recs = read_fasta(in);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq.to_string(), "ACGT");
+}
+
+TEST(Fasta, SkipRecordPolicyDropsAmbiguous) {
+  std::istringstream in(">good\nACGT\n>bad\nACNT\n>good2\nTTTT\n");
+  const auto recs = read_fasta(in, AmbiguityPolicy::kSkipRecord);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "good");
+  EXPECT_EQ(recs[1].id, "good2");
+}
+
+TEST(Fasta, SubstitutePolicyKeepsRecord) {
+  std::istringstream in(">r\nANNT\n");
+  const auto recs = read_fasta(in, AmbiguityPolicy::kSubstitute);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].seq.size(), 4u);
+  EXPECT_EQ(recs[0].seq.at(0), Base::A);
+  EXPECT_EQ(recs[0].seq.at(3), Base::T);
+  // Substitution is deterministic.
+  std::istringstream in2(">r\nANNT\n");
+  const auto recs2 = read_fasta(in2, AmbiguityPolicy::kSubstitute);
+  EXPECT_EQ(recs[0].seq, recs2[0].seq);
+}
+
+TEST(Fasta, ThrowPolicyRejects) {
+  std::istringstream in(">r\nACNT\n");
+  EXPECT_THROW(read_fasta(in, AmbiguityPolicy::kThrow), SimulationError);
+}
+
+TEST(Fasta, WriteReadRoundTrip) {
+  std::vector<Record> recs;
+  recs.push_back({"alpha", Sequence::from_string("ACGTACGTACGT")});
+  recs.push_back({"beta", Sequence::from_string("TT")});
+  std::ostringstream out;
+  write_fasta(out, recs, 5);  // exercise line wrapping
+  std::istringstream in(out.str());
+  const auto back = read_fasta(in);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0].id, "alpha");
+  EXPECT_EQ(back[0].seq, recs[0].seq);
+  EXPECT_EQ(back[1].seq, recs[1].seq);
+}
+
+TEST(Fasta, MissingFileThrows) {
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), SimulationError);
+}
+
+TEST(Fastq, ParsesRecords) {
+  std::istringstream in("@r1\nACGT\n+\nIIII\n@r2\nGG\n+r2\nII\n");
+  const auto recs = read_fastq(in);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "r1");
+  EXPECT_EQ(recs[0].seq.to_string(), "ACGT");
+  EXPECT_EQ(recs[1].seq.to_string(), "GG");
+}
+
+TEST(Fastq, RejectsMalformed) {
+  std::istringstream truncated("@r1\nACGT\n+\n");
+  EXPECT_THROW(read_fastq(truncated), SimulationError);
+  std::istringstream bad_sep("@r1\nACGT\nX\nIIII\n");
+  EXPECT_THROW(read_fastq(bad_sep), PreconditionError);
+  std::istringstream bad_qual("@r1\nACGT\n+\nII\n");
+  EXPECT_THROW(read_fastq(bad_qual), SimulationError);
+}
+
+TEST(Fastq, AmbiguousReadSkipped) {
+  std::istringstream in("@r1\nACNT\n+\nIIII\n@r2\nAAAA\n+\nIIII\n");
+  const auto recs = read_fastq(in, AmbiguityPolicy::kSkipRecord);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].id, "r2");
+}
+
+}  // namespace
+}  // namespace pima::dna

@@ -1,0 +1,184 @@
+#include "dna/genome.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pima::dna {
+namespace {
+
+TEST(Genome, GeneratesRequestedLength) {
+  GenomeParams p;
+  p.length = 5000;
+  p.repeat_count = 0;
+  EXPECT_EQ(generate_genome(p).size(), 5000u);
+}
+
+TEST(Genome, DeterministicForSeed) {
+  GenomeParams p;
+  p.length = 2000;
+  EXPECT_EQ(generate_genome(p), generate_genome(p));
+  GenomeParams q = p;
+  q.seed = p.seed + 1;
+  EXPECT_FALSE(generate_genome(p) == generate_genome(q));
+}
+
+TEST(Genome, GcContentNearTarget) {
+  GenomeParams p;
+  p.length = 200000;
+  p.gc_content = 0.42;
+  p.repeat_count = 0;
+  const double gc = gc_fraction(generate_genome(p));
+  EXPECT_NEAR(gc, 0.42, 0.02);
+}
+
+TEST(Genome, GcTargetIsRespectedAcrossRange) {
+  for (const double target : {0.30, 0.50, 0.65}) {
+    GenomeParams p;
+    p.length = 150000;
+    p.gc_content = target;
+    p.repeat_count = 0;
+    EXPECT_NEAR(gc_fraction(generate_genome(p)), target, 0.03);
+  }
+}
+
+TEST(Genome, RepeatsCreateDuplicateWindows) {
+  GenomeParams p;
+  p.length = 50000;
+  p.repeat_length = 200;
+  p.repeat_count = 10;
+  const auto g = generate_genome(p);
+  // With 10 planted copies of a 200 bp element, some 50-mers must recur.
+  const std::string s = g.to_string();
+  bool found_dup = false;
+  for (std::size_t probe = 0; probe < 10 && !found_dup; ++probe) {
+    // Sample windows inside likely repeat copies by scanning for any
+    // 50-mer that appears twice.
+    const auto w = s.substr(probe * 4000, 50);
+    const auto first = s.find(w);
+    if (s.find(w, first + 1) != std::string::npos) found_dup = true;
+  }
+  // The stronger check: count distinct 64-mers < total 64-mers.
+  std::size_t dups = 0;
+  for (std::size_t i = 0; i + 64 < s.size(); i += 64) {
+    const auto w = s.substr(i, 64);
+    if (s.find(w, i + 1) != std::string::npos) ++dups;
+  }
+  EXPECT_GT(dups, 0u);
+}
+
+TEST(Genome, InvalidParamsThrow) {
+  GenomeParams p;
+  p.length = 0;
+  EXPECT_THROW(generate_genome(p), PreconditionError);
+  p.length = 100;
+  p.gc_content = 1.5;
+  EXPECT_THROW(generate_genome(p), PreconditionError);
+}
+
+TEST(Reads, CountFromCoverage) {
+  GenomeParams gp;
+  gp.length = 10000;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  ReadSamplerParams rp;
+  rp.read_length = 100;
+  rp.coverage = 10.0;
+  const auto reads = sample_reads(g, rp);
+  EXPECT_EQ(reads.size(), 1000u);  // 10 × 10000 / 100
+  for (const auto& r : reads) EXPECT_EQ(r.size(), 100u);
+}
+
+TEST(Reads, ExplicitCountWins) {
+  GenomeParams gp;
+  gp.length = 5000;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  ReadSamplerParams rp;
+  rp.read_count = 37;
+  EXPECT_EQ(sample_reads(g, rp).size(), 37u);
+}
+
+TEST(Reads, AreSubstringsOfGenome) {
+  GenomeParams gp;
+  gp.length = 4000;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  const std::string gs = g.to_string();
+  ReadSamplerParams rp;
+  rp.read_count = 50;
+  rp.read_length = 80;
+  for (const auto& r : sample_reads(g, rp))
+    EXPECT_NE(gs.find(r.to_string()), std::string::npos);
+}
+
+TEST(Reads, ErrorsPerturbBases) {
+  GenomeParams gp;
+  gp.length = 3000;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  ReadSamplerParams clean, noisy;
+  clean.read_count = noisy.read_count = 200;
+  noisy.error_rate = 0.05;
+  const auto clean_reads = sample_reads(g, clean);
+  const std::string gs = g.to_string();
+  std::size_t mismatched_reads = 0;
+  for (const auto& r : sample_reads(g, noisy))
+    if (gs.find(r.to_string()) == std::string::npos) ++mismatched_reads;
+  // 101 bases at 5% error: essentially every read mutates.
+  EXPECT_GT(mismatched_reads, 150u);
+  (void)clean_reads;
+}
+
+TEST(Reads, BothStrandsProducesReverseComplements) {
+  GenomeParams gp;
+  gp.length = 3000;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  const std::string fwd = g.to_string();
+  const std::string rc = g.reverse_complement().to_string();
+  ReadSamplerParams rp;
+  rp.read_count = 100;
+  rp.both_strands = true;
+  std::size_t on_rc = 0;
+  for (const auto& r : sample_reads(g, rp)) {
+    const auto s = r.to_string();
+    const bool in_fwd = fwd.find(s) != std::string::npos;
+    const bool in_rc = rc.find(s) != std::string::npos;
+    EXPECT_TRUE(in_fwd || in_rc);
+    if (!in_fwd && in_rc) ++on_rc;
+  }
+  EXPECT_GT(on_rc, 20u);
+}
+
+TEST(Reads, DeterministicForSeed) {
+  GenomeParams gp;
+  gp.length = 2000;
+  const auto g = generate_genome(gp);
+  ReadSamplerParams rp;
+  rp.read_count = 20;
+  const auto a = sample_reads(g, rp);
+  const auto b = sample_reads(g, rp);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(Reads, InvalidParamsThrow) {
+  GenomeParams gp;
+  gp.length = 50;
+  gp.repeat_count = 0;
+  const auto g = generate_genome(gp);
+  ReadSamplerParams rp;
+  rp.read_length = 100;  // longer than genome
+  EXPECT_THROW(sample_reads(g, rp), PreconditionError);
+}
+
+TEST(GcFraction, KnownValues) {
+  EXPECT_DOUBLE_EQ(gc_fraction(Sequence::from_string("GGCC")), 1.0);
+  EXPECT_DOUBLE_EQ(gc_fraction(Sequence::from_string("AATT")), 0.0);
+  EXPECT_DOUBLE_EQ(gc_fraction(Sequence::from_string("ACGT")), 0.5);
+  EXPECT_DOUBLE_EQ(gc_fraction(Sequence{}), 0.0);
+}
+
+}  // namespace
+}  // namespace pima::dna

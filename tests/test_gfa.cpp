@@ -1,0 +1,105 @@
+#include "assembly/gfa.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "dna/genome.hpp"
+
+namespace pima::assembly {
+namespace {
+
+DeBruijnGraph graph_of(const std::vector<std::string>& reads, std::size_t k) {
+  std::vector<dna::Sequence> seqs;
+  for (const auto& r : reads) seqs.push_back(dna::Sequence::from_string(r));
+  return DeBruijnGraph::from_counter(build_hashmap(seqs, k), true);
+}
+
+TEST(Gfa, LinearSequenceIsOneSegment) {
+  const auto g = graph_of({"ACGGTCAGTTT"}, 4);
+  const auto gfa = build_gfa(g);
+  ASSERT_EQ(gfa.segments.size(), 1u);
+  EXPECT_EQ(gfa.segments[0].sequence.to_string(), "ACGGTCAGTTT");
+  EXPECT_TRUE(gfa.links.empty());
+  EXPECT_DOUBLE_EQ(gfa.segments[0].mean_coverage, 1.0);
+}
+
+TEST(Gfa, BranchingGraphHasLinksAtJunction) {
+  // Paper Fig. 5c topology: three unitigs joined at the TTA junction.
+  const auto g = graph_of({"CGTGCTTACGG", "CGTGCTTAGG"}, 4);
+  const auto gfa = build_gfa(g);
+  ASSERT_EQ(gfa.segments.size(), 3u);
+  // The trunk links into both branches.
+  EXPECT_EQ(gfa.links.size(), 2u);
+  for (const auto& l : gfa.links) {
+    EXPECT_EQ(l.overlap, 3u);  // (k-1)-mer junction overlap
+    EXPECT_NE(l.from, l.to);
+  }
+  // Every edge appears in exactly one segment.
+  std::size_t edges = 0;
+  for (const auto& s : gfa.segments) edges += s.edges.size();
+  EXPECT_EQ(edges, g.edge_count());
+}
+
+TEST(Gfa, CoverageReflectsMultiplicity) {
+  const auto g = graph_of({"ACGGTCAG", "ACGGTCAG", "ACGGTCAG"}, 4);
+  const auto gfa = build_gfa(g);
+  ASSERT_EQ(gfa.segments.size(), 1u);
+  EXPECT_DOUBLE_EQ(gfa.segments[0].mean_coverage, 3.0);
+}
+
+TEST(Gfa, SerializedFormatIsWellFormed) {
+  const auto g = graph_of({"CGTGCTTACGG", "CGTGCTTAGG"}, 4);
+  const auto text = to_gfa(g);
+  std::istringstream in(text);
+  std::string line;
+  std::size_t s_lines = 0, l_lines = 0;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "H\tVN:Z:1.0");
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == 'S') {
+      ++s_lines;
+      EXPECT_NE(line.find("LN:i:"), std::string::npos);
+      EXPECT_NE(line.find("dc:f:"), std::string::npos);
+    } else if (line[0] == 'L') {
+      ++l_lines;
+      EXPECT_NE(line.find("\t+\t"), std::string::npos);
+      EXPECT_EQ(line.back(), 'M');
+    } else {
+      FAIL() << "unexpected GFA record: " << line;
+    }
+  }
+  EXPECT_EQ(s_lines, 3u);
+  EXPECT_EQ(l_lines, 2u);
+}
+
+TEST(Gfa, SegmentsSpellWholeRandomGenome) {
+  dna::GenomeParams gp;
+  gp.length = 2000;
+  gp.repeat_count = 2;
+  gp.repeat_length = 60;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 10.0;
+  rp.read_length = 80;
+  const auto reads = dna::sample_reads(genome, rp);
+  const auto g = DeBruijnGraph::from_counter(build_hashmap(reads, 17), true);
+  const auto gfa = build_gfa(g);
+  std::size_t edges = 0;
+  for (const auto& s : gfa.segments) {
+    EXPECT_EQ(s.sequence.size(), s.edges.size() + 16);  // k-1 prefix
+    edges += s.edges.size();
+  }
+  EXPECT_EQ(edges, g.edge_count());
+  // Links only join segments that truly share the junction (k-1)-mer.
+  for (const auto& l : gfa.links) {
+    const auto& from = gfa.segments[l.from].sequence;
+    const auto& to = gfa.segments[l.to].sequence;
+    EXPECT_EQ(from.subseq(from.size() - l.overlap, l.overlap),
+              to.subseq(0, l.overlap));
+  }
+}
+
+}  // namespace
+}  // namespace pima::assembly

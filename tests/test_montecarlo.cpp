@@ -1,0 +1,106 @@
+#include "circuit/montecarlo.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+namespace {
+
+constexpr std::size_t kTrials = 4000;  // fast but statistically meaningful
+
+TEST(MonteCarlo, NoFailuresWithoutVariation) {
+  const TechParams tech{};
+  for (const auto mech :
+       {Mechanism::kTripleRowActivation, Mechanism::kTwoRowActivation}) {
+    const auto r = run_variation_trials(tech, mech, 0.0, 1000, 1);
+    EXPECT_EQ(r.failures, 0u);
+  }
+}
+
+TEST(MonteCarlo, SmallVariationIsSafe) {
+  // Paper Table I: ±5% → 0.00 for both mechanisms.
+  const TechParams tech{};
+  EXPECT_EQ(run_variation_trials(tech, Mechanism::kTripleRowActivation, 0.05,
+                                 kTrials, 2)
+                .failures,
+            0u);
+  EXPECT_EQ(run_variation_trials(tech, Mechanism::kTwoRowActivation, 0.05,
+                                 kTrials, 3)
+                .failures,
+            0u);
+}
+
+TEST(MonteCarlo, FailureRateMonotoneInVariation) {
+  const TechParams tech{};
+  for (const auto mech :
+       {Mechanism::kTripleRowActivation, Mechanism::kTwoRowActivation}) {
+    double prev = -1.0;
+    for (const double x : {0.10, 0.20, 0.30}) {
+      const auto r = run_variation_trials(tech, mech, x, kTrials, 42);
+      EXPECT_GE(r.failure_percent, prev);
+      prev = r.failure_percent;
+    }
+  }
+}
+
+TEST(MonteCarlo, TwoRowMoreRobustThanTra) {
+  // The structural claim of Table I: at every nonzero level the two-row
+  // mechanism fails no more often than TRA.
+  const TechParams tech{};
+  for (const double x : {0.15, 0.20, 0.30}) {
+    const auto tra = run_variation_trials(
+        tech, Mechanism::kTripleRowActivation, x, kTrials, 7);
+    const auto two = run_variation_trials(tech, Mechanism::kTwoRowActivation,
+                                          x, kTrials, 7);
+    EXPECT_LT(two.failure_percent, tra.failure_percent) << "x=" << x;
+  }
+}
+
+TEST(MonteCarlo, LargeVariationFailsNoticeably) {
+  // At ±30% the paper reports double-digit failure percentages.
+  const TechParams tech{};
+  const auto tra = run_variation_trials(
+      tech, Mechanism::kTripleRowActivation, 0.30, kTrials, 11);
+  EXPECT_GT(tra.failure_percent, 10.0);
+  EXPECT_LT(tra.failure_percent, 50.0);
+}
+
+TEST(MonteCarlo, DeterministicInSeed) {
+  const TechParams tech{};
+  const auto a = run_variation_trials(tech, Mechanism::kTwoRowActivation,
+                                      0.2, 2000, 99);
+  const auto b = run_variation_trials(tech, Mechanism::kTwoRowActivation,
+                                      0.2, 2000, 99);
+  EXPECT_EQ(a.failures, b.failures);
+}
+
+TEST(MonteCarlo, TableSweepShape) {
+  const TechParams tech{};
+  const auto table = run_variation_table(tech, 2000, 5);
+  ASSERT_EQ(table.levels.size(), 5u);
+  EXPECT_DOUBLE_EQ(table.levels.front(), 0.05);
+  EXPECT_DOUBLE_EQ(table.levels.back(), 0.30);
+  ASSERT_EQ(table.tra.size(), 5u);
+  ASSERT_EQ(table.two_row.size(), 5u);
+  // Monotone failure growth on both mechanisms across the sweep.
+  for (std::size_t i = 1; i < 5; ++i) {
+    EXPECT_GE(table.tra[i].failure_percent,
+              table.tra[i - 1].failure_percent);
+    EXPECT_GE(table.two_row[i].failure_percent,
+              table.two_row[i - 1].failure_percent);
+  }
+}
+
+TEST(MonteCarlo, InvalidArgumentsThrow) {
+  const TechParams tech{};
+  EXPECT_THROW(run_variation_trials(tech, Mechanism::kTwoRowActivation, -0.1,
+                                    10, 1),
+               PreconditionError);
+  EXPECT_THROW(
+      run_variation_trials(tech, Mechanism::kTwoRowActivation, 0.1, 0, 1),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::circuit

@@ -1,0 +1,83 @@
+#include "dna/paired.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "dna/genome.hpp"
+
+namespace pima::dna {
+namespace {
+
+Sequence test_genome(std::size_t len = 8000) {
+  GenomeParams gp;
+  gp.length = len;
+  gp.repeat_count = 0;
+  return generate_genome(gp);
+}
+
+TEST(PairedReads, CountFromCoverage) {
+  const auto g = test_genome();
+  PairedReadParams pp;
+  pp.read_length = 100;
+  pp.coverage = 10.0;
+  const auto pairs = sample_read_pairs(g, pp);
+  EXPECT_EQ(pairs.size(), 400u);  // 10 × 8000 / (2 × 100)
+}
+
+TEST(PairedReads, FrProtocolGeometry) {
+  const auto g = test_genome();
+  const std::string gs = g.to_string();
+  PairedReadParams pp;
+  pp.pair_count = 100;
+  for (const auto& pair : sample_read_pairs(g, pp)) {
+    EXPECT_EQ(pair.first.size(), pp.read_length);
+    EXPECT_EQ(pair.second.size(), pp.read_length);
+    // First read is a forward substring.
+    const auto p1 = gs.find(pair.first.to_string());
+    ASSERT_NE(p1, std::string::npos);
+    // The forward image of the second read ends the fragment, exactly
+    // true_insert bases downstream of the fragment start.
+    const auto fwd2 = pair.second.reverse_complement().to_string();
+    const auto p2 = gs.find(fwd2, p1);
+    ASSERT_NE(p2, std::string::npos);
+    EXPECT_EQ(p2 + pp.read_length - p1, pair.true_insert);
+  }
+}
+
+TEST(PairedReads, InsertDistribution) {
+  const auto g = test_genome(20000);
+  PairedReadParams pp;
+  pp.pair_count = 2000;
+  pp.insert_mean = 600.0;
+  pp.insert_sd = 40.0;
+  double sum = 0.0;
+  for (const auto& pair : sample_read_pairs(g, pp))
+    sum += static_cast<double>(pair.true_insert);
+  EXPECT_NEAR(sum / 2000.0, 600.0, 10.0);
+}
+
+TEST(PairedReads, Deterministic) {
+  const auto g = test_genome();
+  PairedReadParams pp;
+  pp.pair_count = 10;
+  const auto a = sample_read_pairs(g, pp);
+  const auto b = sample_read_pairs(g, pp);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].first, b[i].first);
+    EXPECT_EQ(a[i].second, b[i].second);
+  }
+}
+
+TEST(PairedReads, ValidatesParameters) {
+  const auto g = test_genome(1000);
+  PairedReadParams pp;
+  pp.insert_mean = 150.0;  // < 2 × read length
+  EXPECT_THROW(sample_read_pairs(g, pp), pima::PreconditionError);
+  PairedReadParams big;
+  big.insert_mean = 900.0;  // distribution does not fit the genome
+  big.insert_sd = 50.0;
+  EXPECT_THROW(sample_read_pairs(g, big), pima::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::dna

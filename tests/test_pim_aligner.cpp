@@ -1,0 +1,163 @@
+#include "core/pim_aligner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dna/genome.hpp"
+
+namespace pima::core {
+namespace {
+
+dram::Geometry aligner_geometry() {
+  dram::Geometry g;
+  g.rows = 256;
+  g.compute_rows = 8;
+  g.columns = 256;  // 128 bp per row
+  g.subarrays_per_mat = 8;
+  g.mats_per_bank = 2;
+  g.banks = 1;
+  return g;
+}
+
+struct Fixture {
+  Fixture() : device(aligner_geometry()) {
+    dna::GenomeParams gp;
+    gp.length = 5000;
+    gp.repeat_count = 0;
+    gp.seed = 55;
+    reference = dna::generate_genome(gp);
+  }
+  dram::Device device;
+  dna::Sequence reference;
+};
+
+TEST(PimAligner, ExactReadsAlignAtTruePosition) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  Rng rng(1);
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t pos = rng.uniform(f.reference.size() - 100);
+    const auto read = f.reference.subseq(pos, 100);
+    const auto hit = aligner.align(read);
+    ASSERT_TRUE(hit.has_value()) << "read at " << pos;
+    EXPECT_EQ(hit->reference_pos, pos);
+    EXPECT_FALSE(hit->reverse);
+    EXPECT_EQ(hit->mismatches, 0u);
+  }
+}
+
+TEST(PimAligner, ReverseStrandReadsDetected) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    const std::size_t pos = rng.uniform(f.reference.size() - 90);
+    const auto read = f.reference.subseq(pos, 90).reverse_complement();
+    const auto hit = aligner.align(read);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->reference_pos, pos);
+    EXPECT_TRUE(hit->reverse);
+    EXPECT_EQ(hit->mismatches, 0u);
+  }
+}
+
+TEST(PimAligner, MismatchesCountedExactly) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  const std::size_t pos = 1234;
+  std::string s = f.reference.subseq(pos, 100).to_string();
+  // Two substitutions away from the anchor seed (which must stay intact).
+  auto flip = [](char c) { return c == 'A' ? 'C' : 'A'; };
+  s[60] = flip(s[60]);
+  s[85] = flip(s[85]);
+  const auto hit = aligner.align(dna::Sequence::from_string(s));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->reference_pos, pos);
+  EXPECT_EQ(hit->mismatches, 2u);
+}
+
+TEST(PimAligner, TooManyMismatchesRejected) {
+  Fixture f;
+  AlignerParams p;
+  p.max_mismatches = 1;
+  PimAligner aligner(f.device, f.reference, p);
+  std::string s = f.reference.subseq(777, 100).to_string();
+  auto flip = [](char c) { return c == 'A' ? 'C' : 'A'; };
+  s[50] = flip(s[50]);
+  s[70] = flip(s[70]);
+  s[90] = flip(s[90]);
+  EXPECT_FALSE(aligner.align(dna::Sequence::from_string(s)).has_value());
+}
+
+TEST(PimAligner, ForeignReadDoesNotAlign) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  dna::GenomeParams gp;
+  gp.length = 200;
+  gp.repeat_count = 0;
+  gp.seed = 999;  // unrelated sequence
+  const auto foreign = dna::generate_genome(gp).subseq(0, 100);
+  EXPECT_FALSE(aligner.align(foreign).has_value());
+}
+
+TEST(PimAligner, WindowTilingCoversReference) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  EXPECT_GT(aligner.window_count(), f.reference.size() / 128);
+  EXPECT_GE(aligner.subarrays_used(), 1u);
+  // Every position (up to the tail) must be alignable: sample the edges.
+  for (const std::size_t pos : {0ul, 127ul, 128ul, 129ul, 2500ul,
+                                f.reference.size() - 100}) {
+    const auto hit = aligner.align(f.reference.subseq(pos, 100));
+    ASSERT_TRUE(hit.has_value()) << pos;
+    EXPECT_EQ(hit->reference_pos, pos);
+  }
+}
+
+TEST(PimAligner, AlignAllSortsByDistance) {
+  // Reference with an internal duplication: a read from the repeat aligns
+  // to both copies with 0 mismatches; a read one substitution away still
+  // reports both, sorted by distance then position.
+  const std::string unit = "ACGGTTCAGGCTAACGGATCCGTAGGTTCACCAT";
+  std::string text;
+  for (int i = 0; i < 3; ++i) text += unit;
+  text += std::string(200, 'A') + text;  // two copies of the repeat block
+  dram::Device device(aligner_geometry());
+  const auto ref = dna::Sequence::from_string(text);
+  AlignerParams p;
+  p.max_candidates = 64;
+  PimAligner aligner(device, ref, p);
+  const auto read = ref.subseq(0, 60);
+  const auto hits = aligner.align_all(read);
+  ASSERT_GE(hits.size(), 2u);
+  EXPECT_EQ(hits[0].mismatches, 0u);
+  for (std::size_t i = 1; i < hits.size(); ++i)
+    EXPECT_GE(hits[i].mismatches, hits[i - 1].mismatches);
+}
+
+TEST(PimAligner, ShortReadRejected) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  EXPECT_TRUE(aligner.align_all(f.reference.subseq(0, 10)).empty());
+}
+
+TEST(PimAligner, CostsAccrueOnDevice) {
+  Fixture f;
+  PimAligner aligner(f.device, f.reference);
+  f.device.clear_stats();
+  aligner.align(f.reference.subseq(100, 100));
+  const auto stats = f.device.roll_up();
+  EXPECT_GT(stats.commands, 0u);
+  EXPECT_GT(stats.energy_pj, 0.0);
+}
+
+TEST(PimAligner, ValidatesParameters) {
+  Fixture f;
+  AlignerParams p;
+  p.seed_k = 4;  // too short
+  EXPECT_THROW(PimAligner(f.device, f.reference, p), pima::PreconditionError);
+  EXPECT_THROW(PimAligner(f.device, dna::Sequence{}, {}),
+               pima::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::core

@@ -1,0 +1,145 @@
+#include "core/pim_bfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "common/rng.hpp"
+#include "dram/device.hpp"
+
+namespace pima::core {
+namespace {
+
+dram::Geometry bfs_geometry() {
+  dram::Geometry g;
+  g.rows = 128;
+  g.compute_rows = 8;
+  g.columns = 64;
+  return g;
+}
+
+std::vector<BitVector> adjacency_of(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& edges,
+    std::size_t width = 64) {
+  std::vector<BitVector> adj(n, BitVector(width));
+  for (const auto& [u, v] : edges) adj[u].set(v, true);
+  return adj;
+}
+
+std::vector<bool> software_bfs(const std::vector<BitVector>& adj,
+                               std::size_t start) {
+  std::vector<bool> seen(adj.size(), false);
+  std::queue<std::size_t> q;
+  q.push(start);
+  seen[start] = true;
+  while (!q.empty()) {
+    const auto u = q.front();
+    q.pop();
+    for (std::size_t v = 0; v < adj.size(); ++v)
+      if (adj[u].get(v) && !seen[v]) {
+        seen[v] = true;
+        q.push(v);
+      }
+  }
+  return seen;
+}
+
+TEST(PimBfs, ChainReachability) {
+  // 0 → 1 → 2 → 3; 4 isolated.
+  const auto adj = adjacency_of(5, {{0, 1}, {1, 2}, {2, 3}});
+  dram::Device dev(bfs_geometry());
+  const auto r = pim_reachability(dev.subarray(0), adj, 0);
+  EXPECT_EQ(r.reachable, (std::vector<bool>{true, true, true, true, false}));
+  EXPECT_GE(r.levels, 3u);
+}
+
+TEST(PimBfs, DirectionMatters) {
+  const auto adj = adjacency_of(3, {{0, 1}, {1, 2}});
+  dram::Device dev(bfs_geometry());
+  const auto from_end = pim_reachability(dev.subarray(0), adj, 2);
+  EXPECT_EQ(from_end.reachable, (std::vector<bool>{false, false, true}));
+}
+
+TEST(PimBfs, CycleTerminates) {
+  const auto adj = adjacency_of(4, {{0, 1}, {1, 2}, {2, 0}, {2, 3}});
+  dram::Device dev(bfs_geometry());
+  const auto r = pim_reachability(dev.subarray(0), adj, 0);
+  EXPECT_EQ(r.reachable, (std::vector<bool>{true, true, true, true}));
+  EXPECT_LE(r.levels, 5u);  // fixed point, no infinite loop
+}
+
+TEST(PimBfs, SelfLoopHandled) {
+  const auto adj = adjacency_of(2, {{0, 0}, {0, 1}});
+  dram::Device dev(bfs_geometry());
+  const auto r = pim_reachability(dev.subarray(0), adj, 0);
+  EXPECT_EQ(r.reachable, (std::vector<bool>{true, true}));
+}
+
+TEST(PimBfs, MatchesSoftwareOnRandomGraphs) {
+  Rng rng(404);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t n = 8 + rng.uniform(40);
+    std::vector<std::pair<std::size_t, std::size_t>> edges;
+    const std::size_t m = n + rng.uniform(2 * n);
+    for (std::size_t e = 0; e < m; ++e)
+      edges.emplace_back(rng.uniform(n), rng.uniform(n));
+    const auto adj = adjacency_of(n, edges);
+    const std::size_t start = rng.uniform(n);
+
+    dram::Device dev(bfs_geometry());
+    const auto pim = pim_reachability(dev.subarray(0), adj, start);
+    EXPECT_EQ(pim.reachable, software_bfs(adj, start)) << "trial " << trial;
+  }
+}
+
+TEST(PimBfs, ComponentsPartitionVertices) {
+  // Two triangles and one isolated vertex → 3 components.
+  const auto adj = adjacency_of(
+      7, {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}, {5, 3}});
+  dram::Device dev(bfs_geometry());
+  const auto comp = pim_components(dev.subarray(0), adj);
+  ASSERT_EQ(comp.size(), 7u);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[6], comp[0]);
+  EXPECT_NE(comp[6], comp[3]);
+}
+
+TEST(PimBfs, ComponentsIgnoreEdgeDirection) {
+  // 0→1 and 2→1: weakly connected as one component.
+  const auto adj = adjacency_of(3, {{0, 1}, {2, 1}});
+  dram::Device dev(bfs_geometry());
+  const auto comp = pim_components(dev.subarray(0), adj);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[1], comp[2]);
+}
+
+TEST(PimBfs, CommandsAreCosted) {
+  const auto adj = adjacency_of(4, {{0, 1}, {1, 2}, {2, 3}});
+  dram::Device dev(bfs_geometry());
+  dev.clear_stats();
+  pim_reachability(dev.subarray(0), adj, 0);
+  const auto stats = dev.roll_up();
+  EXPECT_GT(stats.commands, 10u);
+  // TRA is the OR workhorse.
+  EXPECT_GT(dev.subarray(0).stats().counts[static_cast<std::size_t>(
+                dram::CommandKind::kAapTra)],
+            3u);
+}
+
+TEST(PimBfs, ValidatesInput) {
+  dram::Device dev(bfs_geometry());
+  EXPECT_THROW(pim_reachability(dev.subarray(0), {}, 0),
+               pima::PreconditionError);
+  const auto adj = adjacency_of(3, {});
+  EXPECT_THROW(pim_reachability(dev.subarray(0), adj, 3),
+               pima::PreconditionError);
+  const auto wide = adjacency_of(65, {});
+  EXPECT_THROW(pim_reachability(dev.subarray(0), wide, 0),
+               pima::PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::core

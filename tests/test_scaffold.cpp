@@ -1,0 +1,192 @@
+#include "assembly/scaffold.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "assembly/assembler.hpp"
+#include "dna/genome.hpp"
+
+namespace pima::assembly {
+namespace {
+
+// Builds a genome, cuts it into known contigs with coverage gaps, and
+// returns genome + contigs in genome order.
+struct Fixture {
+  dna::Sequence genome;
+  std::vector<dna::Sequence> contigs;   // in genome order
+  std::vector<std::size_t> starts;
+};
+
+Fixture make_fixture(std::size_t n_contigs = 4, std::size_t contig_len = 1500,
+                     std::size_t gap = 120, std::uint64_t seed = 9) {
+  Fixture f;
+  dna::GenomeParams gp;
+  gp.length = n_contigs * (contig_len + gap) + 500;
+  gp.repeat_count = 0;
+  gp.seed = seed;
+  f.genome = dna::generate_genome(gp);
+  for (std::size_t i = 0; i < n_contigs; ++i) {
+    const std::size_t start = i * (contig_len + gap);
+    f.starts.push_back(start);
+    f.contigs.push_back(f.genome.subseq(start, contig_len));
+  }
+  return f;
+}
+
+std::vector<dna::ReadPair> make_pairs(const dna::Sequence& genome,
+                                      std::size_t count = 3000) {
+  dna::PairedReadParams pp;
+  pp.pair_count = count;
+  pp.read_length = 90;
+  pp.insert_mean = 400.0;
+  pp.insert_sd = 25.0;
+  return dna::sample_read_pairs(genome, pp);
+}
+
+TEST(Scaffold, OrdersContigsAlongGenome) {
+  const auto f = make_fixture();
+  const auto pairs = make_pairs(f.genome);
+  ScaffoldParams sp;
+  sp.insert_mean = 400.0;
+  const auto result = scaffold_contigs(f.contigs, pairs, sp);
+
+  EXPECT_GT(result.pairs_placed, result.pairs_total / 2);
+  EXPECT_GE(result.links_used, f.contigs.size() - 1);
+  // One chain containing every contig, in genome order, all forward.
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto& s = result.scaffolds[0];
+  ASSERT_EQ(s.entries.size(), f.contigs.size());
+  for (std::size_t i = 0; i < s.entries.size(); ++i) {
+    EXPECT_EQ(s.entries[i].contig, i) << i;
+    EXPECT_FALSE(s.entries[i].reverse);
+  }
+}
+
+TEST(Scaffold, GapEstimatesNearTruth) {
+  const auto f = make_fixture(3, 2000, 150);
+  const auto pairs = make_pairs(f.genome, 4000);
+  ScaffoldParams sp;
+  sp.insert_mean = 400.0;
+  const auto result = scaffold_contigs(f.contigs, pairs, sp);
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto& entries = result.scaffolds[0].entries;
+  for (std::size_t i = 0; i + 1 < entries.size(); ++i)
+    EXPECT_NEAR(static_cast<double>(entries[i].gap_after), 150.0, 60.0);
+}
+
+TEST(Scaffold, ShuffledContigsStillOrdered) {
+  auto f = make_fixture();
+  // Shuffle contig order; the pairs must put them back.
+  std::vector<std::size_t> perm = {2, 0, 3, 1};
+  std::vector<dna::Sequence> shuffled;
+  for (const auto p : perm) shuffled.push_back(f.contigs[p]);
+  const auto pairs = make_pairs(f.genome);
+  ScaffoldParams sp;
+  sp.insert_mean = 400.0;
+  const auto result = scaffold_contigs(shuffled, pairs, sp);
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto& entries = result.scaffolds[0].entries;
+  ASSERT_EQ(entries.size(), 4u);
+  // entry order must correspond to genome order 0,1,2,3 of the originals.
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(perm[entries[i].contig], i) << i;
+}
+
+TEST(Scaffold, ReverseComplementedContigDetected) {
+  auto f = make_fixture(3);
+  std::vector<dna::Sequence> contigs = f.contigs;
+  contigs[1] = contigs[1].reverse_complement();
+  const auto pairs = make_pairs(f.genome, 4000);
+  ScaffoldParams sp;
+  sp.insert_mean = 400.0;
+  const auto result = scaffold_contigs(contigs, pairs, sp);
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto& entries = result.scaffolds[0].entries;
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[1].contig, 1u);
+  EXPECT_TRUE(entries[1].reverse);
+  EXPECT_FALSE(entries[0].reverse);
+  EXPECT_FALSE(entries[2].reverse);
+}
+
+TEST(Scaffold, SpellRendersNsBetweenContigs) {
+  const auto f = make_fixture(2, 800, 50);
+  const auto pairs = make_pairs(f.genome, 3000);
+  ScaffoldParams sp;
+  sp.insert_mean = 400.0;
+  const auto result = scaffold_contigs(f.contigs, pairs, sp);
+  ASSERT_EQ(result.scaffolds.size(), 1u);
+  const auto text = result.scaffolds[0].spell(f.contigs);
+  EXPECT_NE(text.find('N'), std::string::npos);
+  // Contig bases surround the gap.
+  EXPECT_EQ(text.substr(0, 800), f.contigs[0].to_string());
+  EXPECT_EQ(result.scaffolds[0].contig_length(f.contigs), 1600u);
+}
+
+TEST(Scaffold, UnlinkedContigsStaySingletons) {
+  // Pairs from one half of the genome only: the far contig gets no links.
+  const auto f = make_fixture(2, 1000, 3000);
+  dna::PairedReadParams pp;
+  pp.pair_count = 1500;
+  pp.read_length = 90;
+  pp.insert_mean = 300.0;
+  const auto genome_half = f.genome.subseq(0, 1400);
+  const auto pairs = dna::sample_read_pairs(genome_half, pp);
+  ScaffoldParams sp;
+  sp.insert_mean = 300.0;
+  const auto result = scaffold_contigs(f.contigs, pairs, sp);
+  EXPECT_EQ(result.scaffolds.size(), 2u);  // no cross links possible
+  EXPECT_EQ(result.links_used, 0u);
+}
+
+TEST(Scaffold, EmptyInputs) {
+  const auto result = scaffold_contigs({}, {}, {});
+  EXPECT_TRUE(result.scaffolds.empty());
+  EXPECT_EQ(result.pairs_total, 0u);
+}
+
+TEST(Scaffold, ParamsValidated) {
+  EXPECT_THROW(
+      scaffold_contigs({dna::Sequence::from_string("ACGT")}, {},
+                       ScaffoldParams{.k = 4}),
+      pima::PreconditionError);
+}
+
+TEST(Scaffold, EndToEndWithAssembler) {
+  // Full stage-1..3 pipeline: assemble unitigs from single-end reads, then
+  // scaffold them with mate pairs.
+  dna::GenomeParams gp;
+  gp.length = 6000;
+  gp.repeat_count = 0;
+  gp.seed = 31;
+  const auto genome = dna::generate_genome(gp);
+
+  dna::ReadSamplerParams rp;
+  rp.coverage = 12.0;
+  rp.read_length = 90;
+  const auto reads = dna::sample_reads(genome, rp);
+  AssemblyOptions opt;
+  opt.k = 23;
+  opt.euler_contigs = false;
+  const auto assembly = assemble(reads, opt);
+  ASSERT_GE(assembly.contigs.size(), 1u);
+
+  dna::PairedReadParams pp;
+  pp.pair_count = 2500;
+  pp.read_length = 90;
+  pp.insert_mean = 450.0;
+  const auto pairs = dna::sample_read_pairs(genome, pp);
+  ScaffoldParams sp;
+  sp.insert_mean = 450.0;
+  const auto result = scaffold_contigs(assembly.contigs, pairs, sp);
+  // Scaffolding can only reduce (or keep) the number of pieces.
+  EXPECT_LE(result.scaffolds.size(), assembly.contigs.size());
+  std::size_t placed = 0;
+  for (const auto& s : result.scaffolds) placed += s.entries.size();
+  // Every contig appears in exactly one scaffold.
+  EXPECT_EQ(placed, assembly.contigs.size());
+}
+
+}  // namespace
+}  // namespace pima::assembly

@@ -1,0 +1,139 @@
+#include "circuit/sense_amp.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pima::circuit {
+namespace {
+
+TEST(SenseAmp, EnableSetsMatchPaperTable) {
+  // Fig. 2a: memory mode keeps the MUX off; compute modes drive it.
+  const auto mem = enables_for(SaMode::kMemory);
+  EXPECT_TRUE(mem.en_m);
+  EXPECT_FALSE(mem.en_mux);
+  const auto xnor = enables_for(SaMode::kXnor2);
+  EXPECT_TRUE(xnor.en_mux);
+  EXPECT_FALSE(xnor.en_m);
+  const auto carry = enables_for(SaMode::kCarry);
+  EXPECT_TRUE(carry.en_c2);
+  const auto sum = enables_for(SaMode::kSum);
+  EXPECT_TRUE(sum.en_mux);
+  EXPECT_FALSE(sum.en_c2);
+}
+
+TEST(SenseAmp, DesignedThresholdsOrdered) {
+  const TechParams tech{};
+  const auto th = design_thresholds(tech);
+  EXPECT_LT(th.low_vs, th.normal_vs);
+  EXPECT_LT(th.normal_vs, th.high_vs);
+  EXPECT_NEAR(th.normal_vs, tech.vdd / 2.0, 1e-9);
+}
+
+TEST(SenseAmp, ThresholdsReduceToPaperIdealWithoutBitline) {
+  TechParams tech{};
+  tech.bitline_cap_ff = 1e-9;
+  const auto th = design_thresholds(tech);
+  EXPECT_NEAR(th.low_vs / tech.vdd, 0.25, 1e-6);   // paper: Vdd/4
+  EXPECT_NEAR(th.high_vs / tech.vdd, 0.75, 1e-6);  // paper: 3Vdd/4
+}
+
+TEST(SenseAmp, Xnor2TruthTable) {
+  SenseAmp sa(TechParams{});
+  EXPECT_TRUE(sa.xnor2(false, false));
+  EXPECT_FALSE(sa.xnor2(false, true));
+  EXPECT_FALSE(sa.xnor2(true, false));
+  EXPECT_TRUE(sa.xnor2(true, true));
+}
+
+TEST(SenseAmp, TwoRowGateOutputs) {
+  const TechParams tech{};
+  SenseAmp sa(tech);
+  // n = 0 (both zero): NOR fires, NAND fires, XOR low.
+  auto out = sa.sense_two_row(share_nominal(tech, 2, 0).v_bl);
+  EXPECT_TRUE(out.nor2);
+  EXPECT_TRUE(out.nand2);
+  EXPECT_FALSE(out.xor2);
+  EXPECT_TRUE(out.xnor2);
+  // n = 1: NOR low, NAND high → XOR fires.
+  out = sa.sense_two_row(share_nominal(tech, 2, 1).v_bl);
+  EXPECT_FALSE(out.nor2);
+  EXPECT_TRUE(out.nand2);
+  EXPECT_TRUE(out.xor2);
+  // n = 2: both detectors low.
+  out = sa.sense_two_row(share_nominal(tech, 2, 2).v_bl);
+  EXPECT_FALSE(out.nor2);
+  EXPECT_FALSE(out.nand2);
+  EXPECT_FALSE(out.xor2);
+  EXPECT_TRUE(out.xnor2);
+}
+
+TEST(SenseAmp, CarryIsMajority) {
+  SenseAmp sa(TechParams{});
+  for (int mask = 0; mask < 8; ++mask) {
+    const bool a = mask & 1, b = mask & 2, c = mask & 4;
+    const bool expect = (static_cast<int>(a) + b + c) >= 2;
+    EXPECT_EQ(sa.carry(a, b, c), expect) << "mask=" << mask;
+    EXPECT_EQ(sa.latched_carry(), expect);
+  }
+}
+
+TEST(SenseAmp, SumUsesLatchedCarry) {
+  SenseAmp sa(TechParams{});
+  sa.reset_latch();
+  // carry=0: sum = a ⊕ b.
+  EXPECT_FALSE(sa.sum(false, false));
+  EXPECT_TRUE(sa.sum(true, false));
+  // Latch a carry of 1 and re-check: sum = a ⊕ b ⊕ 1.
+  sa.carry(true, true, false);
+  ASSERT_TRUE(sa.latched_carry());
+  EXPECT_TRUE(sa.sum(false, false));
+  EXPECT_FALSE(sa.sum(true, false));
+  sa.reset_latch();
+  EXPECT_FALSE(sa.latched_carry());
+}
+
+// Full-adder property over all 8 input combinations: the paper's 2-cycle
+// protocol (sum cycle consuming the previously latched carry, then TRA
+// latching the next carry) must implement exact binary addition.
+class FullAdder : public ::testing::TestWithParam<int> {};
+
+TEST_P(FullAdder, TwoCycleProtocolMatchesAddition) {
+  const int mask = GetParam();
+  const bool a = mask & 1, b = mask & 2, cin = mask & 4;
+  SenseAmp sa(TechParams{});
+  // Cycle 0 of the previous bit latched cin.
+  sa.carry(cin, cin, cin);  // MAJ(x,x,x) = x: loads the latch with cin
+  ASSERT_EQ(sa.latched_carry(), cin);
+  const bool sum = sa.sum(a, b);
+  const bool cout = sa.carry(a, b, cin);
+  const int total = static_cast<int>(a) + static_cast<int>(b) +
+                    static_cast<int>(cin);
+  EXPECT_EQ(static_cast<int>(sum), total & 1);
+  EXPECT_EQ(static_cast<int>(cout), total >> 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllInputs, FullAdder, ::testing::Range(0, 8));
+
+// Multi-bit ripple addition through one SA: verifies the bit-serial
+// protocol end-to-end for every pair of 4-bit operands.
+class RippleAdd : public ::testing::TestWithParam<int> {};
+
+TEST_P(RippleAdd, FourBitExhaustive) {
+  const int x = GetParam() & 0xF, y = (GetParam() >> 4) & 0xF;
+  SenseAmp sa(TechParams{});
+  sa.reset_latch();
+  bool carry_row = false;  // the paper keeps c_i in a compute row too
+  int result = 0;
+  for (int bit = 0; bit < 5; ++bit) {
+    const bool ai = (x >> bit) & 1, bi = (y >> bit) & 1;
+    const bool s = sa.sum(ai, bi);           // uses latched c_i
+    const bool c = sa.carry(ai, bi, carry_row);  // latches c_{i+1}
+    carry_row = c;
+    result |= static_cast<int>(s) << bit;
+  }
+  EXPECT_EQ(result, x + y) << x << "+" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, RippleAdd, ::testing::Range(0, 256));
+
+}  // namespace
+}  // namespace pima::circuit

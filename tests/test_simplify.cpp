@@ -1,0 +1,178 @@
+#include "assembly/simplify.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembler.hpp"
+#include "assembly/contig.hpp"
+#include "assembly/verify.hpp"
+#include "dna/genome.hpp"
+
+namespace pima::assembly {
+namespace {
+
+DeBruijnGraph graph_of(const std::vector<std::string>& reads, std::size_t k,
+                       bool multiplicity = true) {
+  std::vector<dna::Sequence> seqs;
+  for (const auto& r : reads) seqs.push_back(dna::Sequence::from_string(r));
+  return DeBruijnGraph::from_counter(build_hashmap(seqs, k), multiplicity);
+}
+
+TEST(Simplify, NoArtifactsNoChanges) {
+  const auto g = graph_of({"ACGGTCAGGTTT"}, 4);
+  const auto result = simplify_graph(g);
+  EXPECT_EQ(result.graph.edge_count(), g.edge_count());
+  EXPECT_EQ(result.stats.tips_removed, 0u);
+  EXPECT_EQ(result.stats.bubbles_popped, 0u);
+}
+
+TEST(Simplify, CoverageFilterDropsWeakEdges) {
+  // Main sequence seen 3x, chimeric read once.
+  const auto g = graph_of(
+      {"ACGGTCAGGTTT", "ACGGTCAGGTTT", "ACGGTCAGGTTT", "TTTTGGGG"}, 5);
+  SimplifyParams p;
+  p.min_edge_multiplicity = 2;
+  p.max_tip_length = 0;
+  p.max_bubble_length = 0;
+  const auto result = simplify_graph(g, p);
+  EXPECT_GT(result.stats.low_coverage_removed, 0u);
+  for (const auto& e : result.graph.edges())
+    EXPECT_GE(e.multiplicity, 2u);
+}
+
+TEST(Simplify, ClipsForwardTip) {
+  // Trunk TTTACGGTCAG (seen twice) with a weak spur CATAC joining the
+  // trunk at node TAC (an error near a read start creates an in-degree-0
+  // source whose coverage is below the trunk's).
+  const auto g = graph_of({"TTTACGGTCAG", "TTTACGGTCAG", "CATAC"}, 4);
+  SimplifyParams p;
+  p.max_tip_length = 3;
+  p.max_bubble_length = 0;
+  const auto result = simplify_graph(g, p);
+  EXPECT_GT(result.stats.tips_removed, 0u);
+  // The trunk must survive intact: its contig still spells through.
+  const auto contigs = contigs_from_unitigs(result.graph);
+  bool trunk = false;
+  for (const auto& c : contigs)
+    if (c.to_string() == "TTTACGGTCAG") trunk = true;
+  EXPECT_TRUE(trunk);
+}
+
+TEST(Simplify, ClipsBackwardTip) {
+  // Weak spur leaving the trunk: trunk ACGGTCAGGT (x2) plus read TCAGAA
+  // branching at node CAG and dead-ending.
+  const auto g = graph_of({"ACGGTCAGGT", "ACGGTCAGGT", "TCAGAA"}, 4);
+  SimplifyParams p;
+  p.max_tip_length = 3;
+  p.max_bubble_length = 0;
+  const auto result = simplify_graph(g, p);
+  EXPECT_GT(result.stats.tips_removed, 0u);
+  // The spur is gone and every surviving unitig is trunk sequence (the
+  // trunk splits at its internal GGT repeat node, which is fine).
+  for (const auto& c : contigs_from_unitigs(result.graph)) {
+    const auto s = c.to_string();
+    EXPECT_NE(std::string("ACGGTCAGGT").find(s), std::string::npos) << s;
+    EXPECT_EQ(s.find("GAA"), std::string::npos) << s;
+  }
+}
+
+TEST(Simplify, LongTipPreserved) {
+  const auto g = graph_of({"TTTACGGTCAG", "TTTACGGTCAG", "CATAC"}, 4);
+  SimplifyParams p;
+  p.max_tip_length = 1;  // spur is 2 edges: too long to clip
+  p.max_bubble_length = 0;
+  const auto result = simplify_graph(g, p);
+  EXPECT_EQ(result.stats.tips_removed, 0u);
+  EXPECT_EQ(result.graph.edge_count(), g.edge_count());
+}
+
+TEST(Simplify, PopsBubble) {
+  // Same sequence with and without a single-base substitution mid-read:
+  // creates two equal-length parallel paths (a bubble). The erroneous
+  // variant is seen once, the true one three times.
+  const std::string true_seq = "AACCGGTTCAGTACGT";
+  std::string err_seq = true_seq;
+  err_seq[8] = 'G';  // C -> G mid-sequence
+  const auto g =
+      graph_of({true_seq, true_seq, true_seq, err_seq}, 5);
+  SimplifyParams p;
+  p.max_tip_length = 0;
+  p.max_bubble_length = 6;
+  const auto result = simplify_graph(g, p);
+  EXPECT_GE(result.stats.bubbles_popped, 1u);
+  // The surviving graph spells the true sequence as one unitig.
+  const auto contigs = contigs_from_unitigs(result.graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].to_string(), true_seq);
+}
+
+TEST(Simplify, BubbleKeepsStrongerBranch) {
+  const std::string true_seq = "AACCGGTTCAGTACGT";
+  std::string err_seq = true_seq;
+  err_seq[8] = 'G';
+  // Erroneous variant dominant (3x) — the popper keeps multiplicity, not
+  // truth; here it must keep the dominant branch.
+  const auto g = graph_of({err_seq, err_seq, err_seq, true_seq}, 5);
+  SimplifyParams p;
+  p.max_tip_length = 0;
+  p.max_bubble_length = 6;
+  const auto result = simplify_graph(g, p);
+  const auto contigs = contigs_from_unitigs(result.graph);
+  ASSERT_EQ(contigs.size(), 1u);
+  EXPECT_EQ(contigs[0].to_string(), err_seq);
+}
+
+TEST(Simplify, ErroredReadsAssembleCleanly) {
+  // The integration payoff: 1% substitution errors at 25x coverage. The
+  // raw graph fragments into many contigs; filter+clean recovers long,
+  // verifiable contigs.
+  dna::GenomeParams gp;
+  gp.length = 4000;
+  gp.repeat_count = 0;
+  gp.seed = 77;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 25.0;
+  rp.read_length = 90;
+  rp.error_rate = 0.01;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  AssemblyOptions raw;
+  raw.k = 21;
+  raw.euler_contigs = false;
+  raw.use_multiplicity = true;
+  AssemblyOptions clean = raw;
+  clean.min_kmer_freq = 3;
+  clean.simplify = true;
+  clean.simplify_params.max_tip_length = 4;
+  clean.simplify_params.max_bubble_length = 6;
+
+  const auto raw_result = assemble(reads, raw);
+  const auto clean_result = assemble(reads, clean);
+  EXPECT_LT(clean_result.graph_edges, raw_result.graph_edges);
+  EXPECT_GT(clean_result.stats.n50, raw_result.stats.n50);
+  const auto report =
+      verify_contigs(genome, clean_result.contigs, 3 * clean.k);
+  EXPECT_GT(report.reference_coverage, 0.85);
+  // Long contigs must be genuine (no chimeras from error edges).
+  EXPECT_GT(static_cast<double>(report.contigs_matching),
+            0.9 * static_cast<double>(report.contigs_checked));
+}
+
+TEST(Simplify, FromEdgesValidatesMultiplicity) {
+  EXPECT_THROW(DeBruijnGraph::from_edges(
+                   {{Kmer(0b0100, 2), 0u}}),
+               pima::PreconditionError);
+}
+
+TEST(Simplify, RoundsTerminate) {
+  const auto g =
+      graph_of({"TTTACGGTCAG", "TTTACGGTCAG", "CATAC", "TTACGGA"}, 4);
+  SimplifyParams p;
+  p.max_rounds = 10;
+  const auto result = simplify_graph(g, p);
+  EXPECT_LE(result.stats.rounds, 10u);
+  EXPECT_GE(result.stats.rounds, 1u);
+}
+
+}  // namespace
+}  // namespace pima::assembly

@@ -1,0 +1,106 @@
+#include "assembly/spectrum.hpp"
+
+#include <gtest/gtest.h>
+
+#include "assembly/assembler.hpp"
+#include "dna/genome.hpp"
+
+namespace pima::assembly {
+namespace {
+
+TEST(Spectrum, HistogramCountsExactly) {
+  // Fig. 5b table: CGTGC:2, five others:1.
+  const auto s = dna::Sequence::from_string("CGTGCGTGCTT");
+  const auto spec = compute_spectrum(build_hashmap({s}, 5));
+  EXPECT_EQ(spec.count_at(1), 5u);
+  EXPECT_EQ(spec.count_at(2), 1u);
+  EXPECT_EQ(spec.count_at(3), 0u);
+  EXPECT_EQ(spec.distinct_kmers, 6u);
+  EXPECT_EQ(spec.total_kmers, 7u);
+}
+
+TEST(Spectrum, TailAggregates) {
+  KmerCounter c(16);
+  const auto seq = dna::Sequence::from_string("ACGTA");
+  const auto km = Kmer::from_sequence(seq, 0, 5);
+  for (int i = 0; i < 10; ++i) c.insert_or_increment(km);
+  const auto spec = compute_spectrum(c, 4);
+  EXPECT_EQ(spec.count_at(4), 1u);  // 10 clamps into the last bin
+  EXPECT_EQ(spec.total_kmers, 10u);
+}
+
+TEST(Spectrum, MaxFreqValidated) {
+  KmerCounter c(4);
+  EXPECT_THROW(compute_spectrum(c, 1), pima::PreconditionError);
+}
+
+TEST(Spectrum, EmptyAnalysisIsBenign) {
+  KmerCounter c(4);
+  const auto a = analyze_spectrum(compute_spectrum(c));
+  EXPECT_EQ(a.error_cutoff, 1u);
+  EXPECT_EQ(a.genome_size_estimate, 0.0);
+}
+
+TEST(Spectrum, CleanReadsHaveCoveragePeak) {
+  dna::GenomeParams gp;
+  gp.length = 5000;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 20.0;
+  rp.read_length = 100;
+  const auto reads = dna::sample_reads(genome, rp);
+  const auto spec = compute_spectrum(build_hashmap(reads, 21), 64);
+  const auto a = analyze_spectrum(spec);
+  // k-mer coverage ≈ base coverage × (1 − (k−1)/L) = 20 × 0.8 = 16.
+  EXPECT_NEAR(a.coverage_peak, 16.0, 4.0);
+  EXPECT_NEAR(a.genome_size_estimate, 5000.0, 1000.0);
+}
+
+TEST(Spectrum, ErroredReadsShowValleyAndCutoff) {
+  dna::GenomeParams gp;
+  gp.length = 5000;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 30.0;
+  rp.read_length = 100;
+  rp.error_rate = 0.01;
+  const auto reads = dna::sample_reads(genome, rp);
+  const auto spec = compute_spectrum(build_hashmap(reads, 21), 64);
+  const auto a = analyze_spectrum(spec);
+  // Error k-mers pile up at f=1..2; the cutoff must separate them.
+  EXPECT_GT(a.error_cutoff, 1u);
+  EXPECT_LT(a.error_cutoff, 10u);
+  EXPECT_GT(a.coverage_peak, a.error_cutoff);
+  EXPECT_GT(a.error_kmer_fraction, 0.3);  // errors dominate distinct kmers
+  EXPECT_NEAR(a.genome_size_estimate, 5000.0, 1500.0);
+}
+
+TEST(Spectrum, CutoffFeedsAssemblyFilter) {
+  // The analysis output plugs directly into AssemblyOptions::min_kmer_freq
+  // and the resulting assembly verifies.
+  dna::GenomeParams gp;
+  gp.length = 3000;
+  gp.repeat_count = 0;
+  gp.seed = 5;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 30.0;
+  rp.read_length = 90;
+  rp.error_rate = 0.005;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  const auto a =
+      analyze_spectrum(compute_spectrum(build_hashmap(reads, 21), 64));
+  ASSERT_GT(a.error_cutoff, 1u);
+  AssemblyOptions opt;
+  opt.k = 21;
+  opt.min_kmer_freq = a.error_cutoff;
+  opt.euler_contigs = false;
+  const auto result = assemble(reads, opt);
+  EXPECT_GT(result.stats.n50, 500u);
+}
+
+}  // namespace
+}  // namespace pima::assembly

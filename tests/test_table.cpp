@@ -1,0 +1,57 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+
+namespace pima {
+namespace {
+
+TEST(TextTable, RendersTitleHeaderAndRows) {
+  TextTable t("Demo");
+  t.set_header({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  const auto out = t.render();
+  EXPECT_NE(out.find("== Demo =="), std::string::npos);
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+TEST(TextTable, ColumnsAreAligned) {
+  TextTable t("T");
+  t.set_header({"a", "b"});
+  t.add_row({"xxxx", "1"});
+  const auto out = t.render();
+  // Header 'b' must start at the same column as '1'.
+  const auto header_line = out.substr(out.find('\n') + 1);
+  const auto row_line = out.substr(out.rfind('\n', out.size() - 2) + 1);
+  EXPECT_EQ(header_line.find('b'), row_line.find('1'));
+}
+
+TEST(TextTable, RowWidthMismatchThrows) {
+  TextTable t("T");
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, NumFormatsCompactly) {
+  EXPECT_EQ(TextTable::num(1.0), "1");
+  EXPECT_EQ(TextTable::num(2.5), "2.5");
+  EXPECT_EQ(TextTable::num(0.123456, 3), "0.123");
+}
+
+TEST(Units, PowerAndThroughput) {
+  // 1000 pJ over 10 ns = 1e-9 J / 1e-8 s = 0.1 W.
+  EXPECT_DOUBLE_EQ(power_watts(1000.0, 10.0), 0.1);
+  EXPECT_DOUBLE_EQ(power_watts(1000.0, 0.0), 0.0);
+  // 100 ops in 100 ns = 1e9 ops/s.
+  EXPECT_DOUBLE_EQ(ops_per_second(100.0, 100.0), 1e9);
+  EXPECT_DOUBLE_EQ(ns_to_s(1e9), 1.0);
+  EXPECT_DOUBLE_EQ(j_to_pj(pj_to_j(123.0)), 123.0);
+}
+
+}  // namespace
+}  // namespace pima

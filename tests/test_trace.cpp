@@ -1,0 +1,114 @@
+#include "dram/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dram/subarray.hpp"
+
+namespace pima::dram {
+namespace {
+
+Geometry tiny() {
+  Geometry g;
+  g.rows = 64;
+  g.compute_rows = 8;
+  g.columns = 32;
+  return g;
+}
+
+TEST(Trace, RecordsEveryCommandInOrder) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.write_row(1, BitVector(32));
+  sa.aap_copy(1, 2);
+  sa.compare_rows(1, 2, 10);
+  ASSERT_EQ(sink.size(), 5u);  // write, copy, 2 staging copies, xnor
+  EXPECT_EQ(sink.entries()[0].kind, CommandKind::kRowWrite);
+  EXPECT_EQ(sink.entries()[1].kind, CommandKind::kAapCopy);
+  EXPECT_EQ(sink.entries()[1].row_a, 1u);
+  EXPECT_EQ(sink.entries()[1].dst, 2u);
+  EXPECT_EQ(sink.entries()[4].kind, CommandKind::kAapTwoRow);
+  EXPECT_EQ(sink.entries()[4].dst, 10u);
+}
+
+TEST(Trace, TimestampsAreMonotone) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  for (int i = 0; i < 5; ++i) sa.aap_copy(0, 1);
+  double prev = -1.0;
+  for (const auto& e : sink.entries()) {
+    EXPECT_GT(e.start_ns, prev);
+    EXPECT_GT(e.latency_ns, 0.0);
+    EXPECT_GT(e.energy_pj, 0.0);
+    prev = e.start_ns;
+  }
+}
+
+TEST(Trace, DetachStopsRecording) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.aap_copy(0, 1);
+  sa.attach_trace(nullptr);
+  sa.aap_copy(0, 1);
+  EXPECT_EQ(sink.size(), 1u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(Trace, CsvHasHeaderAndRows) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.aap_copy(3, 7);
+  const auto csv = sink.to_csv();
+  EXPECT_NE(csv.find("kind,row_a"), std::string::npos);
+  EXPECT_NE(csv.find("AAP_COPY,3,0,0,7"), std::string::npos);
+}
+
+TEST(Trace, BreakdownFromTraceAggregates) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.aap_copy(0, 1);
+  sa.aap_copy(1, 2);
+  sa.write_row(3, BitVector(32));
+  const auto b = breakdown_from_trace(sink.entries());
+  ASSERT_EQ(b.rows.size(), 2u);  // copies and writes
+  double total = 0.0;
+  for (const auto& row : b.rows) {
+    EXPECT_GT(row.count, 0u);
+    total += row.energy_pj;
+  }
+  EXPECT_DOUBLE_EQ(total, b.total_energy_pj);
+  EXPECT_DOUBLE_EQ(b.total_energy_pj, sa.stats().energy_pj);
+  EXPECT_DOUBLE_EQ(b.total_time_ns, sa.stats().busy_ns);
+}
+
+TEST(Trace, BreakdownFromStatsMatchesTrace) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.compare_rows(0, 1, 10);
+  sa.write_row(5, BitVector(32));
+  const auto from_trace = breakdown_from_trace(sink.entries());
+  const auto from_stats = breakdown_from_stats(
+      sa.stats(), sa.geometry().columns, circuit::default_technology());
+  EXPECT_DOUBLE_EQ(from_trace.total_energy_pj, from_stats.total_energy_pj);
+  EXPECT_DOUBLE_EQ(from_trace.total_time_ns, from_stats.total_time_ns);
+  EXPECT_EQ(from_trace.rows.size(), from_stats.rows.size());
+}
+
+TEST(Trace, RenderContainsShares) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.aap_copy(0, 1);
+  const auto text = breakdown_from_trace(sink.entries()).render("demo");
+  EXPECT_NE(text.find("AAP_COPY"), std::string::npos);
+  EXPECT_NE(text.find("100%"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pima::dram

@@ -1,0 +1,80 @@
+#include "circuit/transient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace pima::circuit {
+namespace {
+
+TEST(Transient, RestoredVoltageMatchesXnor) {
+  const TechParams tech{};
+  // Paper Fig. 3a: cell charged to Vdd for 00/11, discharged for 01/10.
+  EXPECT_DOUBLE_EQ(restored_cell_voltage(tech, false, false), tech.vdd);
+  EXPECT_DOUBLE_EQ(restored_cell_voltage(tech, true, true), tech.vdd);
+  EXPECT_DOUBLE_EQ(restored_cell_voltage(tech, false, true), 0.0);
+  EXPECT_DOUBLE_EQ(restored_cell_voltage(tech, true, false), 0.0);
+}
+
+class TransientCase
+    : public ::testing::TestWithParam<std::pair<bool, bool>> {};
+
+TEST_P(TransientCase, PhasesSettleToExpectedLevels) {
+  const TechParams tech{};
+  const auto [di, dj] = GetParam();
+  const TransientPhases phases{};
+  const auto wave = simulate_xnor2_transient(tech, di, dj, 0.05, phases);
+  ASSERT_FALSE(wave.empty());
+
+  // Samples must cover the full window at the requested spacing.
+  EXPECT_NEAR(wave.front().t_ns, 0.0, 1e-9);
+  EXPECT_GE(wave.back().t_ns, phases.sense_end_ns - 0.06);
+
+  auto at = [&](double t) {
+    for (const auto& p : wave)
+      if (p.t_ns >= t) return p;
+    return wave.back();
+  };
+
+  // End of precharge: BL at Vdd/2.
+  EXPECT_NEAR(at(phases.precharge_end_ns - 0.1).v_bl, tech.vdd / 2.0,
+              0.02 * tech.vdd);
+  // End of sharing: BL at the charge-shared level.
+  const int n = static_cast<int>(di) + static_cast<int>(dj);
+  EXPECT_NEAR(at(phases.share_end_ns - 0.1).v_bl,
+              share_nominal(tech, 2, n).v_bl, 0.02 * tech.vdd);
+  // End of sensing: full-swing XNOR result on BL and cell.
+  const double expect = restored_cell_voltage(tech, di, dj);
+  EXPECT_NEAR(wave.back().v_bl, expect, 0.01 * tech.vdd);
+  EXPECT_NEAR(wave.back().v_cell, expect, 0.01 * tech.vdd);
+}
+
+TEST_P(TransientCase, VoltagesStayWithinRails) {
+  const TechParams tech{};
+  const auto [di, dj] = GetParam();
+  for (const auto& p : simulate_xnor2_transient(tech, di, dj)) {
+    EXPECT_GE(p.v_bl, -1e-9);
+    EXPECT_LE(p.v_bl, tech.vdd + 1e-9);
+    EXPECT_GE(p.v_cell, -1e-9);
+    EXPECT_LE(p.v_cell, tech.vdd + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOperands, TransientCase,
+                         ::testing::Values(std::pair{false, false},
+                                           std::pair{false, true},
+                                           std::pair{true, false},
+                                           std::pair{true, true}));
+
+TEST(Transient, InvalidParamsThrow) {
+  const TechParams tech{};
+  EXPECT_THROW(simulate_xnor2_transient(tech, false, false, 0.0),
+               PreconditionError);
+  TransientPhases bad;
+  bad.share_end_ns = bad.precharge_end_ns;  // non-increasing
+  EXPECT_THROW(simulate_xnor2_transient(tech, false, false, 0.1, bad),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace pima::circuit

@@ -1,0 +1,68 @@
+#include "assembly/verify.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pima::assembly {
+namespace {
+
+dna::Sequence seq(const std::string& s) {
+  return dna::Sequence::from_string(s);
+}
+
+TEST(Verify, ContainsSubsequence) {
+  EXPECT_TRUE(contains_subsequence(seq("ACGTACGT"), seq("GTAC")));
+  EXPECT_FALSE(contains_subsequence(seq("ACGTACGT"), seq("GGGG")));
+  EXPECT_FALSE(contains_subsequence(seq("ACG"), seq("ACGT")));
+  EXPECT_TRUE(contains_subsequence(seq("ACG"), dna::Sequence{}));
+}
+
+TEST(Verify, ExactContigsMatch) {
+  const auto ref = seq("ACGTACGGTTCAGT");
+  const auto report =
+      verify_contigs(ref, {seq("ACGTAC"), seq("GTTCAGT")});
+  EXPECT_EQ(report.contigs_checked, 2u);
+  EXPECT_EQ(report.contigs_matching, 2u);
+  EXPECT_TRUE(report.all_match());
+}
+
+TEST(Verify, ReverseComplementContigCounts) {
+  const auto ref = seq("AACCGGTTAC");
+  // RC of AACCGG is CCGGTT — wait, take RC of a ref slice directly.
+  const auto rc_contig = ref.subseq(0, 6).reverse_complement();
+  const auto report = verify_contigs(ref, {rc_contig});
+  EXPECT_EQ(report.contigs_matching, 1u);
+  EXPECT_NEAR(report.reference_coverage, 0.6, 1e-9);
+}
+
+TEST(Verify, MismatchDetected) {
+  // GTGTGT appears neither in the reference nor in its reverse complement.
+  const auto report = verify_contigs(seq("AAAACCCC"), {seq("GTGTGT")});
+  EXPECT_EQ(report.contigs_matching, 0u);
+  EXPECT_FALSE(report.all_match());
+  EXPECT_DOUBLE_EQ(report.reference_coverage, 0.0);
+}
+
+TEST(Verify, CoverageAccountsOverlaps) {
+  const auto ref = seq("AACCGGTT");
+  const auto report = verify_contigs(ref, {seq("AACCG"), seq("CCGGT")});
+  // Union covers positions 0..6 (7 of 8).
+  EXPECT_NEAR(report.reference_coverage, 7.0 / 8.0, 1e-9);
+}
+
+TEST(Verify, RepeatedContigMarksAllOccurrences) {
+  const auto ref = seq("ACGTTTACGT");
+  const auto report = verify_contigs(ref, {seq("ACGT")});
+  // ACGT occurs at 0 and 6: coverage 8/10.
+  EXPECT_NEAR(report.reference_coverage, 0.8, 1e-9);
+}
+
+TEST(Verify, MinLengthSkipsFragments) {
+  const auto ref = seq("AACCGGTT");
+  const auto report = verify_contigs(ref, {seq("AA"), seq("AACCGGTT")}, 4);
+  EXPECT_EQ(report.contigs_checked, 1u);
+  EXPECT_EQ(report.contigs_matching, 1u);
+  EXPECT_DOUBLE_EQ(report.reference_coverage, 1.0);
+}
+
+}  // namespace
+}  // namespace pima::assembly

@@ -1,0 +1,284 @@
+// pima_asm — command-line front end of the PIM-Assembler library.
+//
+//   pima_asm generate  --length 50000 --coverage 20 --genome g.fa --reads r.fa
+//   pima_asm assemble  --reads r.fa --k 21 --out contigs.fa [--reference g.fa]
+//   pima_asm pim-run   --reads r.fa --k 17 --shards 16 [--reference g.fa]
+//   pima_asm project   [--k 16]
+//
+// `generate` writes a synthetic chromosome and a sampled read set as FASTA;
+// `assemble` runs the software pipeline (with optional error cleaning);
+// `pim-run` executes the bit-accurate PIM simulation and reports per-stage
+// command/energy statistics; `project` prints the full-scale chr14 cost
+// estimates for every platform.
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "assembly/assembler.hpp"
+#include "assembly/gfa.hpp"
+#include "assembly/spectrum.hpp"
+#include "assembly/verify.hpp"
+#include "common/table.hpp"
+#include "core/cost_model.hpp"
+#include "core/pipeline.hpp"
+#include "dna/fasta.hpp"
+#include "dna/genome.hpp"
+#include "platforms/presets.hpp"
+
+namespace {
+
+using namespace pima;
+
+// Minimal --key value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) fail("expected --flag, got: " + key);
+      key = key.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    return it->second;
+  }
+  std::string require(const std::string& key) const {
+    const auto v = get(key);
+    if (!v) fail("missing required --" + key);
+    return *v;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto v = get(key);
+    return v ? static_cast<std::size_t>(std::stoull(*v)) : fallback;
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto v = get(key);
+    return v ? std::stod(*v) : fallback;
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+
+  [[noreturn]] static void fail(const std::string& msg) {
+    std::fprintf(stderr, "pima_asm: %s\n", msg.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+std::vector<dna::Sequence> load_reads(const std::string& path) {
+  const auto records = dna::read_fasta_file(path);
+  std::vector<dna::Sequence> reads;
+  reads.reserve(records.size());
+  for (const auto& r : records) reads.push_back(r.seq);
+  return reads;
+}
+
+void report_verification(const std::string& reference_path,
+                         const std::vector<dna::Sequence>& contigs,
+                         std::size_t min_len) {
+  const auto ref = dna::read_fasta_file(reference_path);
+  if (ref.empty()) Args::fail("empty reference: " + reference_path);
+  const auto report =
+      assembly::verify_contigs(ref.front().seq, contigs, min_len);
+  std::printf("verify: %zu/%zu contigs match, %.1f%% reference coverage\n",
+              report.contigs_matching, report.contigs_checked,
+              100.0 * report.reference_coverage);
+}
+
+int cmd_generate(const Args& args) {
+  dna::GenomeParams gp;
+  gp.length = args.get_size("length", 50'000);
+  gp.gc_content = args.get_double("gc", 0.42);
+  gp.repeat_count = args.get_size("repeats", 10);
+  gp.repeat_length = args.get_size("repeat-length", 300);
+  gp.seed = args.get_size("seed", 14);
+  const auto genome = dna::generate_genome(gp);
+
+  dna::ReadSamplerParams rp;
+  rp.read_length = args.get_size("read-length", 101);
+  rp.coverage = args.get_double("coverage", 20.0);
+  rp.error_rate = args.get_double("errors", 0.0);
+  rp.seed = gp.seed + 1;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  dna::write_fasta_file(args.require("genome"), {{"synthetic_chromosome",
+                                                  genome}});
+  std::vector<dna::Record> read_records;
+  read_records.reserve(reads.size());
+  for (std::size_t i = 0; i < reads.size(); ++i)
+    read_records.push_back({"read_" + std::to_string(i), reads[i]});
+  dna::write_fasta_file(args.require("reads"), read_records);
+  std::printf("wrote %zu bp genome and %zu reads (%.0fx)\n", genome.size(),
+              reads.size(), rp.coverage);
+  return 0;
+}
+
+int cmd_assemble(const Args& args) {
+  const auto reads = load_reads(args.require("reads"));
+  assembly::AssemblyOptions opt;
+  opt.k = args.get_size("k", 21);
+  opt.min_kmer_freq =
+      static_cast<std::uint32_t>(args.get_size("min-freq", 1));
+  opt.euler_contigs = args.has("euler");
+  opt.use_multiplicity = args.has("multiplicity") || args.has("simplify");
+  opt.simplify = args.has("simplify");
+  const auto result = assembly::assemble(reads, opt);
+
+  std::printf("reads: %zu   distinct %zu-mers: %zu\n", reads.size(), opt.k,
+              result.distinct_kmers);
+  std::printf("graph: %zu nodes / %zu edges", result.graph_nodes,
+              result.graph_edges);
+  if (opt.simplify)
+    std::printf("  (cleaned: %zu low-cov, %zu tip edges, %zu bubbles)",
+                result.simplify_stats.low_coverage_removed,
+                result.simplify_stats.tips_removed,
+                result.simplify_stats.bubbles_popped);
+  std::printf("\ncontigs: %zu, N50 %zu bp, longest %zu bp, total %zu bp\n",
+              result.stats.count, result.stats.n50, result.stats.longest,
+              result.stats.total_length);
+
+  if (const auto out = args.get("out")) {
+    std::vector<dna::Record> records;
+    for (std::size_t i = 0; i < result.contigs.size(); ++i)
+      records.push_back({"contig_" + std::to_string(i), result.contigs[i]});
+    dna::write_fasta_file(*out, records);
+    std::printf("wrote %zu contigs to %s\n", records.size(), out->c_str());
+  }
+  if (const auto gfa_path = args.get("gfa")) {
+    const auto counter = assembly::build_hashmap(reads, opt.k);
+    const auto graph =
+        assembly::DeBruijnGraph::from_counter(counter, true);
+    std::ofstream gfa_out(*gfa_path);
+    if (!gfa_out) Args::fail("cannot open " + *gfa_path);
+    assembly::write_gfa(gfa_out, assembly::build_gfa(graph));
+    std::printf("wrote assembly graph to %s\n", gfa_path->c_str());
+  }
+  if (const auto ref = args.get("reference"))
+    report_verification(*ref, result.contigs, 2 * opt.k);
+  return 0;
+}
+
+int cmd_pim_run(const Args& args) {
+  const auto reads = load_reads(args.require("reads"));
+  dram::Geometry geom;
+  geom.rows = args.get_size("rows", 512);
+  geom.columns = 256;
+  geom.subarrays_per_mat = 16;
+  geom.mats_per_bank = 4;
+  geom.banks = 2;
+  dram::Device device(geom);
+
+  core::PipelineOptions opt;
+  opt.k = args.get_size("k", 17);
+  opt.hash_shards = args.get_size("shards", 16);
+  opt.euler_contigs = args.has("euler");
+  const auto result = core::run_pipeline(device, reads, opt);
+
+  TextTable table("PIM-Assembler simulated execution");
+  table.set_header({"stage", "commands", "time (us)", "energy (nJ)",
+                    "sub-arrays"});
+  for (const auto* stage :
+       {&result.hashmap, &result.debruijn, &result.traverse})
+    table.add_row({stage->name, std::to_string(stage->device.commands),
+                   TextTable::num(stage->device.time_ns / 1e3, 4),
+                   TextTable::num(stage->device.energy_pj / 1e3, 4),
+                   std::to_string(stage->device.subarrays_used)});
+  std::fputs(table.render().c_str(), stdout);
+  std::printf("contigs: %zu, N50 %zu bp\n", result.contig_stats.count,
+              result.contig_stats.n50);
+  if (const auto ref = args.get("reference"))
+    report_verification(*ref, result.contigs, 2 * opt.k);
+  return 0;
+}
+
+int cmd_spectrum(const Args& args) {
+  const auto reads = load_reads(args.require("reads"));
+  const std::size_t k = args.get_size("k", 21);
+  const auto spec = assembly::compute_spectrum(
+      assembly::build_hashmap(reads, k),
+      static_cast<std::uint32_t>(args.get_size("max-freq", 64)));
+  const auto a = assembly::analyze_spectrum(spec);
+  std::printf("k=%zu  distinct=%llu  total=%llu\n", k,
+              static_cast<unsigned long long>(spec.distinct_kmers),
+              static_cast<unsigned long long>(spec.total_kmers));
+  std::printf(
+      "error cutoff: %u   coverage peak: %u   genome size ~%.0f bp   "
+      "error k-mers: %.1f%%\n",
+      a.error_cutoff, a.coverage_peak, a.genome_size_estimate,
+      100.0 * a.error_kmer_fraction);
+  TextTable table("k-mer frequency histogram");
+  table.set_header({"freq", "distinct k-mers"});
+  for (std::uint32_t f = 1; f < spec.histogram.size(); ++f)
+    if (spec.histogram[f] > 0)
+      table.add_row({std::to_string(f), std::to_string(spec.histogram[f])});
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+int cmd_project(const Args& args) {
+  core::WorkloadParams w;
+  w.k = args.get_size("k", 16);
+  TextTable table("chr14 full-scale projection (paper Fig. 9 configuration)");
+  table.set_header({"platform", "hashmap (s)", "deBruijn (s)",
+                    "traverse (s)", "total (s)", "power (W)"});
+  for (const auto& p : platforms::application_platforms()) {
+    const auto cost = core::estimate_application(p, w);
+    table.add_row({p.name, TextTable::num(cost.hashmap.time_s, 4),
+                   TextTable::num(cost.debruijn.time_s, 4),
+                   TextTable::num(cost.traverse.time_s, 4),
+                   TextTable::num(cost.total_time_s, 4),
+                   TextTable::num(cost.avg_power_w, 4)});
+  }
+  std::fputs(table.render().c_str(), stdout);
+  return 0;
+}
+
+void usage() {
+  std::puts(
+      "usage: pima_asm <command> [--flags]\n"
+      "  generate --genome <out.fa> --reads <out.fa> [--length N]\n"
+      "           [--coverage C] [--read-length L] [--errors RATE]\n"
+      "           [--repeats N] [--gc F] [--seed N]\n"
+      "  assemble --reads <in.fa> [--k K] [--min-freq N] [--simplify]\n"
+      "           [--euler] [--out contigs.fa] [--reference genome.fa]\n"
+      "  pim-run  --reads <in.fa> [--k K] [--shards N] [--euler]\n"
+      "           [--reference genome.fa]\n"
+      "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
+      "  project  [--k K]");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  try {
+    const Args args(argc, argv, 2);
+    if (cmd == "generate") return cmd_generate(args);
+    if (cmd == "assemble") return cmd_assemble(args);
+    if (cmd == "pim-run") return cmd_pim_run(args);
+    if (cmd == "spectrum") return cmd_spectrum(args);
+    if (cmd == "project") return cmd_project(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pima_asm: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
