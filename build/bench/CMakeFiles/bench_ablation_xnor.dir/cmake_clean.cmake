@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_xnor.dir/bench_ablation_xnor.cpp.o"
+  "CMakeFiles/bench_ablation_xnor.dir/bench_ablation_xnor.cpp.o.d"
+  "bench_ablation_xnor"
+  "bench_ablation_xnor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_xnor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

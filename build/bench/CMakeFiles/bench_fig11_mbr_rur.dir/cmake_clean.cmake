@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_mbr_rur.dir/bench_fig11_mbr_rur.cpp.o"
+  "CMakeFiles/bench_fig11_mbr_rur.dir/bench_fig11_mbr_rur.cpp.o.d"
+  "bench_fig11_mbr_rur"
+  "bench_fig11_mbr_rur.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_mbr_rur.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bulk_compare.dir/bulk_compare.cpp.o"
+  "CMakeFiles/bulk_compare.dir/bulk_compare.cpp.o.d"
+  "bulk_compare"
+  "bulk_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bulk_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

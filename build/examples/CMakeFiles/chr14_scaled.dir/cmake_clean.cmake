@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chr14_scaled.dir/chr14_scaled.cpp.o"
+  "CMakeFiles/chr14_scaled.dir/chr14_scaled.cpp.o.d"
+  "chr14_scaled"
+  "chr14_scaled.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chr14_scaled.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for chr14_scaled.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for chr14_scaled.
+# This may be replaced when dependencies are built.

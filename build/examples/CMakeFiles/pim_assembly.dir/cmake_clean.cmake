@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_assembly.dir/pim_assembly.cpp.o"
+  "CMakeFiles/pim_assembly.dir/pim_assembly.cpp.o.d"
+  "pim_assembly"
+  "pim_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

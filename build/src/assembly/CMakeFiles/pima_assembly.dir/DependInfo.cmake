@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/assembly/assembler.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/assembler.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/assembler.cpp.o.d"
+  "/root/repo/src/assembly/contig.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/contig.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/contig.cpp.o.d"
+  "/root/repo/src/assembly/debruijn.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/debruijn.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/debruijn.cpp.o.d"
+  "/root/repo/src/assembly/euler.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/euler.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/euler.cpp.o.d"
+  "/root/repo/src/assembly/gfa.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/gfa.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/gfa.cpp.o.d"
+  "/root/repo/src/assembly/hash_table.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/hash_table.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/hash_table.cpp.o.d"
+  "/root/repo/src/assembly/scaffold.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/scaffold.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/scaffold.cpp.o.d"
+  "/root/repo/src/assembly/simplify.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/simplify.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/simplify.cpp.o.d"
+  "/root/repo/src/assembly/spectrum.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/spectrum.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/spectrum.cpp.o.d"
+  "/root/repo/src/assembly/verify.cpp" "src/assembly/CMakeFiles/pima_assembly.dir/verify.cpp.o" "gcc" "src/assembly/CMakeFiles/pima_assembly.dir/verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pima_dna.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_assembly.dir/assembler.cpp.o"
+  "CMakeFiles/pima_assembly.dir/assembler.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/contig.cpp.o"
+  "CMakeFiles/pima_assembly.dir/contig.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/debruijn.cpp.o"
+  "CMakeFiles/pima_assembly.dir/debruijn.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/euler.cpp.o"
+  "CMakeFiles/pima_assembly.dir/euler.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/gfa.cpp.o"
+  "CMakeFiles/pima_assembly.dir/gfa.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/hash_table.cpp.o"
+  "CMakeFiles/pima_assembly.dir/hash_table.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/scaffold.cpp.o"
+  "CMakeFiles/pima_assembly.dir/scaffold.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/simplify.cpp.o"
+  "CMakeFiles/pima_assembly.dir/simplify.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/spectrum.cpp.o"
+  "CMakeFiles/pima_assembly.dir/spectrum.cpp.o.d"
+  "CMakeFiles/pima_assembly.dir/verify.cpp.o"
+  "CMakeFiles/pima_assembly.dir/verify.cpp.o.d"
+  "libpima_assembly.a"
+  "libpima_assembly.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/circuit/area.cpp" "src/circuit/CMakeFiles/pima_circuit.dir/area.cpp.o" "gcc" "src/circuit/CMakeFiles/pima_circuit.dir/area.cpp.o.d"
+  "/root/repo/src/circuit/charge_sharing.cpp" "src/circuit/CMakeFiles/pima_circuit.dir/charge_sharing.cpp.o" "gcc" "src/circuit/CMakeFiles/pima_circuit.dir/charge_sharing.cpp.o.d"
+  "/root/repo/src/circuit/montecarlo.cpp" "src/circuit/CMakeFiles/pima_circuit.dir/montecarlo.cpp.o" "gcc" "src/circuit/CMakeFiles/pima_circuit.dir/montecarlo.cpp.o.d"
+  "/root/repo/src/circuit/sense_amp.cpp" "src/circuit/CMakeFiles/pima_circuit.dir/sense_amp.cpp.o" "gcc" "src/circuit/CMakeFiles/pima_circuit.dir/sense_amp.cpp.o.d"
+  "/root/repo/src/circuit/transient.cpp" "src/circuit/CMakeFiles/pima_circuit.dir/transient.cpp.o" "gcc" "src/circuit/CMakeFiles/pima_circuit.dir/transient.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

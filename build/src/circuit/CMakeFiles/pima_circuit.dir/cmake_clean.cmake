@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_circuit.dir/area.cpp.o"
+  "CMakeFiles/pima_circuit.dir/area.cpp.o.d"
+  "CMakeFiles/pima_circuit.dir/charge_sharing.cpp.o"
+  "CMakeFiles/pima_circuit.dir/charge_sharing.cpp.o.d"
+  "CMakeFiles/pima_circuit.dir/montecarlo.cpp.o"
+  "CMakeFiles/pima_circuit.dir/montecarlo.cpp.o.d"
+  "CMakeFiles/pima_circuit.dir/sense_amp.cpp.o"
+  "CMakeFiles/pima_circuit.dir/sense_amp.cpp.o.d"
+  "CMakeFiles/pima_circuit.dir/transient.cpp.o"
+  "CMakeFiles/pima_circuit.dir/transient.cpp.o.d"
+  "libpima_circuit.a"
+  "libpima_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_common.dir/bitvector.cpp.o"
+  "CMakeFiles/pima_common.dir/bitvector.cpp.o.d"
+  "CMakeFiles/pima_common.dir/stats.cpp.o"
+  "CMakeFiles/pima_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pima_common.dir/table.cpp.o"
+  "CMakeFiles/pima_common.dir/table.cpp.o.d"
+  "libpima_common.a"
+  "libpima_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

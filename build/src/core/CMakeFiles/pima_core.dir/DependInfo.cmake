@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cost_model.cpp" "src/core/CMakeFiles/pima_core.dir/cost_model.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/cost_model.cpp.o.d"
+  "/root/repo/src/core/degree.cpp" "src/core/CMakeFiles/pima_core.dir/degree.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/degree.cpp.o.d"
+  "/root/repo/src/core/graph_map.cpp" "src/core/CMakeFiles/pima_core.dir/graph_map.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/graph_map.cpp.o.d"
+  "/root/repo/src/core/layout.cpp" "src/core/CMakeFiles/pima_core.dir/layout.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/layout.cpp.o.d"
+  "/root/repo/src/core/pd_optimizer.cpp" "src/core/CMakeFiles/pima_core.dir/pd_optimizer.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/pd_optimizer.cpp.o.d"
+  "/root/repo/src/core/pim_aligner.cpp" "src/core/CMakeFiles/pima_core.dir/pim_aligner.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/pim_aligner.cpp.o.d"
+  "/root/repo/src/core/pim_bfs.cpp" "src/core/CMakeFiles/pima_core.dir/pim_bfs.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/pim_bfs.cpp.o.d"
+  "/root/repo/src/core/pim_hash_table.cpp" "src/core/CMakeFiles/pima_core.dir/pim_hash_table.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/pim_hash_table.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/pima_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/pima_core.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pima_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/pima_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pima_assembly.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_core.dir/cost_model.cpp.o"
+  "CMakeFiles/pima_core.dir/cost_model.cpp.o.d"
+  "CMakeFiles/pima_core.dir/degree.cpp.o"
+  "CMakeFiles/pima_core.dir/degree.cpp.o.d"
+  "CMakeFiles/pima_core.dir/graph_map.cpp.o"
+  "CMakeFiles/pima_core.dir/graph_map.cpp.o.d"
+  "CMakeFiles/pima_core.dir/layout.cpp.o"
+  "CMakeFiles/pima_core.dir/layout.cpp.o.d"
+  "CMakeFiles/pima_core.dir/pd_optimizer.cpp.o"
+  "CMakeFiles/pima_core.dir/pd_optimizer.cpp.o.d"
+  "CMakeFiles/pima_core.dir/pim_aligner.cpp.o"
+  "CMakeFiles/pima_core.dir/pim_aligner.cpp.o.d"
+  "CMakeFiles/pima_core.dir/pim_bfs.cpp.o"
+  "CMakeFiles/pima_core.dir/pim_bfs.cpp.o.d"
+  "CMakeFiles/pima_core.dir/pim_hash_table.cpp.o"
+  "CMakeFiles/pima_core.dir/pim_hash_table.cpp.o.d"
+  "CMakeFiles/pima_core.dir/pipeline.cpp.o"
+  "CMakeFiles/pima_core.dir/pipeline.cpp.o.d"
+  "libpima_core.a"
+  "libpima_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

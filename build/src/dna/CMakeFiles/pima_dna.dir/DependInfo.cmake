@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dna/fasta.cpp" "src/dna/CMakeFiles/pima_dna.dir/fasta.cpp.o" "gcc" "src/dna/CMakeFiles/pima_dna.dir/fasta.cpp.o.d"
+  "/root/repo/src/dna/genome.cpp" "src/dna/CMakeFiles/pima_dna.dir/genome.cpp.o" "gcc" "src/dna/CMakeFiles/pima_dna.dir/genome.cpp.o.d"
+  "/root/repo/src/dna/paired.cpp" "src/dna/CMakeFiles/pima_dna.dir/paired.cpp.o" "gcc" "src/dna/CMakeFiles/pima_dna.dir/paired.cpp.o.d"
+  "/root/repo/src/dna/sequence.cpp" "src/dna/CMakeFiles/pima_dna.dir/sequence.cpp.o" "gcc" "src/dna/CMakeFiles/pima_dna.dir/sequence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_dna.dir/fasta.cpp.o"
+  "CMakeFiles/pima_dna.dir/fasta.cpp.o.d"
+  "CMakeFiles/pima_dna.dir/genome.cpp.o"
+  "CMakeFiles/pima_dna.dir/genome.cpp.o.d"
+  "CMakeFiles/pima_dna.dir/paired.cpp.o"
+  "CMakeFiles/pima_dna.dir/paired.cpp.o.d"
+  "CMakeFiles/pima_dna.dir/sequence.cpp.o"
+  "CMakeFiles/pima_dna.dir/sequence.cpp.o.d"
+  "libpima_dna.a"
+  "libpima_dna.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/device.cpp" "src/dram/CMakeFiles/pima_dram.dir/device.cpp.o" "gcc" "src/dram/CMakeFiles/pima_dram.dir/device.cpp.o.d"
+  "/root/repo/src/dram/dpu.cpp" "src/dram/CMakeFiles/pima_dram.dir/dpu.cpp.o" "gcc" "src/dram/CMakeFiles/pima_dram.dir/dpu.cpp.o.d"
+  "/root/repo/src/dram/isa.cpp" "src/dram/CMakeFiles/pima_dram.dir/isa.cpp.o" "gcc" "src/dram/CMakeFiles/pima_dram.dir/isa.cpp.o.d"
+  "/root/repo/src/dram/subarray.cpp" "src/dram/CMakeFiles/pima_dram.dir/subarray.cpp.o" "gcc" "src/dram/CMakeFiles/pima_dram.dir/subarray.cpp.o.d"
+  "/root/repo/src/dram/trace.cpp" "src/dram/CMakeFiles/pima_dram.dir/trace.cpp.o" "gcc" "src/dram/CMakeFiles/pima_dram.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

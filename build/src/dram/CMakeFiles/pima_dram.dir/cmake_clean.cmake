@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_dram.dir/device.cpp.o"
+  "CMakeFiles/pima_dram.dir/device.cpp.o.d"
+  "CMakeFiles/pima_dram.dir/dpu.cpp.o"
+  "CMakeFiles/pima_dram.dir/dpu.cpp.o.d"
+  "CMakeFiles/pima_dram.dir/isa.cpp.o"
+  "CMakeFiles/pima_dram.dir/isa.cpp.o.d"
+  "CMakeFiles/pima_dram.dir/subarray.cpp.o"
+  "CMakeFiles/pima_dram.dir/subarray.cpp.o.d"
+  "CMakeFiles/pima_dram.dir/trace.cpp.o"
+  "CMakeFiles/pima_dram.dir/trace.cpp.o.d"
+  "libpima_dram.a"
+  "libpima_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpima_dram.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/platforms/platform.cpp" "src/platforms/CMakeFiles/pima_platforms.dir/platform.cpp.o" "gcc" "src/platforms/CMakeFiles/pima_platforms.dir/platform.cpp.o.d"
+  "/root/repo/src/platforms/presets.cpp" "src/platforms/CMakeFiles/pima_platforms.dir/presets.cpp.o" "gcc" "src/platforms/CMakeFiles/pima_platforms.dir/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_platforms.dir/platform.cpp.o"
+  "CMakeFiles/pima_platforms.dir/platform.cpp.o.d"
+  "CMakeFiles/pima_platforms.dir/presets.cpp.o"
+  "CMakeFiles/pima_platforms.dir/presets.cpp.o.d"
+  "libpima_platforms.a"
+  "libpima_platforms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_assembler.cpp" "tests/CMakeFiles/test_assembly.dir/test_assembler.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_assembler.cpp.o.d"
+  "/root/repo/tests/test_contig.cpp" "tests/CMakeFiles/test_assembly.dir/test_contig.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_contig.cpp.o.d"
+  "/root/repo/tests/test_debruijn.cpp" "tests/CMakeFiles/test_assembly.dir/test_debruijn.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_debruijn.cpp.o.d"
+  "/root/repo/tests/test_euler.cpp" "tests/CMakeFiles/test_assembly.dir/test_euler.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_euler.cpp.o.d"
+  "/root/repo/tests/test_gfa.cpp" "tests/CMakeFiles/test_assembly.dir/test_gfa.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_gfa.cpp.o.d"
+  "/root/repo/tests/test_hash_table.cpp" "tests/CMakeFiles/test_assembly.dir/test_hash_table.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_hash_table.cpp.o.d"
+  "/root/repo/tests/test_kmer.cpp" "tests/CMakeFiles/test_assembly.dir/test_kmer.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_kmer.cpp.o.d"
+  "/root/repo/tests/test_scaffold.cpp" "tests/CMakeFiles/test_assembly.dir/test_scaffold.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_scaffold.cpp.o.d"
+  "/root/repo/tests/test_simplify.cpp" "tests/CMakeFiles/test_assembly.dir/test_simplify.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_simplify.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/test_assembly.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_verify.cpp" "tests/CMakeFiles/test_assembly.dir/test_verify.cpp.o" "gcc" "tests/CMakeFiles/test_assembly.dir/test_verify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pima_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/pima_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pima_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

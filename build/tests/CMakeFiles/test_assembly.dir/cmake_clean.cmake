@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_assembly.dir/test_assembler.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_assembler.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_contig.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_contig.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_debruijn.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_debruijn.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_euler.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_euler.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_gfa.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_gfa.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_hash_table.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_hash_table.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_kmer.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_kmer.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_scaffold.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_scaffold.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_simplify.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_simplify.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_spectrum.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_spectrum.cpp.o.d"
+  "CMakeFiles/test_assembly.dir/test_verify.cpp.o"
+  "CMakeFiles/test_assembly.dir/test_verify.cpp.o.d"
+  "test_assembly"
+  "test_assembly.pdb"
+  "test_assembly[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_assembly.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

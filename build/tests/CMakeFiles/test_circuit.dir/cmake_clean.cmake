@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_circuit.dir/test_area.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_area.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_charge_sharing.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_charge_sharing.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_montecarlo.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_montecarlo.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_sense_amp.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_sense_amp.cpp.o.d"
+  "CMakeFiles/test_circuit.dir/test_transient.cpp.o"
+  "CMakeFiles/test_circuit.dir/test_transient.cpp.o.d"
+  "test_circuit"
+  "test_circuit.pdb"
+  "test_circuit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_common.dir/test_bitvector.cpp.o"
+  "CMakeFiles/test_common.dir/test_bitvector.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_rng_stats.cpp.o"
+  "CMakeFiles/test_common.dir/test_rng_stats.cpp.o.d"
+  "CMakeFiles/test_common.dir/test_table.cpp.o"
+  "CMakeFiles/test_common.dir/test_table.cpp.o.d"
+  "test_common"
+  "test_common.pdb"
+  "test_common[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cost_model.cpp" "tests/CMakeFiles/test_core.dir/test_cost_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_cost_model.cpp.o.d"
+  "/root/repo/tests/test_degree.cpp" "tests/CMakeFiles/test_core.dir/test_degree.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_degree.cpp.o.d"
+  "/root/repo/tests/test_graph_map.cpp" "tests/CMakeFiles/test_core.dir/test_graph_map.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_graph_map.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/test_core.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_pim_aligner.cpp" "tests/CMakeFiles/test_core.dir/test_pim_aligner.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pim_aligner.cpp.o.d"
+  "/root/repo/tests/test_pim_bfs.cpp" "tests/CMakeFiles/test_core.dir/test_pim_bfs.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pim_bfs.cpp.o.d"
+  "/root/repo/tests/test_pim_hash_table.cpp" "tests/CMakeFiles/test_core.dir/test_pim_hash_table.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pim_hash_table.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/test_core.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pima_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/pima_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pima_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

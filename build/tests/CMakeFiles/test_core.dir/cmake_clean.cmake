@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_cost_model.cpp.o"
+  "CMakeFiles/test_core.dir/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_degree.cpp.o"
+  "CMakeFiles/test_core.dir/test_degree.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_graph_map.cpp.o"
+  "CMakeFiles/test_core.dir/test_graph_map.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_layout.cpp.o"
+  "CMakeFiles/test_core.dir/test_layout.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_pim_aligner.cpp.o"
+  "CMakeFiles/test_core.dir/test_pim_aligner.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_pim_bfs.cpp.o"
+  "CMakeFiles/test_core.dir/test_pim_bfs.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_pim_hash_table.cpp.o"
+  "CMakeFiles/test_core.dir/test_pim_hash_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_pipeline.cpp.o"
+  "CMakeFiles/test_core.dir/test_pipeline.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dna.dir/test_base_sequence.cpp.o"
+  "CMakeFiles/test_dna.dir/test_base_sequence.cpp.o.d"
+  "CMakeFiles/test_dna.dir/test_fasta.cpp.o"
+  "CMakeFiles/test_dna.dir/test_fasta.cpp.o.d"
+  "CMakeFiles/test_dna.dir/test_genome.cpp.o"
+  "CMakeFiles/test_dna.dir/test_genome.cpp.o.d"
+  "CMakeFiles/test_dna.dir/test_paired.cpp.o"
+  "CMakeFiles/test_dna.dir/test_paired.cpp.o.d"
+  "test_dna"
+  "test_dna.pdb"
+  "test_dna[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dna.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_device.cpp" "tests/CMakeFiles/test_dram.dir/test_device.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_device.cpp.o.d"
+  "/root/repo/tests/test_dpu.cpp" "tests/CMakeFiles/test_dram.dir/test_dpu.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_dpu.cpp.o.d"
+  "/root/repo/tests/test_fault_injection.cpp" "tests/CMakeFiles/test_dram.dir/test_fault_injection.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_fault_injection.cpp.o.d"
+  "/root/repo/tests/test_isa.cpp" "tests/CMakeFiles/test_dram.dir/test_isa.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_isa.cpp.o.d"
+  "/root/repo/tests/test_subarray.cpp" "tests/CMakeFiles/test_dram.dir/test_subarray.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_subarray.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/test_dram.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/test_dram.dir/test_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pima_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/assembly/CMakeFiles/pima_assembly.dir/DependInfo.cmake"
+  "/root/repo/build/src/platforms/CMakeFiles/pima_platforms.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pima_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/pima_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/dna/CMakeFiles/pima_dna.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pima_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

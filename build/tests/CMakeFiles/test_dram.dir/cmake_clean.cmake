@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dram.dir/test_device.cpp.o"
+  "CMakeFiles/test_dram.dir/test_device.cpp.o.d"
+  "CMakeFiles/test_dram.dir/test_dpu.cpp.o"
+  "CMakeFiles/test_dram.dir/test_dpu.cpp.o.d"
+  "CMakeFiles/test_dram.dir/test_fault_injection.cpp.o"
+  "CMakeFiles/test_dram.dir/test_fault_injection.cpp.o.d"
+  "CMakeFiles/test_dram.dir/test_isa.cpp.o"
+  "CMakeFiles/test_dram.dir/test_isa.cpp.o.d"
+  "CMakeFiles/test_dram.dir/test_subarray.cpp.o"
+  "CMakeFiles/test_dram.dir/test_subarray.cpp.o.d"
+  "CMakeFiles/test_dram.dir/test_trace.cpp.o"
+  "CMakeFiles/test_dram.dir/test_trace.cpp.o.d"
+  "test_dram"
+  "test_dram.pdb"
+  "test_dram[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

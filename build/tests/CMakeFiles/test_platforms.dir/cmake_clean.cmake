@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_platforms.dir/test_platforms.cpp.o"
+  "CMakeFiles/test_platforms.dir/test_platforms.cpp.o.d"
+  "test_platforms"
+  "test_platforms.pdb"
+  "test_platforms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_platforms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_dna[1]_include.cmake")
+include("/root/repo/build/tests/test_circuit[1]_include.cmake")
+include("/root/repo/build/tests/test_dram[1]_include.cmake")
+include("/root/repo/build/tests/test_platforms[1]_include.cmake")
+include("/root/repo/build/tests/test_assembly[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+add_test([=[cli_project]=] "/root/repo/build/tools/pima_asm" "project" "--k" "16")
+set_tests_properties([=[cli_project]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;29;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[cli_pipeline]=] "/usr/bin/cmake" "-DCLI=/root/repo/build/tools/pima_asm" "-DWORK=/root/repo/build/tests/cli_work" "-P" "/root/repo/tests/cli_pipeline_test.cmake")
+set_tests_properties([=[cli_pipeline]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;30;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[example_quickstart]=] "/root/repo/build/examples/quickstart")
+set_tests_properties([=[example_quickstart]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;35;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[example_pim_assembly]=] "/root/repo/build/examples/pim_assembly")
+set_tests_properties([=[example_pim_assembly]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;36;add_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test([=[example_bulk_compare]=] "/root/repo/build/examples/bulk_compare")
+set_tests_properties([=[example_bulk_compare]=] PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;37;add_test;/root/repo/tests/CMakeLists.txt;0;")

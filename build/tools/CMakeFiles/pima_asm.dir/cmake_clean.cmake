@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pima_asm.dir/pima_asm.cpp.o"
+  "CMakeFiles/pima_asm.dir/pima_asm.cpp.o.d"
+  "pima_asm"
+  "pima_asm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pima_asm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
