@@ -5,13 +5,14 @@
 // against the reference. Per-stage command/time/energy statistics come
 // straight from the simulated sub-arrays.
 #include <cstdio>
+#include <cstdlib>
 
 #include "assembly/verify.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "dna/genome.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pima;
 
   // Synthetic 3 kb chromosome and 8x read set.
@@ -39,10 +40,15 @@ int main() {
   options.k = 17;
   options.hash_shards = 16;
   options.euler_contigs = false;  // unitigs: exact across repeats
+  // Optional channel count: `pim_assembly [threads]`, 0 = hardware
+  // concurrency. The output is bit-identical for every choice.
+  options.threads =
+      argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
+               : 0;
   const auto result = core::run_pipeline(device, reads, options);
 
-  std::printf("PIM-Assembler functional run (%zu reads, k=%zu)\n",
-              reads.size(), options.k);
+  std::printf("PIM-Assembler functional run (%zu reads, k=%zu, threads=%zu)\n",
+              reads.size(), options.k, options.threads);
   std::printf("distinct k-mers: %zu   graph: %zu nodes / %zu edges\n\n",
               result.distinct_kmers, result.graph_nodes, result.graph_edges);
 

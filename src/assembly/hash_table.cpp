@@ -49,6 +49,36 @@ std::uint32_t KmerCounter::insert_or_increment(const Kmer& kmer) {
   }
 }
 
+std::uint32_t KmerCounter::insert_with_count(const Kmer& kmer,
+                                             std::uint32_t count) {
+  if (count == 0) return lookup(kmer).value_or(0);
+  if ((entries_ + 1) * 10 > slots_.size() * 7) grow();
+  std::size_t i = probe_start(kmer);
+  for (;;) {
+    Slot& s = slots_[i];
+    if (!s.occupied) {
+      s.kmer = kmer;
+      s.freq = std::min(count, max_freq_);
+      s.occupied = true;
+      ++entries_;
+      total_ += count;
+      ++ops_.inserts;
+      ops_.increments += count - 1;
+      return s.freq;
+    }
+    ++ops_.comparisons;
+    if (s.kmer == kmer) {
+      const std::uint64_t sum = std::uint64_t{s.freq} + count;
+      s.freq = sum > max_freq_ ? max_freq_
+                               : static_cast<std::uint32_t>(sum);
+      total_ += count;
+      ops_.increments += count;
+      return s.freq;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
 std::optional<std::uint32_t> KmerCounter::lookup(const Kmer& kmer) const {
   std::size_t i = probe_start(kmer);
   for (;;) {

@@ -43,6 +43,12 @@ class KmerCounter {
   /// body). Returns the new frequency.
   std::uint32_t insert_or_increment(const Kmer& kmer);
 
+  /// Adds `count` occurrences at once (saturating) — the bulk path used
+  /// when re-materializing a table from already-counted (k-mer, freq)
+  /// pairs. Equivalent to `count` insert_or_increment calls but O(1) in
+  /// the count. Returns the new frequency.
+  std::uint32_t insert_with_count(const Kmer& kmer, std::uint32_t count);
+
   /// Frequency of a k-mer, or nullopt if absent. Counts probe comparisons.
   std::optional<std::uint32_t> lookup(const Kmer& kmer) const;
 

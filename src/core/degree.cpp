@@ -166,13 +166,30 @@ std::vector<std::uint32_t> pim_column_sums(
 
 DegreeResult pim_degrees(dram::Device& device,
                          const assembly::DeBruijnGraph& g,
-                         const GraphPartition& partition) {
+                         const GraphPartition& partition,
+                         runtime::Engine* engine) {
   const auto width = device.geometry().columns;
+  const auto total = device.geometry().total_subarrays();
   DegreeResult result;
   result.in_degree.assign(g.node_count(), 0);
   result.out_degree.assign(g.node_count(), 0);
 
+  // Each block produces its partial column sums into its own slot; the
+  // controller accumulates them in block order after the barrier so the
+  // result is independent of channel interleaving.
   const auto m = partition.intervals;
+  std::vector<std::vector<std::uint32_t>> in_sums(
+      static_cast<std::size_t>(m) * m);
+  std::vector<std::vector<std::uint32_t>> out_sums(
+      static_cast<std::size_t>(m) * m);
+
+  auto dispatch = [&](std::size_t subarray_flat, runtime::Task task) {
+    if (engine)
+      engine->submit_to_subarray(subarray_flat, std::move(task));
+    else
+      task();
+  };
+
   for (std::uint32_t i = 0; i < m; ++i) {
     for (std::uint32_t j = 0; j < m; ++j) {
       const EdgeBlock& block = partition.block(i, j);
@@ -183,32 +200,52 @@ DegreeResult pim_degrees(dram::Device& device,
                  "interval too wide for one sub-array row — increase M");
       PIMA_CHECK(src_vertices.size() <= width,
                  "interval too wide for one sub-array row — increase M");
+      const std::size_t block_index = static_cast<std::size_t>(i) * m + j;
 
       // In-degrees: column sums of the block's adjacency rows.
       {
-        dram::Subarray& sa = device.subarray(
-            (static_cast<std::size_t>(i) * m + j) % device.geometry().total_subarrays());
-        const auto rows =
-            block_adjacency_rows(block, src_vertices.size(), width);
-        const auto sums = pim_column_sums(sa, rows);
-        for (std::size_t c = 0; c < dst_vertices.size(); ++c)
-          result.in_degree[dst_vertices[c]] += sums[c];
+        const std::size_t flat = runtime::block_subarray(total, i, j, m);
+        dispatch(flat, [&device, &block, &src_vertices, flat, width,
+                        sums = &in_sums[block_index]] {
+          const auto rows =
+              block_adjacency_rows(block, src_vertices.size(), width);
+          *sums = pim_column_sums(device.subarray(flat), rows);
+        });
       }
 
       // Out-degrees: column sums of the transposed block.
       {
-        dram::Subarray& sa = device.subarray(
-            (static_cast<std::size_t>(j) * m + i + m * m) %
-            device.geometry().total_subarrays());
-        EdgeBlock transposed;
-        transposed.source_interval = j;
-        transposed.dest_interval = i;
-        transposed.edges.reserve(block.edges.size());
-        for (const auto& e : block.edges)
-          transposed.edges.push_back({e.to, e.from, e.multiplicity});
-        const auto rows =
-            block_adjacency_rows(transposed, dst_vertices.size(), width);
-        const auto sums = pim_column_sums(sa, rows);
+        const std::size_t flat = runtime::block_subarray(
+            total, j, i, m, static_cast<std::size_t>(m) * m);
+        dispatch(flat, [&device, &block, i, j, &dst_vertices, flat, width,
+                        sums = &out_sums[block_index]] {
+          EdgeBlock transposed;
+          transposed.source_interval = j;
+          transposed.dest_interval = i;
+          transposed.edges.reserve(block.edges.size());
+          for (const auto& e : block.edges)
+            transposed.edges.push_back({e.to, e.from, e.multiplicity});
+          const auto rows =
+              block_adjacency_rows(transposed, dst_vertices.size(), width);
+          *sums = pim_column_sums(device.subarray(flat), rows);
+        });
+      }
+    }
+  }
+  if (engine) engine->drain();
+
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      const std::size_t block_index = static_cast<std::size_t>(i) * m + j;
+      const auto& src_vertices = partition.interval_vertices[i];
+      const auto& dst_vertices = partition.interval_vertices[j];
+      if (!in_sums[block_index].empty()) {
+        const auto& sums = in_sums[block_index];
+        for (std::size_t c = 0; c < dst_vertices.size(); ++c)
+          result.in_degree[dst_vertices[c]] += sums[c];
+      }
+      if (!out_sums[block_index].empty()) {
+        const auto& sums = out_sums[block_index];
         for (std::size_t c = 0; c < src_vertices.size(); ++c)
           result.out_degree[src_vertices[c]] += sums[c];
       }

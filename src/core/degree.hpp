@@ -16,6 +16,7 @@
 #include "core/graph_map.hpp"
 #include "dram/device.hpp"
 #include "dram/subarray.hpp"
+#include "runtime/engine.hpp"
 
 namespace pima::core {
 
@@ -35,8 +36,14 @@ struct DegreeResult {
   std::vector<std::uint32_t> out_degree;
 };
 
+/// With an engine, each block's column-sum kernels are dispatched to the
+/// channel owning the block's sub-array and run concurrently; per-vertex
+/// partial degrees are accumulated by the controller in block order after
+/// the barrier, so the result (and every CommandStats) is bit-identical to
+/// the serial path. `engine == nullptr` runs the blocks inline.
 DegreeResult pim_degrees(dram::Device& device,
                          const assembly::DeBruijnGraph& g,
-                         const GraphPartition& partition);
+                         const GraphPartition& partition,
+                         runtime::Engine* engine = nullptr);
 
 }  // namespace pima::core

@@ -70,6 +70,23 @@ std::size_t PimHashTable::shard_for(const assembly::Kmer& kmer) const {
   return static_cast<std::size_t>(kmer.hash() % shards_.size());
 }
 
+std::size_t PimHashTable::shard_subarray_flat(std::size_t shard) const {
+  PIMA_CHECK(shard < shards_.size(), "shard index out of table");
+  return shards_[shard].subarray_flat;
+}
+
+void PimHashTable::bind_key_length(std::size_t k) {
+  PIMA_CHECK(k_ == 0 || k_ == k, "mixed k within one table");
+  PIMA_CHECK(k >= 1 && k <= assembly::Kmer::kMaxK, "k out of range");
+  k_ = k;
+}
+
+std::size_t PimHashTable::distinct_kmers() const {
+  std::size_t n = 0;
+  for (const auto& sh : shards_) n += sh.entries;
+  return n;
+}
+
 std::size_t PimHashTable::home_slot(const assembly::Kmer& kmer) const {
   return static_cast<std::size_t>(slot_hash(kmer) % layout_.kmer_rows);
 }
@@ -138,7 +155,6 @@ std::uint32_t PimHashTable::insert_or_increment(const assembly::Kmer& kmer) {
       sa.aap_copy(layout_.temp_row(0), layout_.kmer_row(slot));
       shard.occupied[slot] = true;
       ++shard.entries;
-      ++entries_;
       write_counter(shard_index, slot, 1);
       return 1;
     }
@@ -209,7 +225,7 @@ PimHashTable::peek_slot(std::size_t shard, std::size_t slot) const {
 std::vector<std::pair<assembly::Kmer, std::uint32_t>>
 PimHashTable::extract() {
   std::vector<std::pair<assembly::Kmer, std::uint32_t>> out;
-  out.reserve(entries_);
+  out.reserve(distinct_kmers());
   for (std::size_t s = 0; s < shards_.size(); ++s) {
     Shard& sh = shards_[s];
     dram::Subarray& sa = shard_subarray(sh);

@@ -55,15 +55,31 @@ class PimHashTable {
                MappingPolicy policy = MappingPolicy::kCorrelated);
 
   /// Inserts the k-mer or increments its counter. Returns new frequency.
+  ///
+  /// Thread compatibility: with the correlated mapping and the key length
+  /// bound up front (bind_key_length), concurrent calls are safe as long as
+  /// no two threads touch the same shard — all mutable state (sub-array
+  /// rows, occupancy bitmap, entry count) is per shard. The runtime's
+  /// channel executors guarantee that partitioning.
   std::uint32_t insert_or_increment(const assembly::Kmer& kmer);
 
   /// Frequency of a k-mer, or nullopt. (Same probe path, no mutation.)
   std::optional<std::uint32_t> lookup(const assembly::Kmer& kmer);
 
-  std::size_t distinct_kmers() const { return entries_; }
+  /// Fixes the key length before any insert, so concurrent inserters never
+  /// race on the lazy first-insert initialization.
+  void bind_key_length(std::size_t k);
+
+  std::size_t distinct_kmers() const;
   std::size_t capacity() const;
   std::size_t shard_count() const { return shards_.size(); }
   const ShardLayout& layout() const { return layout_; }
+
+  /// Shard a k-mer routes to (the hash router the controller uses).
+  std::size_t shard_for(const assembly::Kmer& kmer) const;
+  /// Flat device index of a shard's sub-array — what the runtime uses to
+  /// route inserts to the channel owning the shard.
+  std::size_t shard_subarray_flat(std::size_t shard) const;
 
   /// Reads the table back out of DRAM into (k-mer, frequency) pairs, in
   /// deterministic (shard, slot) order. Costed as row reads.
@@ -87,7 +103,6 @@ class PimHashTable {
   /// Row address of slot's counter in the value sub-array.
   dram::RowAddr value_row_for(std::size_t shard_index,
                               std::size_t slot) const;
-  std::size_t shard_for(const assembly::Kmer& kmer) const;
   std::size_t home_slot(const assembly::Kmer& kmer) const;
 
   /// Row-parallel compare of the staged query against a key slot.
@@ -102,8 +117,7 @@ class PimHashTable {
   MappingPolicy policy_;
   std::vector<Shard> shards_;
   std::size_t central_value_flat_ = 0;  ///< used with kCentralValues
-  std::size_t entries_ = 0;
-  std::size_t k_ = 0;  ///< key length (fixed at first insert)
+  std::size_t k_ = 0;  ///< key length (bound up front or at first insert)
 };
 
 }  // namespace pima::core

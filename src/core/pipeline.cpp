@@ -1,26 +1,18 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <utility>
+#include <vector>
 
 #include "core/degree.hpp"
 #include "core/graph_map.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/stats.hpp"
 
 namespace pima::core {
 
 dram::DeviceStats PipelineResult::total() const {
-  dram::DeviceStats t{};
-  t.time_ns = hashmap.device.time_ns + debruijn.device.time_ns +
-              traverse.device.time_ns;
-  t.serial_ns = hashmap.device.serial_ns + debruijn.device.serial_ns +
-                traverse.device.serial_ns;
-  t.energy_pj = hashmap.device.energy_pj + debruijn.device.energy_pj +
-                traverse.device.energy_pj;
-  t.commands = hashmap.device.commands + debruijn.device.commands +
-               traverse.device.commands;
-  t.subarrays_used =
-      std::max({hashmap.device.subarrays_used, debruijn.device.subarrays_used,
-                traverse.device.subarrays_used});
-  return t;
+  return hashmap.device + debruijn.device + traverse.device;
 }
 
 namespace {
@@ -49,6 +41,41 @@ GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
   }
 }
 
+// Batched k-mer submission: the controller routes every k-mer of the read
+// stream to the channel owning its hash shard and flushes per-channel
+// batches through the bounded queues (backpressure throttles the
+// controller when the channel executors fall behind). Per-shard insert
+// order equals read-stream order for any channel count.
+void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
+                        const std::vector<dna::Sequence>& reads,
+                        std::size_t k) {
+  constexpr std::size_t kKmerBatch = 128;
+  std::vector<std::vector<assembly::Kmer>> pending(engine.channels());
+  auto flush = [&](std::size_t channel) {
+    if (pending[channel].empty()) return;
+    engine.submit(channel, [&table, batch = std::move(pending[channel])] {
+      for (const auto& km : batch) table.insert_or_increment(km);
+    });
+    pending[channel] = {};
+    pending[channel].reserve(kKmerBatch);
+  };
+
+  for (const auto& read : reads) {
+    if (read.size() < k) continue;
+    assembly::Kmer window = assembly::Kmer::from_sequence(read, 0, k);
+    for (std::size_t i = 0;; ++i) {
+      const std::size_t channel = engine.channel_of(
+          table.shard_subarray_flat(table.shard_for(window)));
+      pending[channel].push_back(window);
+      if (pending[channel].size() >= kKmerBatch) flush(channel);
+      if (i + k >= read.size()) break;
+      window = window.rolled(read.at(i + k));
+    }
+  }
+  for (std::size_t c = 0; c < pending.size(); ++c) flush(c);
+  engine.drain();
+}
+
 }  // namespace
 
 PipelineResult run_pipeline(dram::Device& device,
@@ -57,18 +84,15 @@ PipelineResult run_pipeline(dram::Device& device,
   PipelineResult result;
   device.clear_stats();
 
+  runtime::EngineOptions engine_options;
+  engine_options.channels = options.threads;
+  engine_options.queue_capacity = options.queue_capacity;
+  runtime::Engine engine(device, engine_options);
+
   // ---- Stage 1: k-mer analysis (Hashmap(S, k)) ----
   PimHashTable table(device, options.hash_shards);
-  for (const auto& read : reads) {
-    if (read.size() < options.k) continue;
-    assembly::Kmer window =
-        assembly::Kmer::from_sequence(read, 0, options.k);
-    for (std::size_t i = 0;; ++i) {
-      table.insert_or_increment(window);
-      if (i + options.k >= read.size()) break;
-      window = window.rolled(read.at(i + options.k));
-    }
-  }
+  table.bind_key_length(options.k);
+  submit_kmer_stream(engine, table, reads, options.k);
   result.distinct_kmers = table.distinct_kmers();
   result.hashmap = {device.roll_up(), "hashmap"};
   device.clear_stats();
@@ -78,13 +102,14 @@ PipelineResult run_pipeline(dram::Device& device,
   // graph. Node/edge MEM_inserts land on the graph sub-arrays (one row
   // write per insert, round-robin over the shard range) — the construction
   // is controller-sequenced but storage-local, exactly the paper's
-  // MEM_insert traffic.
+  // MEM_insert traffic, here emitted as a batched ROW_WRITE ISA program
+  // fanned out over the channels.
   const auto entries = table.extract();
   assembly::KmerCounter counter(entries.size());
-  for (const auto& [km, freq] : entries)
-    for (std::uint32_t i = 0; i < freq; ++i) counter.insert_or_increment(km);
-  const auto graph = assembly::DeBruijnGraph::from_counter(
-      counter, options.use_multiplicity);
+  for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
+  result.graph =
+      assembly::DeBruijnGraph::from_counter(counter, options.use_multiplicity);
+  const auto& graph = result.graph;
   result.graph_nodes = graph.node_count();
   result.graph_edges = graph.edge_count();
   {
@@ -92,20 +117,35 @@ PipelineResult run_pipeline(dram::Device& device,
     const std::size_t graph_arrays = std::max<std::size_t>(
         1, std::min(options.hash_shards,
                     device.geometry().total_subarrays() - graph_base));
+    const std::size_t data_rows = device.geometry().data_rows();
     const BitVector row_image(device.geometry().columns);
+    // Submitted in bounded slices: in-flight memory stays constant and the
+    // queues' backpressure paces the controller.
+    constexpr std::size_t kProgramSlice = 8192;
+    dram::Program inserts;
+    inserts.reserve(kProgramSlice);
     std::size_t rr = 0;
     auto mem_insert = [&] {
-      dram::Subarray& sa =
-          device.subarray(graph_base + (rr++ % graph_arrays));
+      dram::Instruction inst;
+      inst.op = dram::Opcode::kRowWrite;
+      inst.subarray = graph_base + (rr++ % graph_arrays);
       // Adjacency/edge-list rows are appended cyclically over data rows.
-      sa.write_row((rr / graph_arrays) % sa.geometry().data_rows(),
-                   row_image);
+      inst.src1 = (rr / graph_arrays) % data_rows;
+      inst.payload = row_image;
+      inserts.push_back(std::move(inst));
+      if (inserts.size() >= kProgramSlice) {
+        engine.submit_program(std::move(inserts));
+        inserts = {};
+        inserts.reserve(kProgramSlice);
+      }
     };
     for (std::size_t e = 0; e < graph.edge_count(); ++e) {
       mem_insert();  // node 1 (prefix) insert
       mem_insert();  // node 2 (suffix) insert
       mem_insert();  // edge-list insert
     }
+    engine.submit_program(std::move(inserts));
+    engine.drain();
   }
   result.debruijn = {device.roll_up(), "debruijn"};
   device.clear_stats();
@@ -113,20 +153,35 @@ PipelineResult run_pipeline(dram::Device& device,
   // ---- Stage 2b: traversal (Traverse(G)) ----
   const GraphPartition partition =
       partition_fitting(graph, device.geometry(), options.graph_intervals);
-  const DegreeResult degrees = pim_degrees(device, graph, partition);
+  const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
   // The controller uses the PIM-computed degrees to pick Euler start
-  // vertices; the walk itself streams edge lookups (one row read each).
+  // vertices; the walk itself streams edge lookups (one row read each),
+  // batched into per-channel ROW_READ programs.
   (void)degrees;
   result.contigs = options.euler_contigs
                        ? assembly::contigs_from_euler(graph, options.traversal)
                        : assembly::contigs_from_unitigs(graph);
   {
-    std::size_t rr = 0;
     const std::size_t arrays = std::max<std::size_t>(1, options.hash_shards);
+    const std::size_t data_rows = device.geometry().data_rows();
+    constexpr std::size_t kProgramSlice = 8192;
+    dram::Program lookups;
+    lookups.reserve(kProgramSlice);
+    std::size_t rr = 0;
     for (std::uint64_t e = 0; e < graph.edge_instances(); ++e) {
-      dram::Subarray& sa = device.subarray(rr++ % arrays);
-      sa.read_row((rr / arrays) % sa.geometry().data_rows());
+      dram::Instruction inst;
+      inst.op = dram::Opcode::kRowRead;
+      inst.subarray = rr++ % arrays;
+      inst.src1 = (rr / arrays) % data_rows;
+      lookups.push_back(std::move(inst));
+      if (lookups.size() >= kProgramSlice) {
+        engine.submit_program(std::move(lookups));
+        lookups = {};
+        lookups.reserve(kProgramSlice);
+      }
     }
+    engine.submit_program(std::move(lookups));
+    engine.drain();
   }
   result.traverse = {device.roll_up(), "traverse"};
   device.clear_stats();

@@ -7,11 +7,19 @@
 // genome) *and* the exact command mix each stage issued, which the
 // full-scale cost model (cost_model.hpp) scales to the paper's chr14
 // workload.
+//
+// All DRAM work is submitted through the multi-channel runtime
+// (runtime::Engine): the hash shards, the graph sub-arrays and the
+// partition's edge blocks are sharded over per-chip channel executors.
+// `PipelineOptions::threads` picks the channel count; every output —
+// contigs, graph, per-stage DeviceStats — is bit-identical for any value,
+// because work routing is a pure function of the target sub-array.
 #pragma once
 
 #include <vector>
 
 #include "assembly/assembler.hpp"
+#include "assembly/debruijn.hpp"
 #include "core/pim_hash_table.hpp"
 #include "dram/device.hpp"
 
@@ -25,6 +33,12 @@ struct PipelineOptions {
   bool euler_contigs = true;       ///< Euler walks vs unitigs
   assembly::TraversalAlgorithm traversal =
       assembly::TraversalAlgorithm::kHierholzer;
+  /// Runtime channel executors. 1 = single-threaded fallback (tasks run
+  /// inline on the caller, the pre-runtime behaviour); 0 = one channel per
+  /// hardware thread.
+  std::size_t threads = 1;
+  /// Per-channel command-queue capacity (backpressure bound).
+  std::size_t queue_capacity = 64;
 };
 
 /// Per-stage roll-up (device stats snapshot over the stage's commands).
@@ -36,6 +50,7 @@ struct StageStats {
 struct PipelineResult {
   std::vector<dna::Sequence> contigs;
   assembly::ContigStats contig_stats;
+  assembly::DeBruijnGraph graph;   ///< the traversed de Bruijn graph
   StageStats hashmap;
   StageStats debruijn;
   StageStats traverse;

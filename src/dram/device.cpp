@@ -10,6 +10,15 @@ double DeviceStats::dynamic_power_w() const {
   return power_watts(energy_pj, time_ns);
 }
 
+DeviceStats& DeviceStats::operator+=(const DeviceStats& o) {
+  time_ns += o.time_ns;
+  serial_ns += o.serial_ns;
+  energy_pj += o.energy_pj;
+  commands += o.commands;
+  subarrays_used = std::max(subarrays_used, o.subarrays_used);
+  return *this;
+}
+
 Device::Device(const Geometry& geometry, const circuit::Technology& tech)
     : geom_(geometry), tech_(tech) {
   geom_.validate();

@@ -28,7 +28,18 @@ struct DeviceStats {
 
   /// Average dynamic power in watts over the rolled-up interval.
   double dynamic_power_w() const;
+
+  /// Serial composition: phases executed back to back. Times and energy
+  /// add; the sub-array footprint is the widest phase.
+  DeviceStats& operator+=(const DeviceStats& o);
+
+  bool operator==(const DeviceStats&) const = default;
 };
+
+inline DeviceStats operator+(DeviceStats a, const DeviceStats& b) {
+  a += b;
+  return a;
+}
 
 class Device {
  public:

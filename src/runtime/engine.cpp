@@ -1,0 +1,144 @@
+#include "runtime/engine.hpp"
+
+#include <algorithm>
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "runtime/bounded_queue.hpp"
+
+namespace pima::runtime {
+
+namespace {
+
+std::size_t resolve_channels(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace
+
+struct Engine::Channel {
+  explicit Channel(std::size_t capacity) : queue(capacity) {}
+
+  BoundedQueue<Task> queue;
+  std::thread worker;
+
+  // Outstanding-task accounting for drain(): incremented before push,
+  // decremented after the task retires.
+  std::mutex mutex;
+  std::condition_variable idle;
+  std::size_t pending = 0;
+  std::exception_ptr failure;
+};
+
+Engine::Engine(dram::Device& device, EngineOptions options)
+    : device_(device),
+      options_(options),
+      scheduler_(device.geometry().total_subarrays(),
+                 resolve_channels(options.channels)) {
+  PIMA_CHECK(options_.program_chunk > 0, "program chunk must be positive");
+  if (channels() == 1) return;  // inline fallback: no workers, no queues
+  channels_.reserve(channels());
+  for (std::size_t c = 0; c < channels(); ++c)
+    channels_.push_back(std::make_unique<Channel>(options_.queue_capacity));
+  for (auto& ch : channels_)
+    ch->worker = std::thread([this, &ch = *ch] { worker_loop(ch); });
+}
+
+Engine::~Engine() {
+  for (auto& ch : channels_) ch->queue.close();
+  for (auto& ch : channels_)
+    if (ch->worker.joinable()) ch->worker.join();
+}
+
+void Engine::worker_loop(Channel& ch) {
+  while (auto task = ch.queue.pop()) {
+    try {
+      (*task)();
+    } catch (...) {
+      std::lock_guard lock(ch.mutex);
+      if (!ch.failure) ch.failure = std::current_exception();
+    }
+    {
+      std::lock_guard lock(ch.mutex);
+      --ch.pending;
+    }
+    ch.idle.notify_all();
+  }
+}
+
+void Engine::submit(std::size_t channel, Task task) {
+  PIMA_CHECK(channel < channels(), "channel index out of engine");
+  if (channels_.empty()) {
+    task();  // single-threaded fallback: retire inline
+    return;
+  }
+  Channel& ch = *channels_[channel];
+  {
+    std::lock_guard lock(ch.mutex);
+    ++ch.pending;
+  }
+  if (!ch.queue.push(std::move(task))) {
+    std::lock_guard lock(ch.mutex);
+    --ch.pending;  // engine shutting down; drop silently
+  }
+}
+
+void Engine::submit_to_subarray(std::size_t subarray_flat, Task task) {
+  submit(channel_of(subarray_flat), std::move(task));
+}
+
+void Engine::submit_program(dram::Program program) {
+  for (auto& sub : scheduler_.split(program)) {
+    if (sub.empty()) continue;
+    const std::size_t channel = channel_of(sub.front().subarray);
+    for (std::size_t begin = 0; begin < sub.size();
+         begin += options_.program_chunk) {
+      const std::size_t end =
+          std::min(sub.size(), begin + options_.program_chunk);
+      dram::Program chunk(sub.begin() + static_cast<std::ptrdiff_t>(begin),
+                          sub.begin() + static_cast<std::ptrdiff_t>(end));
+      submit(channel, [this, chunk = std::move(chunk)] {
+        dram::execute(device_, chunk);
+      });
+    }
+  }
+}
+
+void Engine::drain() {
+  for (auto& ch : channels_) {
+    std::unique_lock lock(ch->mutex);
+    ch->idle.wait(lock, [&] { return ch->pending == 0; });
+  }
+  for (auto& ch : channels_) {
+    std::lock_guard lock(ch->mutex);
+    if (ch->failure) {
+      auto failure = ch->failure;
+      ch->failure = nullptr;
+      std::rethrow_exception(failure);
+    }
+  }
+}
+
+std::vector<dram::DeviceStats> Engine::channel_roll_up() const {
+  std::vector<dram::DeviceStats> out(channels());
+  const std::size_t total = device_.geometry().total_subarrays();
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    const dram::Subarray* sa = device_.subarray_if(flat);
+    if (!sa) continue;
+    const auto& st = sa->stats();
+    if (st.total_commands() == 0) continue;
+    dram::DeviceStats& s = out[channel_of(flat)];
+    ++s.subarrays_used;
+    s.time_ns = std::max(s.time_ns, st.busy_ns);
+    s.serial_ns += st.busy_ns;
+    s.energy_pj += st.energy_pj;
+    s.commands += st.total_commands();
+  }
+  return out;
+}
+
+}  // namespace pima::runtime

@@ -1,0 +1,94 @@
+// Multi-channel PIM execution engine.
+//
+// The functional DRAM model executes commands on host threads; this engine
+// gives it the concurrency the hardware actually has. Each channel models
+// one chip's command stream: a worker thread with a bounded FIFO of tasks
+// (closures or ISA programs) that it retires in submission order against
+// the sub-arrays it owns. Channels own disjoint sub-array sets (see
+// Scheduler), so no lock is needed on the DRAM state itself — the queue is
+// the only synchronization point.
+//
+// Determinism contract: for a fixed submission sequence, the commands
+// applied to any single sub-array are identical for every channel count
+// (including 1), because routing is a pure function of the target
+// sub-array and each channel retires its queue FIFO. All CommandStats are
+// therefore bit-identical between serial and parallel execution.
+//
+// channels == 1 is the single-threaded fallback: tasks run inline on the
+// submitting thread, no worker is spawned, and behaviour reduces to the
+// pre-runtime serial code path exactly.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dram/device.hpp"
+#include "dram/isa.hpp"
+#include "runtime/scheduler.hpp"
+
+namespace pima::runtime {
+
+/// A unit of channel work, executed on the owning channel's thread.
+using Task = std::function<void()>;
+
+struct EngineOptions {
+  /// Worker channels. 1 = inline single-threaded fallback; 0 = one per
+  /// hardware thread.
+  std::size_t channels = 1;
+  /// Per-channel queue capacity in tasks (backpressure bound).
+  std::size_t queue_capacity = 64;
+  /// Instructions per task when a submitted ISA program is chunked.
+  std::size_t program_chunk = 512;
+};
+
+class Engine {
+ public:
+  explicit Engine(dram::Device& device, EngineOptions options = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  dram::Device& device() { return device_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+  std::size_t channels() const { return scheduler_.channels(); }
+  std::size_t channel_of(std::size_t subarray_flat) const {
+    return scheduler_.channel_of(subarray_flat);
+  }
+
+  /// Enqueues a task on a channel, blocking while its queue is full. The
+  /// task must only touch sub-arrays owned by that channel.
+  void submit(std::size_t channel, Task task);
+
+  /// Routes a task to the channel owning `subarray_flat`.
+  void submit_to_subarray(std::size_t subarray_flat, Task task);
+
+  /// Splits an ISA program by owning channel and enqueues it in bounded
+  /// chunks. Read/reduce results are discarded — data-dependent control
+  /// flow belongs in closures on the owning channel.
+  void submit_program(dram::Program program);
+
+  /// Barrier: blocks until every submitted task has retired. Rethrows the
+  /// first exception raised by a task (lowest channel wins, so failure
+  /// reporting is deterministic).
+  void drain();
+
+  /// Per-channel roll-up over the channel's instantiated sub-arrays
+  /// (time = max over the channel's sub-arrays, like Device::roll_up).
+  /// Call only when drained.
+  std::vector<dram::DeviceStats> channel_roll_up() const;
+
+ private:
+  struct Channel;
+
+  void worker_loop(Channel& ch);
+
+  dram::Device& device_;
+  EngineOptions options_;
+  Scheduler scheduler_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+};
+
+}  // namespace pima::runtime

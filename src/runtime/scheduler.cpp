@@ -1,0 +1,35 @@
+#include "runtime/scheduler.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::runtime {
+
+Scheduler::Scheduler(std::size_t total_subarrays, std::size_t channels)
+    : total_subarrays_(total_subarrays), channels_(channels) {
+  PIMA_CHECK(total_subarrays > 0, "scheduler needs a non-empty device");
+  PIMA_CHECK(channels > 0, "scheduler needs at least one channel");
+}
+
+std::size_t Scheduler::block_subarray(std::size_t i, std::size_t j,
+                                      std::size_t m,
+                                      std::size_t offset) const {
+  return runtime::block_subarray(total_subarrays_, i, j, m, offset);
+}
+
+std::size_t block_subarray(std::size_t total_subarrays, std::size_t i,
+                           std::size_t j, std::size_t m, std::size_t offset) {
+  return (i * m + j + offset) % total_subarrays;
+}
+
+std::vector<dram::Program> Scheduler::split(
+    const dram::Program& program) const {
+  std::vector<dram::Program> out(channels_);
+  for (const auto& inst : program) {
+    PIMA_CHECK(inst.subarray < total_subarrays_,
+               "instruction targets a sub-array outside the device");
+    out[channel_of(inst.subarray)].push_back(inst);
+  }
+  return out;
+}
+
+}  // namespace pima::runtime

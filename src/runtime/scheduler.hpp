@@ -1,0 +1,60 @@
+// Work placement for the multi-channel runtime (paper §Data Mapping).
+//
+// The paper fans the workload out over chips and sub-arrays: M vertex
+// intervals make M² edge blocks, blocks go to chips, a chip spreads its
+// block over sub-arrays. The runtime models one chip/channel per worker
+// thread and owns the placement decisions:
+//
+//   * sub-array → channel: flat index interleaved over the channels, so the
+//     hash shards (consecutive flat indices) and the block grid both spread
+//     evenly (round-robin chip assignment);
+//   * block (i, j) → sub-array: the same modular layout the degree kernel
+//     has always used, now in one authoritative place;
+//   * ISA program → per-channel sub-programs: instructions are routed to
+//     the channel owning their target sub-array, preserving per-sub-array
+//     program order (the property that keeps results bit-identical for any
+//     channel count).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dram/isa.hpp"
+
+namespace pima::runtime {
+
+class Scheduler {
+ public:
+  /// `channels` executors over a device with `total_subarrays` sub-arrays.
+  Scheduler(std::size_t total_subarrays, std::size_t channels);
+
+  std::size_t channels() const { return channels_; }
+  std::size_t total_subarrays() const { return total_subarrays_; }
+
+  /// Owning channel of a sub-array (interleaved chip assignment).
+  std::size_t channel_of(std::size_t subarray_flat) const {
+    return subarray_flat % channels_;
+  }
+
+  /// Sub-array executing block (i, j) of an M² interval partition.
+  /// `offset` selects a disjoint region of the block grid (the degree
+  /// kernel places transposed blocks at offset M²).
+  std::size_t block_subarray(std::size_t i, std::size_t j, std::size_t m,
+                             std::size_t offset = 0) const;
+
+  /// Splits a program into per-channel sub-programs (index = channel).
+  /// Relative instruction order within each sub-array is preserved.
+  std::vector<dram::Program> split(const dram::Program& program) const;
+
+ private:
+  std::size_t total_subarrays_;
+  std::size_t channels_;
+};
+
+/// Free-function form of the block placement, for callers that do not hold
+/// a Scheduler (the serial degree path).
+std::size_t block_subarray(std::size_t total_subarrays, std::size_t i,
+                           std::size_t j, std::size_t m,
+                           std::size_t offset = 0);
+
+}  // namespace pima::runtime

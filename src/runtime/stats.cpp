@@ -1,0 +1,26 @@
+#include "runtime/stats.hpp"
+
+#include <algorithm>
+
+namespace pima::runtime {
+
+dram::DeviceStats reduce_parallel(
+    const std::vector<dram::DeviceStats>& parts) {
+  dram::DeviceStats out{};
+  for (const auto& p : parts) {
+    out.time_ns = std::max(out.time_ns, p.time_ns);
+    out.serial_ns += p.serial_ns;
+    out.energy_pj += p.energy_pj;
+    out.commands += p.commands;
+    out.subarrays_used += p.subarrays_used;
+  }
+  return out;
+}
+
+dram::DeviceStats reduce_serial(const std::vector<dram::DeviceStats>& parts) {
+  dram::DeviceStats out{};
+  for (const auto& p : parts) out += p;
+  return out;
+}
+
+}  // namespace pima::runtime

@@ -1,0 +1,26 @@
+// Deterministic reduction of per-channel DeviceStats.
+//
+// The platform's timing model distinguishes the two composition axes the
+// roll-ups have always used:
+//   * parallel (channels active concurrently): critical-path time is the
+//     maximum over channels, energy/commands/serial-time are sums, and the
+//     sub-array counts add because channels own disjoint sub-arrays;
+//   * serial (phases back to back on the device): times add, the sub-array
+//     count is the widest phase — exactly DeviceStats::operator+.
+// Both reductions fold in channel/phase index order, so repeated runs give
+// bit-identical doubles.
+#pragma once
+
+#include <vector>
+
+#include "dram/device.hpp"
+
+namespace pima::runtime {
+
+/// Combines stats of concurrently active channels.
+dram::DeviceStats reduce_parallel(const std::vector<dram::DeviceStats>& parts);
+
+/// Combines stats of phases executed back to back.
+dram::DeviceStats reduce_serial(const std::vector<dram::DeviceStats>& parts);
+
+}  // namespace pima::runtime

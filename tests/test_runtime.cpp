@@ -1,0 +1,299 @@
+// Tests of the multi-channel PIM runtime: bounded-queue backpressure,
+// engine routing/drain semantics, deterministic stats reduction, and the
+// headline contract — pipeline results bit-identical for any channel count.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <sstream>
+#include <thread>
+
+#include "assembly/gfa.hpp"
+#include "core/pipeline.hpp"
+#include "dna/genome.hpp"
+#include "runtime/bounded_queue.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/stats.hpp"
+
+namespace pima::runtime {
+namespace {
+
+dram::Geometry small_geometry() {
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 16;
+  g.mats_per_bank = 4;
+  g.banks = 2;
+  return g;
+}
+
+// ---- BoundedQueue ----
+
+TEST(BoundedQueue, FifoAndCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_EQ(q.capacity(), 2u);
+  EXPECT_TRUE(q.try_push(1));
+  EXPECT_TRUE(q.try_push(2));
+  EXPECT_FALSE(q.try_push(3));  // full: backpressure point
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.try_push(3));
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.try_pop(), std::nullopt);
+}
+
+TEST(BoundedQueue, BlockingPushResumesWhenConsumerDrains) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(0));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    ASSERT_TRUE(q.push(1));  // blocks until the consumer pops
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());
+  EXPECT_EQ(q.pop(), 0);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(q.pop(), 1);
+}
+
+TEST(BoundedQueue, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  ASSERT_TRUE(q.push(7));
+  q.close();
+  EXPECT_FALSE(q.push(8));
+  EXPECT_EQ(q.pop(), 7);
+  EXPECT_EQ(q.pop(), std::nullopt);
+}
+
+// ---- Scheduler ----
+
+TEST(Scheduler, InterleavedChannelOwnership) {
+  Scheduler s(128, 4);
+  EXPECT_EQ(s.channel_of(0), 0u);
+  EXPECT_EQ(s.channel_of(5), 1u);
+  EXPECT_EQ(s.channel_of(127), 3u);
+  // The block placement matches the degree kernel's historical layout.
+  EXPECT_EQ(s.block_subarray(2, 3, 5), (2 * 5 + 3) % 128u);
+  EXPECT_EQ(s.block_subarray(3, 2, 5, 25), (3 * 5 + 2 + 25) % 128u);
+  EXPECT_EQ(block_subarray(128, 2, 3, 5), s.block_subarray(2, 3, 5));
+}
+
+TEST(Scheduler, SplitPreservesPerSubarrayOrder) {
+  Scheduler s(8, 3);
+  dram::Program p;
+  for (std::size_t i = 0; i < 20; ++i) {
+    dram::Instruction inst;
+    inst.op = dram::Opcode::kRowRead;
+    inst.subarray = i % 8;
+    inst.src1 = i;  // encodes submission order
+    p.push_back(inst);
+  }
+  const auto parts = s.split(p);
+  ASSERT_EQ(parts.size(), 3u);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < parts.size(); ++c) {
+    dram::RowAddr last_per_sa[8] = {};
+    for (const auto& inst : parts[c]) {
+      EXPECT_EQ(s.channel_of(inst.subarray), c);
+      EXPECT_GE(inst.src1, last_per_sa[inst.subarray]);
+      last_per_sa[inst.subarray] = inst.src1;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, p.size());
+}
+
+// ---- Stats reduction ----
+
+TEST(StatsReduction, ParallelAndSerialSemantics) {
+  dram::DeviceStats a{}, b{};
+  a.time_ns = 10;
+  a.serial_ns = 12;
+  a.energy_pj = 5;
+  a.commands = 100;
+  a.subarrays_used = 3;
+  b.time_ns = 4;
+  b.serial_ns = 4;
+  b.energy_pj = 2;
+  b.commands = 40;
+  b.subarrays_used = 2;
+
+  const auto par = reduce_parallel({a, b});
+  EXPECT_DOUBLE_EQ(par.time_ns, 10);       // critical path: max
+  EXPECT_DOUBLE_EQ(par.serial_ns, 16);     // 1-sub-array equivalent: sum
+  EXPECT_DOUBLE_EQ(par.energy_pj, 7);
+  EXPECT_EQ(par.commands, 140u);
+  EXPECT_EQ(par.subarrays_used, 5u);       // disjoint ownership: sum
+
+  const auto ser = reduce_serial({a, b});
+  EXPECT_DOUBLE_EQ(ser.time_ns, 14);       // phases back to back: sum
+  EXPECT_EQ(ser.subarrays_used, 3u);       // widest phase
+  EXPECT_EQ(ser, a + b);                   // reduce_serial == operator+
+}
+
+// ---- Engine ----
+
+TEST(Engine, BackpressuredSubmissionRetiresEverything) {
+  dram::Device device(small_geometry());
+  EngineOptions opt;
+  opt.channels = 2;
+  opt.queue_capacity = 2;  // tiny: producer must block and resume
+  Engine engine(device, opt);
+  std::atomic<int> retired{0};
+  for (int i = 0; i < 500; ++i)
+    engine.submit(static_cast<std::size_t>(i) % 2, [&] { ++retired; });
+  engine.drain();
+  EXPECT_EQ(retired.load(), 500);
+}
+
+TEST(Engine, TaskExceptionSurfacesOnDrain) {
+  dram::Device device(small_geometry());
+  EngineOptions opt;
+  opt.channels = 2;
+  Engine engine(device, opt);
+  engine.submit(0, [] { throw SimulationError("channel fault"); });
+  EXPECT_THROW(engine.drain(), SimulationError);
+  // The engine survives a task failure and keeps executing.
+  std::atomic<int> retired{0};
+  engine.submit(0, [&] { ++retired; });
+  engine.drain();
+  EXPECT_EQ(retired.load(), 1);
+}
+
+TEST(Engine, ProgramSubmissionMatchesInlineExecution) {
+  auto build_program = [] {
+    dram::Program p;
+    for (std::size_t i = 0; i < 64; ++i) {
+      dram::Instruction inst;
+      inst.op = dram::Opcode::kRowWrite;
+      inst.subarray = i % 8;
+      inst.src1 = i / 8;
+      inst.payload = BitVector(256);
+      inst.payload.set(i % 256, true);
+      p.push_back(std::move(inst));
+    }
+    return p;
+  };
+
+  dram::Device serial_dev(small_geometry());
+  {
+    Engine serial(serial_dev, {.channels = 1, .queue_capacity = 4});
+    serial.submit_program(build_program());
+    serial.drain();
+  }
+  dram::Device parallel_dev(small_geometry());
+  {
+    Engine parallel(parallel_dev,
+                    {.channels = 4, .queue_capacity = 4, .program_chunk = 8});
+    parallel.submit_program(build_program());
+    parallel.drain();
+  }
+  for (std::size_t sa = 0; sa < 8; ++sa) {
+    const auto* a = serial_dev.subarray_if(sa);
+    const auto* b = parallel_dev.subarray_if(sa);
+    ASSERT_NE(a, nullptr);
+    ASSERT_NE(b, nullptr);
+    for (std::size_t r = 0; r < 8; ++r)
+      EXPECT_EQ(a->peek_row(r).to_string(), b->peek_row(r).to_string());
+    EXPECT_EQ(a->stats().total_commands(), b->stats().total_commands());
+    EXPECT_DOUBLE_EQ(a->stats().busy_ns, b->stats().busy_ns);
+  }
+}
+
+TEST(Engine, ChannelRollUpRefinesDeviceRollUp) {
+  dram::Device device(small_geometry());
+  Engine engine(device, {.channels = 4, .queue_capacity = 8});
+  dram::Program p;
+  for (std::size_t i = 0; i < 40; ++i) {
+    dram::Instruction inst;
+    inst.op = dram::Opcode::kRowRead;
+    inst.subarray = i % 10;
+    inst.src1 = 0;
+    p.push_back(inst);
+  }
+  engine.submit_program(std::move(p));
+  engine.drain();
+
+  const auto per_channel = engine.channel_roll_up();
+  ASSERT_EQ(per_channel.size(), 4u);
+  const auto reduced = reduce_parallel(per_channel);
+  const auto device_view = device.roll_up();
+  EXPECT_DOUBLE_EQ(reduced.time_ns, device_view.time_ns);
+  EXPECT_DOUBLE_EQ(reduced.energy_pj, device_view.energy_pj);
+  EXPECT_EQ(reduced.commands, device_view.commands);
+  EXPECT_EQ(reduced.subarrays_used, device_view.subarrays_used);
+}
+
+// ---- Pipeline-level contracts ----
+
+struct PipelineRun {
+  core::PipelineResult result;
+  std::string gfa;
+};
+
+PipelineRun run_with_threads(std::size_t threads, std::size_t queue_capacity =
+                                                      core::PipelineOptions{}
+                                                          .queue_capacity) {
+  dna::GenomeParams gp;
+  gp.length = 1500;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 8.0;
+  rp.read_length = 70;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  dram::Device device(small_geometry());
+  core::PipelineOptions opt;
+  opt.k = 17;
+  opt.hash_shards = 8;
+  opt.threads = threads;
+  opt.queue_capacity = queue_capacity;
+  PipelineRun run{core::run_pipeline(device, reads, opt), ""};
+  std::ostringstream gfa;
+  assembly::write_gfa(gfa, assembly::build_gfa(run.result.graph));
+  run.gfa = gfa.str();
+  return run;
+}
+
+void expect_identical(const PipelineRun& a, const PipelineRun& b) {
+  EXPECT_EQ(a.result.distinct_kmers, b.result.distinct_kmers);
+  EXPECT_EQ(a.result.graph_nodes, b.result.graph_nodes);
+  EXPECT_EQ(a.result.graph_edges, b.result.graph_edges);
+  ASSERT_EQ(a.result.contigs.size(), b.result.contigs.size());
+  for (std::size_t i = 0; i < a.result.contigs.size(); ++i)
+    EXPECT_EQ(a.result.contigs[i].to_string(), b.result.contigs[i].to_string());
+  EXPECT_EQ(a.gfa, b.gfa);
+  // DeviceStats are bit-identical, not merely close: per-sub-array command
+  // sequences are unchanged, so every double accumulates in the same order.
+  EXPECT_EQ(a.result.hashmap.device, b.result.hashmap.device);
+  EXPECT_EQ(a.result.debruijn.device, b.result.debruijn.device);
+  EXPECT_EQ(a.result.traverse.device, b.result.traverse.device);
+  EXPECT_EQ(a.result.total(), b.result.total());
+}
+
+TEST(RuntimePipeline, SerialAndParallelAreBitIdentical) {
+  const auto serial = run_with_threads(1);
+  const auto parallel = run_with_threads(4);
+  expect_identical(serial, parallel);
+}
+
+TEST(RuntimePipeline, RepeatedParallelRunsAreDeterministic) {
+  const auto first = run_with_threads(4);
+  const auto second = run_with_threads(4);
+  expect_identical(first, second);
+}
+
+TEST(RuntimePipeline, TinyQueueCapacityStillCompletes) {
+  const auto roomy = run_with_threads(3);
+  const auto tight = run_with_threads(3, /*queue_capacity=*/2);
+  expect_identical(roomy, tight);
+}
+
+}  // namespace
+}  // namespace pima::runtime

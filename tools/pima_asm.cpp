@@ -2,7 +2,8 @@
 //
 //   pima_asm generate  --length 50000 --coverage 20 --genome g.fa --reads r.fa
 //   pima_asm assemble  --reads r.fa --k 21 --out contigs.fa [--reference g.fa]
-//   pima_asm pim-run   --reads r.fa --k 17 --shards 16 [--reference g.fa]
+//   pima_asm pim-run   --reads r.fa --k 17 --shards 16 [--threads N]
+//                      [--reference g.fa]
 //   pima_asm project   [--k 16]
 //
 // `generate` writes a synthetic chromosome and a sampled read set as FASTA;
@@ -185,6 +186,8 @@ int cmd_pim_run(const Args& args) {
   opt.k = args.get_size("k", 17);
   opt.hash_shards = args.get_size("shards", 16);
   opt.euler_contigs = args.has("euler");
+  // 0 = resolve to hardware concurrency inside the runtime engine.
+  opt.threads = args.get_size("threads", 0);
   const auto result = core::run_pipeline(device, reads, opt);
 
   TextTable table("PIM-Assembler simulated execution");
@@ -255,6 +258,7 @@ void usage() {
       "  assemble --reads <in.fa> [--k K] [--min-freq N] [--simplify]\n"
       "           [--euler] [--out contigs.fa] [--reference genome.fa]\n"
       "  pim-run  --reads <in.fa> [--k K] [--shards N] [--euler]\n"
+      "           [--threads N (default: hardware concurrency)]\n"
       "           [--reference genome.fa]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]");
