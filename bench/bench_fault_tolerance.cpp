@@ -1,0 +1,147 @@
+// Fault-tolerance sweep: assembly correctness and recovery overhead under
+// Table-I process variation.
+//
+// For each variation level × recovery mode the full PIM pipeline assembles
+// the same synthetic workload; the contig set is compared against the
+// fault-free baseline and the recovery layer's latency/energy overhead is
+// reported next to its FaultStats. `off` at high variation is allowed to
+// fail outright (escaped probe faults can overflow a hash shard) — that row
+// reports "failed", which is the point of the comparison.
+//
+// Usage: bench_fault_tolerance [--quick] [seed]
+//   --quick  tiny workload + calibration (CI smoke); default is the full
+//            sweep.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+#include "dna/genome.hpp"
+#include "runtime/recovery.hpp"
+
+using namespace pima;
+
+namespace {
+
+std::vector<std::string> contig_strings(
+    const std::vector<dna::Sequence>& contigs) {
+  std::vector<std::string> out;
+  out.reserve(contigs.size());
+  for (const auto& c : contigs) out.push_back(c.to_string());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+dram::Geometry bench_geometry() {
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 16;
+  g.mats_per_bank = 2;
+  g.banks = 1;
+  return g;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::uint64_t seed = 2020;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0)
+      quick = true;
+    else
+      seed = std::strtoull(argv[i], nullptr, 10);
+  }
+
+  // Workload: synthetic chromosome + reads, shared by every configuration.
+  dna::GenomeParams gp;
+  gp.length = quick ? 800 : 2'500;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = quick ? 6.0 : 8.0;
+  rp.read_length = 70;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  core::PipelineOptions base;
+  base.k = 15;
+  base.hash_shards = 8;
+  base.threads = 1;
+
+  std::printf("fault-tolerance sweep: %zu reads, k=%zu, seed=%llu%s\n",
+              reads.size(), base.k, static_cast<unsigned long long>(seed),
+              quick ? " (quick)" : "");
+
+  // Fault-free baseline: reference contigs and reference cost.
+  dram::Device baseline_dev(bench_geometry());
+  const auto baseline = core::run_pipeline(baseline_dev, reads, base);
+  const auto baseline_contigs = contig_strings(baseline.contigs);
+  const auto baseline_total = baseline.total();
+  std::printf("baseline: %zu contigs, %.1f us, %.1f nJ\n",
+              baseline_contigs.size(), baseline_total.time_ns / 1e3,
+              baseline_total.energy_pj / 1e3);
+
+  const std::vector<double> levels =
+      quick ? std::vector<double>{0.10, 0.20}
+            : std::vector<double>{0.05, 0.10, 0.15, 0.20};
+  const runtime::RecoveryMode modes[] = {runtime::RecoveryMode::kOff,
+                                         runtime::RecoveryMode::kRetry,
+                                         runtime::RecoveryMode::kVote};
+
+  TextTable table("assembly under process variation (vs fault-free run)");
+  table.set_header({"variation", "recovery", "contigs", "injected",
+                    "detected", "retried", "escaped", "fallbacks",
+                    "time +%", "energy +%"});
+  for (const double level : levels) {
+    for (const auto mode : modes) {
+      core::PipelineOptions opt = base;
+      opt.fault.variation = level;
+      opt.fault.seed = seed;
+      opt.fault.calibration_trials = quick ? 500 : 4000;
+      opt.recovery.mode = mode;
+
+      std::string contigs_cell;
+      runtime::FaultStats fs;
+      double time_overhead = 0.0, energy_overhead = 0.0;
+      try {
+        dram::Device dev(bench_geometry());
+        const auto result = core::run_pipeline(dev, reads, opt);
+        fs = result.fault_stats;
+        const auto total = result.total();
+        time_overhead =
+            100.0 * (total.time_ns - baseline_total.time_ns) /
+            baseline_total.time_ns;
+        energy_overhead =
+            100.0 * (total.energy_pj - baseline_total.energy_pj) /
+            baseline_total.energy_pj;
+        contigs_cell = contig_strings(result.contigs) == baseline_contigs
+                           ? "identical"
+                           : "DIVERGED";
+      } catch (const std::exception&) {
+        // Unprotected escapes corrupted the table beyond recovery — the
+        // pipeline died. Graceful degradation exists to prevent this.
+        contigs_cell = "failed";
+      }
+      table.add_row({"±" + TextTable::num(level * 100, 3) + "%",
+                     std::string(runtime::to_string(mode)), contigs_cell,
+                     std::to_string(fs.injected), std::to_string(fs.detected),
+                     std::to_string(fs.retried), std::to_string(fs.escaped),
+                     std::to_string(fs.host_fallbacks),
+                     TextTable::num(time_overhead, 3),
+                     TextTable::num(energy_overhead, 3)});
+    }
+  }
+  std::fputs(table.render().c_str(), stdout);
+  std::puts(
+      "\nstructural check: retry keeps the contig set identical to the "
+      "fault-free run while off lets faults escape into the assembly "
+      "(or kill it) as variation grows.");
+  return 0;
+}

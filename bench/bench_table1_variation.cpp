@@ -1,24 +1,33 @@
 // Reproduces paper Table I: Monte-Carlo process-variation failure rates of
 // the Ambit-style triple-row activation (TRA) vs PIM-Assembler's two-row
 // activation, 10,000 trials per point, variation ±5%…±30%.
+//
+// Usage: bench_table1_variation [trials] [seed]
 #include <cstdio>
+#include <cstdlib>
 
 #include "circuit/montecarlo.hpp"
 #include "common/table.hpp"
 
 using namespace pima;
 
-int main() {
+int main(int argc, char** argv) {
   const circuit::TechParams tech{};
-  constexpr std::size_t kTrials = 10000;  // paper: 10000 Monte-Carlo trials
-  const auto result = circuit::run_variation_table(tech, kTrials, 2020);
+  // paper: 10000 Monte-Carlo trials
+  const std::size_t trials =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 10000;
+  const std::uint64_t seed =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 2020;
+  std::printf("monte-carlo: trials=%zu seed=%llu\n", trials,
+              static_cast<unsigned long long>(seed));
+  const auto result = circuit::run_variation_table(tech, trials, seed);
 
   // Paper Table I rows for side-by-side comparison.
   const double paper_tra[] = {0.00, 0.18, 5.5, 17.1, 28.4};
   const double paper_two[] = {0.00, 0.00, 1.6, 11.2, 18.1};
 
   TextTable table("Table I: test error (%) under process variation, " +
-                  std::to_string(kTrials) + " trials");
+                  std::to_string(trials) + " trials");
   table.set_header({"variation", "TRA (paper)", "TRA (measured)",
                     "2-row (paper)", "2-row (measured)"});
   for (std::size_t i = 0; i < result.levels.size(); ++i) {

@@ -40,15 +40,42 @@ int main(int argc, char** argv) {
   options.k = 17;
   options.hash_shards = 16;
   options.euler_contigs = false;  // unitigs: exact across repeats
-  // Optional channel count: `pim_assembly [threads]`, 0 = hardware
-  // concurrency. The output is bit-identical for every choice.
+  // Usage: `pim_assembly [threads [fault-variation [recovery [fault-seed]]]]`
+  // threads 0 = hardware concurrency; the output is bit-identical for every
+  // choice. fault-variation is the ±% of paper Table I (0.10 = ±10%);
+  // recovery is off/retry/vote.
   options.threads =
       argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
                : 0;
+  if (argc > 2) options.fault.variation = std::strtod(argv[2], nullptr);
+  if (argc > 3) {
+    const auto mode = runtime::parse_recovery_mode(argv[3]);
+    if (!mode) {
+      std::fprintf(stderr, "unknown recovery mode '%s' (off|retry|vote)\n",
+                   argv[3]);
+      return 2;
+    }
+    options.recovery.mode = *mode;
+  }
+  if (argc > 4)
+    options.fault.seed = std::strtoull(argv[4], nullptr, 10);
   const auto result = core::run_pipeline(device, reads, options);
 
   std::printf("PIM-Assembler functional run (%zu reads, k=%zu, threads=%zu)\n",
               reads.size(), options.k, options.threads);
+  if (options.fault.enabled() ||
+      options.recovery.mode != runtime::RecoveryMode::kOff) {
+    const auto& fs = result.fault_stats;
+    // Echo of the stochastic inputs first, so runs are reproducible.
+    std::printf(
+        "fault model: variation=±%.0f%%  seed=%llu  recovery=%s\n"
+        "fault stats: injected=%zu detected=%zu retried=%zu remapped=%zu "
+        "host-fallback=%zu escaped=%zu\n",
+        100.0 * options.fault.variation,
+        static_cast<unsigned long long>(options.fault.seed),
+        runtime::to_string(options.recovery.mode), fs.injected, fs.detected,
+        fs.retried, fs.remapped, fs.host_fallbacks, fs.escaped);
+  }
   std::printf("distinct k-mers: %zu   graph: %zu nodes / %zu edges\n\n",
               result.distinct_kmers, result.graph_nodes, result.graph_edges);
 

@@ -91,12 +91,20 @@ std::size_t PimHashTable::home_slot(const assembly::Kmer& kmer) const {
   return static_cast<std::size_t>(slot_hash(kmer) % layout_.kmer_rows);
 }
 
-bool PimHashTable::probe_matches(dram::Subarray& sa, std::size_t slot,
+bool PimHashTable::probe_matches(const Shard& shard, std::size_t slot,
                                  std::size_t k) {
   // PIM_XNOR (Fig. 7): stage + single-cycle two-row XNOR into a compute
-  // row, then DPU AND-reduction over the key bits.
+  // row, then DPU AND-reduction over the key bits. A false probe result
+  // corrupts the table (duplicate keys or phantom increments), so this is
+  // the op the recovery layer guards when fault-aware execution is on.
+  dram::Subarray& sa = shard_subarray(shard);
   const dram::RowAddr result = sa.compute_row(3);
-  sa.compare_rows(layout_.temp_row(0), layout_.kmer_row(slot), result);
+  if (recovery_ != nullptr) {
+    recovery_->executor_for(shard.subarray_flat)
+        .compare_rows(layout_.temp_row(0), layout_.kmer_row(slot), result);
+  } else {
+    sa.compare_rows(layout_.temp_row(0), layout_.kmer_row(slot), result);
+  }
   return dram::Dpu::and_reduce(sa, result, 2 * k);
 }
 
@@ -158,7 +166,7 @@ std::uint32_t PimHashTable::insert_or_increment(const assembly::Kmer& kmer) {
       write_counter(shard_index, slot, 1);
       return 1;
     }
-    if (probe_matches(sa, slot, k_)) {
+    if (probe_matches(shard, slot, k_)) {
       // PIM_Add(k_mer, 1) + MEM_insert(k_mer, New_freq): saturating 8-bit
       // increment through the DPU read-modify-write path.
       const std::uint32_t max =
@@ -188,7 +196,7 @@ std::optional<std::uint32_t> PimHashTable::lookup(const assembly::Kmer& kmer) {
   std::size_t slot = home_slot(kmer);
   for (std::size_t probes = 0; probes < layout_.kmer_rows; ++probes) {
     if (!shard.occupied[slot]) return std::nullopt;
-    if (probe_matches(sa, slot, k_)) return read_counter(shard_index, slot);
+    if (probe_matches(shard, slot, k_)) return read_counter(shard_index, slot);
     slot = (slot + 1) % layout_.kmer_rows;
   }
   return std::nullopt;

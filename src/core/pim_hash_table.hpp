@@ -28,6 +28,7 @@
 #include "assembly/kmer.hpp"
 #include "core/layout.hpp"
 #include "dram/device.hpp"
+#include "runtime/recovery.hpp"
 
 namespace pima::core {
 
@@ -70,6 +71,16 @@ class PimHashTable {
   /// race on the lazy first-insert initialization.
   void bind_key_length(std::size_t k);
 
+  /// Routes the probe comparator (the table's critical in-array op)
+  /// through fault-aware execution: verify-retry/vote per the manager's
+  /// policy, host-side recompute once a shard's sub-array degrades.
+  /// nullptr restores the unchecked direct path. The manager must outlive
+  /// the table's use and is shared per-sub-array, so the runtime's
+  /// channel-ownership discipline keeps concurrent shards safe.
+  void attach_recovery(runtime::RecoveryManager* recovery) {
+    recovery_ = recovery;
+  }
+
   std::size_t distinct_kmers() const;
   std::size_t capacity() const;
   std::size_t shard_count() const { return shards_.size(); }
@@ -105,8 +116,9 @@ class PimHashTable {
                               std::size_t slot) const;
   std::size_t home_slot(const assembly::Kmer& kmer) const;
 
-  /// Row-parallel compare of the staged query against a key slot.
-  bool probe_matches(dram::Subarray& sa, std::size_t slot, std::size_t k);
+  /// Row-parallel compare of the staged query against a key slot, through
+  /// the recovery executor when one is attached.
+  bool probe_matches(const Shard& shard, std::size_t slot, std::size_t k);
 
   std::uint32_t read_counter(std::size_t shard_index, std::size_t slot);
   void write_counter(std::size_t shard_index, std::size_t slot,
@@ -115,6 +127,7 @@ class PimHashTable {
   dram::Device& device_;
   ShardLayout layout_;
   MappingPolicy policy_;
+  runtime::RecoveryManager* recovery_ = nullptr;
   std::vector<Shard> shards_;
   std::size_t central_value_flat_ = 0;  ///< used with kCentralValues
   std::size_t k_ = 0;  ///< key length (bound up front or at first insert)

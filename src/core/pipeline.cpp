@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -89,9 +90,21 @@ PipelineResult run_pipeline(dram::Device& device,
   engine_options.queue_capacity = options.queue_capacity;
   runtime::Engine engine(device, engine_options);
 
+  // Fault-aware execution: attach the Table-I-calibrated fault model to
+  // the device and route the table's critical probes through the recovery
+  // layer. When faults are off and recovery is kOff (the default), nothing
+  // here runs and the pipeline is bit-identical to the unfaulted build.
+  device.enable_faults(options.fault);
+  std::unique_ptr<runtime::RecoveryManager> recovery;
+  if (options.fault.enabled() ||
+      options.recovery.mode != runtime::RecoveryMode::kOff)
+    recovery =
+        std::make_unique<runtime::RecoveryManager>(device, options.recovery);
+
   // ---- Stage 1: k-mer analysis (Hashmap(S, k)) ----
   PimHashTable table(device, options.hash_shards);
   table.bind_key_length(options.k);
+  table.attach_recovery(recovery.get());
   submit_kmer_stream(engine, table, reads, options.k);
   result.distinct_kmers = table.distinct_kmers();
   result.hashmap = {device.roll_up(), "hashmap"};
@@ -187,6 +200,7 @@ PipelineResult run_pipeline(dram::Device& device,
   device.clear_stats();
 
   result.contig_stats = assembly::compute_stats(result.contigs);
+  if (recovery != nullptr) result.fault_stats = recovery->roll_up();
   return result;
 }
 

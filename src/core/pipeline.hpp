@@ -22,6 +22,8 @@
 #include "assembly/debruijn.hpp"
 #include "core/pim_hash_table.hpp"
 #include "dram/device.hpp"
+#include "dram/fault.hpp"
+#include "runtime/recovery.hpp"
 
 namespace pima::core {
 
@@ -39,6 +41,13 @@ struct PipelineOptions {
   std::size_t threads = 1;
   /// Per-channel command-queue capacity (backpressure bound).
   std::size_t queue_capacity = 64;
+  /// Stochastic fault injection (Table I calibrated). Defaults to
+  /// fault-free: every output stays bit-identical to the unfaulted build.
+  dram::FaultConfig fault;
+  /// Verify-retry/vote recovery for the critical in-array ops. Engaged
+  /// when faults are enabled or the mode is not kOff (so recovery overhead
+  /// can be measured at zero fault rate).
+  runtime::RecoveryOptions recovery;
 };
 
 /// Per-stage roll-up (device stats snapshot over the stage's commands).
@@ -57,6 +66,10 @@ struct PipelineResult {
   std::size_t distinct_kmers = 0;
   std::size_t graph_nodes = 0;
   std::size_t graph_edges = 0;
+  /// Fault-aware execution roll-up (all zero on a fault-free run with
+  /// recovery off). `injected` counts raw bit flips the fault model
+  /// applied; the rest count the recovery layer's responses.
+  runtime::FaultStats fault_stats;
 
   dram::DeviceStats total() const;
 };

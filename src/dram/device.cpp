@@ -31,8 +31,12 @@ Subarray& Device::subarray(const SubarrayId& id) {
 
 Subarray& Device::subarray(std::size_t flat) {
   PIMA_CHECK(flat < subarrays_.size(), "sub-array index out of device");
-  if (!subarrays_[flat])
+  if (!subarrays_[flat]) {
     subarrays_[flat] = std::make_unique<Subarray>(geom_, tech_);
+    if (fault_model_ != nullptr)
+      subarrays_[flat]->attach_fault_injector(
+          std::make_shared<FaultInjector>(fault_model_, flat, geom_));
+  }
   return *subarrays_[flat];
 }
 
@@ -65,6 +69,32 @@ DeviceStats Device::roll_up() const {
 void Device::clear_stats() {
   for (const auto& sa : subarrays_)
     if (sa) sa->clear_stats();
+}
+
+void Device::enable_faults(const FaultConfig& config) {
+  if (!config.enabled()) {
+    fault_model_ = nullptr;
+    for (const auto& sa : subarrays_)
+      if (sa) sa->attach_fault_injector(nullptr);
+    return;
+  }
+  fault_model_ = std::make_shared<const FaultModel>(tech_.tech, config);
+  for (std::size_t flat = 0; flat < subarrays_.size(); ++flat)
+    if (subarrays_[flat])
+      subarrays_[flat]->attach_fault_injector(
+          std::make_shared<FaultInjector>(fault_model_, flat, geom_));
+}
+
+InjectionCounters Device::injection_roll_up() const {
+  InjectionCounters total;
+  for (const auto& sa : subarrays_) {
+    if (!sa || sa->fault_injector() == nullptr) continue;
+    const auto& c = sa->fault_injector()->counters();
+    total.compute_flips += c.compute_flips;
+    total.retention_flips += c.retention_flips;
+    total.faulty_ops += c.faulty_ops;
+  }
+  return total;
 }
 
 }  // namespace pima::dram

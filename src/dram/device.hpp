@@ -65,10 +65,24 @@ class Device {
   /// Clears every sub-array's command statistics (contents preserved).
   void clear_stats();
 
+  /// Enables Table-I-driven fault injection: calibrates a FaultModel at
+  /// `config.variation` and attaches a deterministic per-sub-array
+  /// injector to every instantiated and future sub-array. A disabled
+  /// config (all rates zero) detaches the process again.
+  void enable_faults(const FaultConfig& config);
+
+  /// The active fault model, or null when fault-free.
+  const FaultModel* fault_model() const { return fault_model_.get(); }
+
+  /// Sum of every sub-array's injection counters, folded in flat-index
+  /// order (deterministic ground truth for recovery accounting).
+  InjectionCounters injection_roll_up() const;
+
  private:
   Geometry geom_;
   circuit::Technology tech_;
   std::vector<std::unique_ptr<Subarray>> subarrays_;
+  std::shared_ptr<const FaultModel> fault_model_;
 };
 
 }  // namespace pima::dram

@@ -30,6 +30,12 @@ void Subarray::check_compute(RowAddr r, const char* what) const {
 
 void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
                       RowAddr dst) {
+  if (fault_ != nullptr) {
+    // Retention process: one tick per executed command, occasionally
+    // decaying a stored data-row cell.
+    if (const auto cell = fault_->retention_target())
+      rows_[cell->row].set(cell->col, !rows_[cell->row].get(cell->col));
+  }
   const double latency = command_latency_ns(k, tech_.timing);
   const double energy = command_energy_pj(k, geom_.columns, tech_.energy);
   if (trace_ != nullptr) {
@@ -71,6 +77,11 @@ void Subarray::inject_bit_flip(RowAddr r, std::size_t col) {
   rows_[r].set(col, !rows_[r].get(col));
 }
 
+void Subarray::inject_latch_flip(std::size_t col) {
+  PIMA_CHECK(col < geom_.columns, "fault column out of latch");
+  latch_.set(col, !latch_.get(col));
+}
+
 void Subarray::aap_copy(RowAddr src, RowAddr dst) {
   check_row(src);
   check_row(dst);
@@ -84,7 +95,11 @@ void Subarray::aap_xnor(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
   record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
-  const BitVector result = BitVector::bit_xnor(rows_[xa], rows_[xb]);
+  BitVector result = BitVector::bit_xnor(rows_[xa], rows_[xb]);
+  // A sensing fault corrupts what the SA drives — every copy of the result
+  // (restored operands, destination) gets the same wrong bits.
+  if (fault_ != nullptr)
+    fault_->corrupt_activation(CommandKind::kAapTwoRow, {xa, xb}, result);
   // Charge sharing destroys both operands; the SA restores the result.
   rows_[xa] = result;
   rows_[xb] = result;
@@ -97,7 +112,9 @@ void Subarray::aap_xor(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
   record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
-  const BitVector result = BitVector::bit_xor(rows_[xa], rows_[xb]);
+  BitVector result = BitVector::bit_xor(rows_[xa], rows_[xb]);
+  if (fault_ != nullptr)
+    fault_->corrupt_activation(CommandKind::kAapTwoRow, {xa, xb}, result);
   rows_[xa] = result;
   rows_[xb] = result;
   rows_[dst] = result;
@@ -111,7 +128,9 @@ void Subarray::aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst) {
   PIMA_CHECK(xa != xb && xb != xc && xa != xc,
              "TRA needs three distinct rows");
   record(CommandKind::kAapTra, xa, xb, xc, dst);
-  const BitVector maj = BitVector::bit_maj3(rows_[xa], rows_[xb], rows_[xc]);
+  BitVector maj = BitVector::bit_maj3(rows_[xa], rows_[xb], rows_[xc]);
+  if (fault_ != nullptr)
+    fault_->corrupt_activation(CommandKind::kAapTra, {xa, xb, xc}, maj);
   rows_[xa] = maj;
   rows_[xb] = maj;
   rows_[xc] = maj;
@@ -125,8 +144,10 @@ void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
   record(CommandKind::kSumCycle, xa, xb, 0, dst);
-  const BitVector sum =
+  BitVector sum =
       BitVector::bit_xor(BitVector::bit_xor(rows_[xa], rows_[xb]), latch_);
+  if (fault_ != nullptr)
+    fault_->corrupt_activation(CommandKind::kSumCycle, {xa, xb}, sum);
   rows_[xa] = sum;
   rows_[xb] = sum;
   rows_[dst] = sum;

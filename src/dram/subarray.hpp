@@ -22,11 +22,13 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "circuit/tech.hpp"
 #include "common/bitvector.hpp"
 #include "dram/command.hpp"
+#include "dram/fault.hpp"
 #include "dram/geometry.hpp"
 #include "dram/trace.hpp"
 
@@ -52,8 +54,27 @@ class Subarray {
 
   /// Fault injection for reliability experiments: flips one stored cell in
   /// place without issuing a command (models a retention failure or
-  /// particle strike between accesses).
+  /// particle strike between accesses). Works on data and computation rows
+  /// alike — a flip in x1..x8 corrupts staged operands exactly like a weak
+  /// compute cell would.
   void inject_bit_flip(RowAddr r, std::size_t col);
+
+  /// Flips one bit of the per-column carry latch (Fig. 2a latch upset);
+  /// consumed by the next sum cycle. Zero-cost like inject_bit_flip.
+  void inject_latch_flip(std::size_t col);
+
+  /// Attaches the stochastic fault process (nullptr = fault-free). The
+  /// injector corrupts multi-row activation results per its calibrated
+  /// Table-I rates and drives the retention-flip process.
+  void attach_fault_injector(std::shared_ptr<FaultInjector> injector) {
+    fault_ = std::move(injector);
+  }
+  const FaultInjector* fault_injector() const { return fault_.get(); }
+
+  /// Models idle time on this sub-array's command stream (retry backoff):
+  /// advances the busy clock without issuing a command or spending dynamic
+  /// energy.
+  void wait_ns(double ns) { stats_.busy_ns += ns; }
 
   // ---- PIM primitives (each is one costed command) ----
 
@@ -124,6 +145,7 @@ class Subarray {
   BitVector latch_;       ///< per-column carry latch
   CommandStats stats_;
   TraceSink* trace_ = nullptr;
+  std::shared_ptr<FaultInjector> fault_;
 };
 
 }  // namespace pima::dram

@@ -56,11 +56,21 @@ Engine::~Engine() {
 
 void Engine::worker_loop(Channel& ch) {
   while (auto task = ch.queue.pop()) {
-    try {
-      (*task)();
-    } catch (...) {
+    bool skip;
+    {
+      // Fail-fast: a channel with an uncollected failure drops the rest of
+      // its stream instead of executing tasks that assumed the failed
+      // task's effects.
       std::lock_guard lock(ch.mutex);
-      if (!ch.failure) ch.failure = std::current_exception();
+      skip = static_cast<bool>(ch.failure);
+    }
+    if (!skip) {
+      try {
+        (*task)();
+      } catch (...) {
+        std::lock_guard lock(ch.mutex);
+        if (!ch.failure) ch.failure = std::current_exception();
+      }
     }
     {
       std::lock_guard lock(ch.mutex);
@@ -79,6 +89,11 @@ void Engine::submit(std::size_t channel, Task task) {
   Channel& ch = *channels_[channel];
   {
     std::lock_guard lock(ch.mutex);
+    if (ch.failure)
+      throw SimulationError(
+          "channel " + std::to_string(channel) +
+          " has a failed task; drain() the engine to collect the failure "
+          "before submitting more work");
     ++ch.pending;
   }
   if (!ch.queue.push(std::move(task))) {
@@ -89,6 +104,14 @@ void Engine::submit(std::size_t channel, Task task) {
 
 void Engine::submit_to_subarray(std::size_t subarray_flat, Task task) {
   submit(channel_of(subarray_flat), std::move(task));
+}
+
+bool Engine::channel_failed(std::size_t channel) const {
+  PIMA_CHECK(channel < channels(), "channel index out of engine");
+  if (channels_.empty()) return false;  // inline mode: failures throw at once
+  Channel& ch = *channels_[channel];
+  std::lock_guard lock(ch.mutex);
+  return static_cast<bool>(ch.failure);
 }
 
 void Engine::submit_program(dram::Program program) {

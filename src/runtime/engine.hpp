@@ -60,7 +60,17 @@ class Engine {
 
   /// Enqueues a task on a channel, blocking while its queue is full. The
   /// task must only touch sub-arrays owned by that channel.
+  ///
+  /// Fail-fast: once a task on the channel has failed, submit() throws
+  /// SimulationError immediately instead of silently queueing behind a
+  /// dead task stream, and tasks already queued behind the failure are
+  /// dropped unexecuted. drain() collects the original failure and resets
+  /// the channel.
   void submit(std::size_t channel, Task task);
+
+  /// True while `channel` holds an uncollected task failure (submissions
+  /// are rejected until drain() rethrows it).
+  bool channel_failed(std::size_t channel) const;
 
   /// Routes a task to the channel owning `subarray_flat`.
   void submit_to_subarray(std::size_t subarray_flat, Task task);

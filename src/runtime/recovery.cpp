@@ -1,0 +1,208 @@
+#include "runtime/recovery.hpp"
+
+#include <utility>
+
+namespace pima::runtime {
+
+std::optional<RecoveryMode> parse_recovery_mode(std::string_view s) {
+  if (s == "off") return RecoveryMode::kOff;
+  if (s == "retry") return RecoveryMode::kRetry;
+  if (s == "vote") return RecoveryMode::kVote;
+  return std::nullopt;
+}
+
+FaultStats& FaultStats::operator+=(const FaultStats& o) {
+  injected += o.injected;
+  detected += o.detected;
+  retried += o.retried;
+  remapped += o.remapped;
+  escaped += o.escaped;
+  vote_corrections += o.vote_corrections;
+  host_fallbacks += o.host_fallbacks;
+  degraded_subarrays += o.degraded_subarrays;
+  return *this;
+}
+
+FaultStats reduce_fault_stats(const std::vector<FaultStats>& parts) {
+  FaultStats total;
+  for (const auto& p : parts) total += p;
+  return total;
+}
+
+RecoveryExecutor::RecoveryExecutor(dram::Subarray& subarray,
+                                   const RecoveryOptions& options)
+    : sa_(subarray), options_(options) {
+  const std::size_t compute = sa_.geometry().compute_rows;
+  // Slots 0..2 are the active operand staging rows; x4 (offset 3) is left
+  // for the callers' result rows; everything above is a spare pool for
+  // weak-row remapping.
+  staging_ = {0, 1, 2};
+  for (std::size_t off = 4; off < compute; ++off) spares_.push_back(off);
+  row_failures_.assign(compute, 0);
+}
+
+void RecoveryExecutor::execute_once(
+    const std::array<dram::RowAddr, 3>& operands, std::size_t n_operands,
+    dram::RowAddr dst) {
+  const auto x = [&](std::size_t slot) {
+    return sa_.compute_row(staging_[slot]);
+  };
+  for (std::size_t i = 0; i < n_operands; ++i)
+    sa_.aap_copy(operands[i], x(i));
+  if (n_operands == 3)
+    sa_.aap_tra_carry(x(0), x(1), x(2), dst);
+  else
+    sa_.aap_xnor(x(0), x(1), dst);
+}
+
+void RecoveryExecutor::note_detected() {
+  ++stats_.detected;
+  if (!degraded_ && stats_.detected > options_.subarray_failure_budget) {
+    degraded_ = true;
+    ++stats_.degraded_subarrays;
+  }
+}
+
+void RecoveryExecutor::blame_staging(std::size_t n_operands) {
+  for (std::size_t slot = 0; slot < n_operands; ++slot) {
+    const std::size_t offset = staging_[slot];
+    if (++row_failures_[offset] < options_.weak_row_threshold) continue;
+    if (spares_.empty()) continue;  // nothing left to remap onto
+    staging_[slot] = spares_.back();
+    spares_.pop_back();
+    ++stats_.remapped;
+  }
+}
+
+void RecoveryExecutor::host_fallback(
+    const BitVector& golden, dram::RowAddr dst,
+    const std::array<dram::RowAddr, 3>& operands, std::size_t n_operands) {
+  // The controller pulls the operands through the global row buffer,
+  // recomputes, and writes the result back — no in-array compute trusted.
+  for (std::size_t i = 0; i < n_operands; ++i) (void)sa_.read_row(operands[i]);
+  sa_.write_row(dst, golden);
+  ++stats_.host_fallbacks;
+}
+
+void RecoveryExecutor::run_checked(
+    const std::array<dram::RowAddr, 3>& operands, std::size_t n_operands,
+    dram::RowAddr dst, const BitVector& golden) {
+  for (std::size_t slot = 0; slot < n_operands; ++slot)
+    PIMA_CHECK(dst != sa_.compute_row(staging_[slot]),
+               "checked-op destination collides with a staging row");
+
+  if (degraded_) {
+    host_fallback(golden, dst, operands, n_operands);
+    return;
+  }
+
+  if (options_.mode == RecoveryMode::kOff) {
+    // Unverified execution: whatever the array sensed is the result.
+    execute_once(operands, n_operands, dst);
+    if (sa_.peek_row(dst) != golden) ++stats_.escaped;
+    return;
+  }
+
+  if (options_.mode == RecoveryMode::kVote) {
+    // TMR in time: three executions, per-column majority.
+    std::array<BitVector, 3> results;
+    for (auto& r : results) {
+      execute_once(operands, n_operands, dst);
+      r = sa_.dpu_fetch(dst);  // costed readback into the vote
+    }
+    const bool disagree =
+        results[0] != results[1] || results[1] != results[2];
+    if (disagree) {
+      note_detected();
+      blame_staging(n_operands);
+    }
+    const BitVector voted =
+        BitVector::bit_maj3(results[0], results[1], results[2]);
+    if (results[2] != voted) {
+      sa_.write_row(dst, voted);  // fix the stored copy to the majority
+      ++stats_.vote_corrections;
+    }
+    if (voted != golden) ++stats_.escaped;
+    return;
+  }
+
+  // RecoveryMode::kRetry — verify-after-op with bounded re-execution.
+  for (std::size_t attempt = 0;; ++attempt) {
+    execute_once(operands, n_operands, dst);
+    // Costed readback through the DPU path; the controller checks it
+    // against its residual for the op.
+    const BitVector& got = sa_.dpu_fetch(dst);
+    if (got == golden) return;
+    note_detected();
+    blame_staging(n_operands);
+    if (degraded_ || attempt >= options_.max_retries) {
+      // Retry budget exhausted (or the sub-array just blew its failure
+      // budget): recompute host-side rather than give up.
+      host_fallback(golden, dst, operands, n_operands);
+      return;
+    }
+    ++stats_.retried;
+    // Exponential backoff on this sub-array's command stream.
+    sa_.wait_ns(options_.backoff_base_ns *
+                static_cast<double>(std::size_t{1} << attempt));
+  }
+}
+
+void RecoveryExecutor::compare_rows(dram::RowAddr a, dram::RowAddr b,
+                                    dram::RowAddr result_row) {
+  const BitVector golden =
+      BitVector::bit_xnor(sa_.peek_row(a), sa_.peek_row(b));
+  run_checked({a, b, 0}, 2, result_row, golden);
+}
+
+void RecoveryExecutor::tra_majority(dram::RowAddr a, dram::RowAddr b,
+                                    dram::RowAddr c, dram::RowAddr dst) {
+  const BitVector golden = BitVector::bit_maj3(
+      sa_.peek_row(a), sa_.peek_row(b), sa_.peek_row(c));
+  run_checked({a, b, c}, 3, dst, golden);
+}
+
+RecoveryManager::RecoveryManager(dram::Device& device,
+                                 const RecoveryOptions& options)
+    : device_(device), options_(options) {
+  executors_.resize(device.geometry().total_subarrays());
+}
+
+RecoveryExecutor& RecoveryManager::executor_for(std::size_t subarray_flat) {
+  PIMA_CHECK(subarray_flat < executors_.size(),
+             "sub-array index out of device");
+  if (!executors_[subarray_flat])
+    executors_[subarray_flat] = std::make_unique<RecoveryExecutor>(
+        device_.subarray(subarray_flat), options_);
+  return *executors_[subarray_flat];
+}
+
+const RecoveryExecutor* RecoveryManager::executor_if(
+    std::size_t subarray_flat) const {
+  PIMA_CHECK(subarray_flat < executors_.size(),
+             "sub-array index out of device");
+  return executors_[subarray_flat].get();
+}
+
+std::vector<FaultStats> RecoveryManager::per_channel_stats(
+    const Scheduler& scheduler) const {
+  std::vector<FaultStats> out(scheduler.channels());
+  for (std::size_t flat = 0; flat < executors_.size(); ++flat) {
+    FaultStats& s = out[scheduler.channel_of(flat)];
+    if (executors_[flat]) s += executors_[flat]->stats();
+    const dram::Subarray* sa = device_.subarray_if(flat);
+    if (sa != nullptr && sa->fault_injector() != nullptr)
+      s.injected += sa->fault_injector()->counters().total_flips();
+  }
+  return out;
+}
+
+FaultStats RecoveryManager::roll_up() const {
+  FaultStats total;
+  for (const auto& ex : executors_)
+    if (ex) total += ex->stats();
+  total.injected = device_.injection_roll_up().total_flips();
+  return total;
+}
+
+}  // namespace pima::runtime

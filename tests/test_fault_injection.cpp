@@ -101,6 +101,58 @@ TEST(FaultInjection, HashTableTreatsCorruptedKeyAsDistinct) {
   EXPECT_EQ(table.distinct_kmers(), 2u);
 }
 
+TEST(FaultInjection, ComputeRowFlipCorruptsTwoRowActivation) {
+  // A weak cell in a staged operand (x1..x8) corrupts the activation it
+  // feeds: the XNOR result flips in exactly the faulted column.
+  dram::Subarray sa(geometry(), circuit::default_technology());
+  const dram::RowAddr x1 = sa.compute_row(0);
+  const dram::RowAddr x2 = sa.compute_row(1);
+  const dram::RowAddr dst = sa.compute_row(2);
+  BitVector a(256), b(256);
+  for (std::size_t i = 0; i < 256; ++i) {
+    a.set(i, i % 3 == 0);
+    b.set(i, i % 5 == 0);
+  }
+  sa.write_row(x1, a);
+  sa.write_row(x2, b);
+  sa.aap_xnor(x1, x2, dst);
+  const BitVector clean = sa.peek_row(dst);
+
+  sa.write_row(x1, a);
+  sa.write_row(x2, b);
+  sa.inject_bit_flip(x1, 42);
+  sa.aap_xnor(x1, x2, dst);
+  const BitVector& faulty = sa.peek_row(dst);
+  for (std::size_t c = 0; c < 256; ++c)
+    EXPECT_EQ(faulty.get(c), c == 42 ? !clean.get(c) : clean.get(c)) << c;
+}
+
+TEST(FaultInjection, LatchFlipPropagatesThroughSumCycle) {
+  // An upset carry latch bit is consumed by the next sum cycle:
+  // dst ← a ⊕ b ⊕ latch feels the flip in exactly that column.
+  dram::Subarray sa(geometry(), circuit::default_technology());
+  const dram::RowAddr x1 = sa.compute_row(0);
+  const dram::RowAddr x2 = sa.compute_row(1);
+  const dram::RowAddr dst = sa.compute_row(2);
+  BitVector ones(256), zeros(256);
+  ones.fill(true);
+  sa.write_row(x1, ones);
+  sa.write_row(x2, zeros);
+  sa.reset_latch();
+  sa.inject_latch_flip(7);
+  EXPECT_TRUE(sa.peek_latch().get(7));
+  sa.sum_cycle(x1, x2, dst);  // 1 ⊕ 0 ⊕ latch
+  for (std::size_t c = 0; c < 256; ++c)
+    EXPECT_EQ(sa.peek_row(dst).get(c), c != 7) << c;
+}
+
+TEST(FaultInjection, LatchFlipIsZeroCostAndBoundsChecked) {
+  dram::Subarray sa(geometry(), circuit::default_technology());
+  sa.inject_latch_flip(0);
+  EXPECT_EQ(sa.stats().total_commands(), 0u);
+  EXPECT_THROW(sa.inject_latch_flip(256), PreconditionError);
+}
+
 TEST(FaultInjection, AdditionPropagatesFaultyOperandBit) {
   // Corrupting bit row i of an operand changes the vertical sum by 2^i in
   // exactly the faulted column — arithmetic felt end to end.

@@ -165,6 +165,46 @@ TEST(Engine, TaskExceptionSurfacesOnDrain) {
   EXPECT_EQ(retired.load(), 1);
 }
 
+TEST(Engine, FailFastRejectsSubmissionAfterChannelFailure) {
+  dram::Device device(small_geometry());
+  Engine engine(device, {.channels = 2, .queue_capacity = 4});
+  engine.submit(0, [] { throw SimulationError("channel fault"); });
+  while (!engine.channel_failed(0))
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  // New work on the dead channel is rejected immediately...
+  EXPECT_THROW(engine.submit(0, [] {}), SimulationError);
+  // ...while the healthy channel keeps accepting.
+  std::atomic<int> retired{0};
+  engine.submit(1, [&] { ++retired; });
+  // drain() collects the original failure without hanging, then resets.
+  EXPECT_THROW(engine.drain(), SimulationError);
+  engine.drain();
+  EXPECT_EQ(retired.load(), 1);
+  engine.submit(0, [&] { ++retired; });
+  engine.drain();
+  EXPECT_EQ(retired.load(), 2);
+}
+
+TEST(Engine, TasksQueuedBehindFailureAreDroppedNotExecuted) {
+  dram::Device device(small_geometry());
+  Engine engine(device, {.channels = 2, .queue_capacity = 8});
+  // Gate the worker so the failure and its followers are all enqueued
+  // before anything runs.
+  std::atomic<bool> gate{false};
+  std::atomic<int> ran{0};
+  engine.submit(0, [&] {
+    while (!gate.load()) std::this_thread::yield();
+    throw SimulationError("dead task stream");
+  });
+  engine.submit(0, [&] { ++ran; });
+  engine.submit(0, [&] { ++ran; });
+  gate = true;
+  EXPECT_THROW(engine.drain(), SimulationError);
+  // The queued followers were dropped, not silently executed after the
+  // failure — and drain() returned instead of hanging on them.
+  EXPECT_EQ(ran.load(), 0);
+}
+
 TEST(Engine, ProgramSubmissionMatchesInlineExecution) {
   auto build_program = [] {
     dram::Program p;

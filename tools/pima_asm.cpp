@@ -29,6 +29,7 @@
 #include "dna/fasta.hpp"
 #include "dna/genome.hpp"
 #include "platforms/presets.hpp"
+#include "runtime/recovery.hpp"
 
 namespace {
 
@@ -188,6 +189,39 @@ int cmd_pim_run(const Args& args) {
   opt.euler_contigs = args.has("euler");
   // 0 = resolve to hardware concurrency inside the runtime engine.
   opt.threads = args.get_size("threads", 0);
+
+  // Fault-aware execution flags. --fault-variation is the ±% process
+  // variation from paper Table I (0.10 = ±10%); injection stays off at 0.
+  opt.fault.variation = args.get_double("fault-variation", 0.0);
+  opt.fault.seed =
+      static_cast<std::uint64_t>(args.get_size("fault-seed", 2020));
+  opt.fault.retention_flip_per_op =
+      args.get_double("fault-retention", 0.0);
+  opt.fault.weak_row_fraction = args.get_double("fault-weak-rows", 0.0);
+  if (const auto mode = args.get("recovery")) {
+    const auto parsed = runtime::parse_recovery_mode(*mode);
+    if (!parsed)
+      Args::fail("unknown --recovery mode '" + *mode +
+                 "' (expected off, retry or vote)");
+    opt.recovery.mode = *parsed;
+  }
+  opt.recovery.max_retries =
+      args.get_size("max-retries", opt.recovery.max_retries);
+  opt.recovery.subarray_failure_budget = args.get_size(
+      "failure-budget", opt.recovery.subarray_failure_budget);
+
+  const bool fault_aware =
+      opt.fault.enabled() || opt.recovery.mode != runtime::RecoveryMode::kOff;
+  if (fault_aware)
+    // Echo every stochastic input so a run can be reproduced from its log.
+    std::printf(
+        "fault model: variation=±%.0f%%  seed=%llu  retention=%g  "
+        "weak-rows=%g  recovery=%s\n",
+        100.0 * opt.fault.variation,
+        static_cast<unsigned long long>(opt.fault.seed),
+        opt.fault.retention_flip_per_op, opt.fault.weak_row_fraction,
+        runtime::to_string(opt.recovery.mode));
+
   const auto result = core::run_pipeline(device, reads, opt);
 
   TextTable table("PIM-Assembler simulated execution");
@@ -200,6 +234,22 @@ int cmd_pim_run(const Args& args) {
                    TextTable::num(stage->device.energy_pj / 1e3, 4),
                    std::to_string(stage->device.subarrays_used)});
   std::fputs(table.render().c_str(), stdout);
+  if (fault_aware) {
+    const auto& fs = result.fault_stats;
+    TextTable ft("fault-aware execution report");
+    ft.set_header({"injected", "detected", "retried", "remapped",
+                   "host-fallback", "escaped"});
+    ft.add_row({std::to_string(fs.injected), std::to_string(fs.detected),
+                std::to_string(fs.retried), std::to_string(fs.remapped),
+                std::to_string(fs.host_fallbacks),
+                std::to_string(fs.escaped)});
+    std::fputs(ft.render().c_str(), stdout);
+    if (fs.degraded_subarrays > 0)
+      std::printf(
+          "degraded: %zu sub-array(s) over the failure budget fell back "
+          "to host recompute\n",
+          fs.degraded_subarrays);
+  }
   std::printf("contigs: %zu, N50 %zu bp\n", result.contig_stats.count,
               result.contig_stats.n50);
   if (const auto ref = args.get("reference"))
@@ -260,6 +310,10 @@ void usage() {
       "  pim-run  --reads <in.fa> [--k K] [--shards N] [--euler]\n"
       "           [--threads N (default: hardware concurrency)]\n"
       "           [--reference genome.fa]\n"
+      "           [--fault-variation F (e.g. 0.10 = ±10% Table I)]\n"
+      "           [--fault-seed N] [--fault-retention P]\n"
+      "           [--fault-weak-rows F] [--recovery off|retry|vote]\n"
+      "           [--max-retries N] [--failure-budget N]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]");
 }
