@@ -88,6 +88,7 @@ PipelineResult run_pipeline(dram::Device& device,
   runtime::EngineOptions engine_options;
   engine_options.channels = options.threads;
   engine_options.queue_capacity = options.queue_capacity;
+  engine_options.capture_trace = options.capture_trace;
   runtime::Engine engine(device, engine_options);
 
   // Fault-aware execution: attach the Table-I-calibrated fault model to

@@ -24,6 +24,7 @@ enum class CommandKind : std::uint8_t {
   kAapTra,        ///< type-3 AAP: triple-row activation (MAJ3 carry) → des
   kSumCycle,      ///< two-row activation + latch XOR (sum stage) → des
   kDpuReduce,     ///< MAT-level DPU row reduction (AND/OR/popcount)
+  kLatchReset,    ///< Rst pulse on the carry latch — uncosted, trace-only
 };
 
 constexpr std::string_view to_string(CommandKind k) {
@@ -35,11 +36,31 @@ constexpr std::string_view to_string(CommandKind k) {
     case CommandKind::kAapTra: return "AAP_TRA";
     case CommandKind::kSumCycle: return "SUM_CYCLE";
     case CommandKind::kDpuReduce: return "DPU_REDUCE";
+    case CommandKind::kLatchReset: return "LATCH_RST";
   }
   return "?";
 }
 
-constexpr std::size_t kCommandKindCount = 7;
+constexpr std::size_t kCommandKindCount = 8;
+
+/// Instruction opcodes of the AAP ISA (isa.hpp gives them a text format and
+/// an executor). Declared here, next to CommandKind, because the trace layer
+/// records the precise opcode alongside the costed command kind: CommandKind
+/// is the cost/energy class (XNOR and XOR are both kAapTwoRow) while Opcode
+/// is the replay-exact operation.
+enum class Opcode : std::uint8_t {
+  kAapCopy,    ///< type-1: AAP(src, des, size)
+  kAapXnor,    ///< type-2: AAP(src1, src2, des, size), MUX → XNOR2
+  kAapXor,     ///< type-2 with the complementary MUX selection
+  kAapTra,     ///< type-3: AAP(src1, src2, src3, des, size)
+  kSum,        ///< sum cycle: two-row activation + latch XOR
+  kResetLatch, ///< Rst on the carry latch
+  kRowWrite,   ///< host row write through the GRB (data in `payload`)
+  kRowRead,    ///< host row read through the GRB
+  kDpuAnd,     ///< DPU AND-reduce over `width` bits of a row
+  kDpuOr,      ///< DPU OR-reduce
+  kDpuPopcount ///< DPU popcount
+};
 
 /// Latency of one command (ns) under the given timing parameters.
 inline double command_latency_ns(CommandKind k,
@@ -60,6 +81,9 @@ inline double command_latency_ns(CommandKind k,
     case CommandKind::kDpuReduce:
       // Row read into the GRB plus the DPU combinational pass.
       return t.t_rcd_ns + t.t_cl_ns + t.t_bl_ns + t.t_rp_ns;
+    case CommandKind::kLatchReset:
+      // The Rst pulse rides the surrounding AAP envelope: no extra cycle.
+      return 0.0;
   }
   return 0.0;
 }
@@ -85,6 +109,8 @@ inline double command_energy_pj(CommandKind k, std::size_t columns,
     case CommandKind::kDpuReduce:
       return e.e_activate_pj + e.e_precharge_pj + e.e_read_col_pj * col64 +
              e.e_dpu_pj;
+    case CommandKind::kLatchReset:
+      return 0.0;
   }
   return 0.0;
 }

@@ -36,6 +36,10 @@ Subarray& Device::subarray(std::size_t flat) {
     if (fault_model_ != nullptr)
       subarrays_[flat]->attach_fault_injector(
           std::make_shared<FaultInjector>(fault_model_, flat, geom_));
+    if (tracing_) {
+      traces_[flat] = std::make_unique<TraceSink>();
+      subarrays_[flat]->attach_trace(traces_[flat].get());
+    }
   }
   return *subarrays_[flat];
 }
@@ -83,6 +87,30 @@ void Device::enable_faults(const FaultConfig& config) {
     if (subarrays_[flat])
       subarrays_[flat]->attach_fault_injector(
           std::make_shared<FaultInjector>(fault_model_, flat, geom_));
+}
+
+void Device::enable_tracing() {
+  if (tracing_) return;
+  tracing_ = true;
+  traces_.resize(subarrays_.size());
+  for (std::size_t flat = 0; flat < subarrays_.size(); ++flat) {
+    if (!subarrays_[flat]) continue;
+    traces_[flat] = std::make_unique<TraceSink>();
+    subarrays_[flat]->attach_trace(traces_[flat].get());
+  }
+}
+
+void Device::disable_tracing() {
+  if (!tracing_) return;
+  tracing_ = false;
+  for (const auto& sa : subarrays_)
+    if (sa) sa->attach_trace(nullptr);
+  traces_.clear();
+}
+
+const TraceSink* Device::trace_if(std::size_t flat) const {
+  PIMA_CHECK(flat < subarrays_.size(), "sub-array index out of device");
+  return flat < traces_.size() ? traces_[flat].get() : nullptr;
 }
 
 InjectionCounters Device::injection_roll_up() const {

@@ -78,11 +78,26 @@ class Device {
   /// order (deterministic ground truth for recovery accounting).
   InjectionCounters injection_roll_up() const;
 
+  /// Per-sub-array command capture for oracle replay: attaches a private
+  /// TraceSink to every instantiated and future sub-array. Each sink is
+  /// touched only by the channel owning its sub-array, so capture is safe
+  /// under the parallel runtime. isa.hpp's captured_program() turns the
+  /// recorded streams back into a replayable AAP program.
+  void enable_tracing();
+  /// Detaches and discards every capture sink.
+  void disable_tracing();
+  bool tracing() const { return tracing_; }
+  /// The capture sink of one sub-array, or null if never instantiated (or
+  /// tracing is off).
+  const TraceSink* trace_if(std::size_t flat) const;
+
  private:
   Geometry geom_;
   circuit::Technology tech_;
   std::vector<std::unique_ptr<Subarray>> subarrays_;
   std::shared_ptr<const FaultModel> fault_model_;
+  std::vector<std::unique_ptr<TraceSink>> traces_;
+  bool tracing_ = false;
 };
 
 }  // namespace pima::dram

@@ -31,21 +31,8 @@
 
 namespace pima::dram {
 
-/// Instruction opcodes. The three AAP types follow the paper; the rest are
-/// the host/DPU operations the controller interleaves with them.
-enum class Opcode : std::uint8_t {
-  kAapCopy,    ///< type-1: AAP(src, des, size)
-  kAapXnor,    ///< type-2: AAP(src1, src2, des, size), MUX → XNOR2
-  kAapXor,     ///< type-2 with the complementary MUX selection
-  kAapTra,     ///< type-3: AAP(src1, src2, src3, des, size)
-  kSum,        ///< sum cycle: two-row activation + latch XOR
-  kResetLatch, ///< Rst on the carry latch
-  kRowWrite,   ///< host row write through the GRB (data in `payload`)
-  kRowRead,    ///< host row read through the GRB
-  kDpuAnd,     ///< DPU AND-reduce over `width` bits of a row
-  kDpuOr,      ///< DPU OR-reduce
-  kDpuPopcount ///< DPU popcount
-};
+// Opcode itself lives in command.hpp (next to CommandKind) so the trace
+// layer can record the replay-exact operation without a circular include.
 
 /// One decoded instruction. Unused fields are zero.
 struct Instruction {
@@ -89,5 +76,24 @@ struct ExecutionResults {
 /// `size` consecutive-row repetitions. Costs accrue on the touched
 /// sub-arrays exactly as if the kernels had issued the commands directly.
 ExecutionResults execute(Device& device, const Program& program);
+
+// ---- Trace replay (the oracle's capture path) ----------------------------
+//
+// Any production run executed with Device::enable_tracing() can be turned
+// back into an ISA program and replayed — e.g. through the golden model for
+// differential verification (`pima_asm pim-run --dump-trace` →
+// `pima_fuzz --replay`).
+
+/// Rebuilds a replayable single-sub-array program from a recorded trace.
+/// Every entry maps 1:1 to an instruction (ROW_WRITE keeps its payload,
+/// LATCH_RST round-trips, DPU reductions replay as full-width popcounts —
+/// state- and cost-neutral either way).
+Program program_from_trace(const std::vector<TraceEntry>& entries,
+                           std::size_t subarray_flat, std::size_t columns);
+
+/// Concatenates the replay programs of every traced sub-array in flat-index
+/// order. Sub-arrays share no state, so any interleaving that preserves
+/// per-sub-array order is an exact replay; flat order is the canonical one.
+Program captured_program(const Device& device);
 
 }  // namespace pima::dram

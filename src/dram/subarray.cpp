@@ -28,8 +28,8 @@ void Subarray::check_compute(RowAddr r, const char* what) const {
                  what);
 }
 
-void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
-                      RowAddr dst) {
+void Subarray::record(CommandKind k, Opcode op, RowAddr a, RowAddr b,
+                      RowAddr c, RowAddr dst, const BitVector* payload) {
   if (fault_ != nullptr) {
     // Retention process: one tick per executed command, occasionally
     // decaying a stored data-row cell.
@@ -41,6 +41,7 @@ void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
   if (trace_ != nullptr) {
     TraceEntry e;
     e.kind = k;
+    e.op = op;
     e.row_a = a;
     e.row_b = b;
     e.row_c = c;
@@ -48,6 +49,7 @@ void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
     e.start_ns = stats_.busy_ns;
     e.latency_ns = latency;
     e.energy_pj = energy;
+    if (payload != nullptr) e.payload = *payload;
     trace_->record(e);
   }
   stats_.record(k, latency, energy);
@@ -55,14 +57,14 @@ void Subarray::record(CommandKind k, RowAddr a, RowAddr b, RowAddr c,
 
 const BitVector& Subarray::read_row(RowAddr r) {
   check_row(r);
-  record(CommandKind::kRowRead, r);
+  record(CommandKind::kRowRead, Opcode::kRowRead, r);
   return rows_[r];
 }
 
 void Subarray::write_row(RowAddr r, const BitVector& bits) {
   check_row(r);
   PIMA_CHECK(bits.size() == geom_.columns, "row width mismatch");
-  record(CommandKind::kRowWrite, r);
+  record(CommandKind::kRowWrite, Opcode::kRowWrite, r, 0, 0, 0, &bits);
   rows_[r] = bits;
 }
 
@@ -85,7 +87,11 @@ void Subarray::inject_latch_flip(std::size_t col) {
 void Subarray::aap_copy(RowAddr src, RowAddr dst) {
   check_row(src);
   check_row(dst);
-  record(CommandKind::kAapCopy, src, 0, 0, dst);
+  PIMA_CHECK(src != dst,
+             "AAP copy with src == des aliases the activated row; a "
+             "self-copy is a refresh, not a RowClone — issue it explicitly "
+             "if that is what the controller means");
+  record(CommandKind::kAapCopy, Opcode::kAapCopy, src, 0, 0, dst);
   rows_[dst] = rows_[src];
 }
 
@@ -94,7 +100,7 @@ void Subarray::aap_xnor(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_compute(xb, "xnor operand b");
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
-  record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
+  record(CommandKind::kAapTwoRow, Opcode::kAapXnor, xa, xb, 0, dst);
   BitVector result = BitVector::bit_xnor(rows_[xa], rows_[xb]);
   // A sensing fault corrupts what the SA drives — every copy of the result
   // (restored operands, destination) gets the same wrong bits.
@@ -111,7 +117,7 @@ void Subarray::aap_xor(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_compute(xb, "xor operand b");
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
-  record(CommandKind::kAapTwoRow, xa, xb, 0, dst);
+  record(CommandKind::kAapTwoRow, Opcode::kAapXor, xa, xb, 0, dst);
   BitVector result = BitVector::bit_xor(rows_[xa], rows_[xb]);
   if (fault_ != nullptr)
     fault_->corrupt_activation(CommandKind::kAapTwoRow, {xa, xb}, result);
@@ -127,7 +133,7 @@ void Subarray::aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst) {
   check_row(dst);
   PIMA_CHECK(xa != xb && xb != xc && xa != xc,
              "TRA needs three distinct rows");
-  record(CommandKind::kAapTra, xa, xb, xc, dst);
+  record(CommandKind::kAapTra, Opcode::kAapTra, xa, xb, xc, dst);
   BitVector maj = BitVector::bit_maj3(rows_[xa], rows_[xb], rows_[xc]);
   if (fault_ != nullptr)
     fault_->corrupt_activation(CommandKind::kAapTra, {xa, xb, xc}, maj);
@@ -143,7 +149,7 @@ void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
   check_compute(xb, "sum operand b");
   check_row(dst);
   PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
-  record(CommandKind::kSumCycle, xa, xb, 0, dst);
+  record(CommandKind::kSumCycle, Opcode::kSum, xa, xb, 0, dst);
   BitVector sum =
       BitVector::bit_xor(BitVector::bit_xor(rows_[xa], rows_[xb]), latch_);
   if (fault_ != nullptr)
@@ -153,11 +159,22 @@ void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
   rows_[dst] = sum;
 }
 
-void Subarray::reset_latch() { latch_.fill(false); }
+void Subarray::reset_latch() {
+  // Uncosted (no CommandStats record), but replay-relevant: without the
+  // LATCH_RST entry a replayed sum cycle could consume a stale carry.
+  if (trace_ != nullptr) {
+    TraceEntry e;
+    e.kind = CommandKind::kLatchReset;
+    e.op = Opcode::kResetLatch;
+    e.start_ns = stats_.busy_ns;
+    trace_->record(e);
+  }
+  latch_.fill(false);
+}
 
 const BitVector& Subarray::dpu_fetch(RowAddr r) {
   check_row(r);
-  record(CommandKind::kDpuReduce, r);
+  record(CommandKind::kDpuReduce, Opcode::kDpuPopcount, r);
   return rows_[r];
 }
 

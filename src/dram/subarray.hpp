@@ -78,7 +78,10 @@ class Subarray {
 
   // ---- PIM primitives (each is one costed command) ----
 
-  /// Type-1 AAP: RowClone copy src → dst.
+  /// Type-1 AAP: RowClone copy src → dst. src == dst is rejected: the AAP
+  /// would activate the same row twice, which is electrically a plain
+  /// refresh, and silently accepting it hides controller bugs (the fuzzer
+  /// found the aliased form diverging from its intended semantics).
   void aap_copy(RowAddr src, RowAddr dst);
 
   /// Type-2 AAP: two-row activation of computation rows xa, xb; the SA MUX
@@ -98,7 +101,9 @@ class Subarray {
   /// The latch is preserved (it is consumed by the XOR gate, not cleared).
   void sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst);
 
-  /// Clears the carry latch (Rst signal in Fig. 2a).
+  /// Clears the carry latch (Rst signal in Fig. 2a). Uncosted (the pulse
+  /// rides the surrounding AAP envelope) but recorded in the trace as a
+  /// LATCH_RST entry so replays reproduce the latch state exactly.
   void reset_latch();
 
   /// Records one DPU reduction (row read into the GRB + combinational
@@ -136,8 +141,9 @@ class Subarray {
  private:
   void check_row(RowAddr r) const;
   void check_compute(RowAddr r, const char* what) const;
-  void record(CommandKind k, RowAddr a = 0, RowAddr b = 0, RowAddr c = 0,
-              RowAddr dst = 0);
+  void record(CommandKind k, Opcode op, RowAddr a = 0, RowAddr b = 0,
+              RowAddr c = 0, RowAddr dst = 0,
+              const BitVector* payload = nullptr);
 
   Geometry geom_;
   circuit::Technology tech_;

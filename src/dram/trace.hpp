@@ -11,14 +11,18 @@
 #include <string>
 #include <vector>
 
+#include "common/bitvector.hpp"
 #include "dram/command.hpp"
 #include "dram/geometry.hpp"
 
 namespace pima::dram {
 
-/// One traced command.
+/// One traced command. `kind` is the cost class; `op` is the replay-exact
+/// opcode (kAapTwoRow is XNOR or XOR depending on the MUX — the trace keeps
+/// the distinction so a recorded run can be replayed bit-exactly).
 struct TraceEntry {
   CommandKind kind;
+  Opcode op = Opcode::kAapCopy;  ///< replay-precise operation
   RowAddr row_a = 0;       ///< first source row (or the addressed row)
   RowAddr row_b = 0;       ///< second source (multi-row ops), else 0
   RowAddr row_c = 0;       ///< third source (TRA), else 0
@@ -26,6 +30,7 @@ struct TraceEntry {
   double start_ns = 0.0;   ///< sub-array-local issue time
   double latency_ns = 0.0;
   double energy_pj = 0.0;
+  BitVector payload;       ///< ROW_WRITE data (empty otherwise)
 };
 
 /// Append-only trace buffer shared by the sub-arrays it is attached to.

@@ -1,0 +1,306 @@
+#include "golden/golden.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::golden {
+
+GoldenSubArray::GoldenSubArray(const dram::Geometry& geometry)
+    : geom_(geometry) {
+  geom_.validate();
+  rows_.assign(geom_.rows, std::vector<std::uint8_t>(geom_.columns, 0));
+  latch_.assign(geom_.columns, 0);
+}
+
+dram::RowAddr GoldenSubArray::compute_row(std::size_t i) const {
+  PIMA_CHECK(i < geom_.compute_rows, "compute row index out of range");
+  return geom_.data_rows() + i;
+}
+
+bool GoldenSubArray::is_compute_row(dram::RowAddr r) const {
+  return r >= geom_.data_rows() && r < geom_.rows;
+}
+
+void GoldenSubArray::check_row(dram::RowAddr r) const {
+  PIMA_CHECK(r < geom_.rows, "row address out of sub-array");
+}
+
+void GoldenSubArray::check_compute(dram::RowAddr r) const {
+  check_row(r);
+  PIMA_CHECK(is_compute_row(r),
+             "multi-row activation outside computation rows");
+}
+
+bool GoldenSubArray::get(dram::RowAddr r, std::size_t col) const {
+  check_row(r);
+  return rows_.at(r).at(col) != 0;
+}
+
+void GoldenSubArray::set(dram::RowAddr r, std::size_t col, bool v) {
+  check_row(r);
+  rows_.at(r).at(col) = v ? 1 : 0;
+}
+
+bool GoldenSubArray::latch(std::size_t col) const {
+  return latch_.at(col) != 0;
+}
+
+BitVector GoldenSubArray::row_bits(dram::RowAddr r) const {
+  check_row(r);
+  BitVector bits(geom_.columns);
+  for (std::size_t c = 0; c < geom_.columns; ++c)
+    bits.set(c, rows_[r][c] != 0);
+  return bits;
+}
+
+BitVector GoldenSubArray::latch_bits() const {
+  BitVector bits(geom_.columns);
+  for (std::size_t c = 0; c < geom_.columns; ++c) bits.set(c, latch_[c] != 0);
+  return bits;
+}
+
+void GoldenSubArray::write_row(dram::RowAddr r, const BitVector& bits) {
+  check_row(r);
+  PIMA_CHECK(bits.size() == geom_.columns, "row width mismatch");
+  for (std::size_t c = 0; c < geom_.columns; ++c)
+    rows_[r][c] = bits.get(c) ? 1 : 0;
+}
+
+BitVector GoldenSubArray::read_row(dram::RowAddr r) const {
+  return row_bits(r);
+}
+
+void GoldenSubArray::aap_copy(dram::RowAddr src, dram::RowAddr dst) {
+  check_row(src);
+  check_row(dst);
+  PIMA_CHECK(src != dst,
+             "AAP copy with src == des aliases the activated row; a "
+             "self-copy is a refresh, not a RowClone — issue it explicitly "
+             "if that is what the controller means");
+  for (std::size_t c = 0; c < geom_.columns; ++c) rows_[dst][c] = rows_[src][c];
+}
+
+void GoldenSubArray::aap_xnor(dram::RowAddr xa, dram::RowAddr xb,
+                              dram::RowAddr dst) {
+  check_compute(xa);
+  check_compute(xb);
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  for (std::size_t c = 0; c < geom_.columns; ++c) {
+    const bool r = (rows_[xa][c] != 0) == (rows_[xb][c] != 0);
+    rows_[xa][c] = r ? 1 : 0;
+    rows_[xb][c] = r ? 1 : 0;
+    rows_[dst][c] = r ? 1 : 0;
+  }
+}
+
+void GoldenSubArray::aap_xor(dram::RowAddr xa, dram::RowAddr xb,
+                             dram::RowAddr dst) {
+  check_compute(xa);
+  check_compute(xb);
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  for (std::size_t c = 0; c < geom_.columns; ++c) {
+    const bool r = (rows_[xa][c] != 0) != (rows_[xb][c] != 0);
+    rows_[xa][c] = r ? 1 : 0;
+    rows_[xb][c] = r ? 1 : 0;
+    rows_[dst][c] = r ? 1 : 0;
+  }
+}
+
+void GoldenSubArray::aap_tra_carry(dram::RowAddr xa, dram::RowAddr xb,
+                                   dram::RowAddr xc, dram::RowAddr dst) {
+  check_compute(xa);
+  check_compute(xb);
+  check_compute(xc);
+  check_row(dst);
+  PIMA_CHECK(xa != xb && xb != xc && xa != xc,
+             "TRA needs three distinct rows");
+  for (std::size_t c = 0; c < geom_.columns; ++c) {
+    const int ones = (rows_[xa][c] != 0 ? 1 : 0) + (rows_[xb][c] != 0 ? 1 : 0) +
+                     (rows_[xc][c] != 0 ? 1 : 0);
+    const bool maj = ones >= 2;
+    rows_[xa][c] = maj ? 1 : 0;
+    rows_[xb][c] = maj ? 1 : 0;
+    rows_[xc][c] = maj ? 1 : 0;
+    rows_[dst][c] = maj ? 1 : 0;
+    latch_[c] = maj ? 1 : 0;
+  }
+}
+
+void GoldenSubArray::sum_cycle(dram::RowAddr xa, dram::RowAddr xb,
+                               dram::RowAddr dst) {
+  check_compute(xa);
+  check_compute(xb);
+  check_row(dst);
+  PIMA_CHECK(xa != xb, "two-row activation needs two distinct rows");
+  for (std::size_t c = 0; c < geom_.columns; ++c) {
+    const bool s =
+        ((rows_[xa][c] != 0) != (rows_[xb][c] != 0)) != (latch_[c] != 0);
+    rows_[xa][c] = s ? 1 : 0;
+    rows_[xb][c] = s ? 1 : 0;
+    rows_[dst][c] = s ? 1 : 0;
+  }
+}
+
+void GoldenSubArray::reset_latch() {
+  for (auto& l : latch_) l = 0;
+}
+
+void GoldenSubArray::add_vertical(const std::vector<dram::RowAddr>& a_rows,
+                                  const std::vector<dram::RowAddr>& b_rows,
+                                  const std::vector<dram::RowAddr>& sum_rows,
+                                  dram::RowAddr carry_out_row) {
+  const std::size_t m = a_rows.size();
+  PIMA_CHECK(m > 0, "addition needs at least one bit row");
+  PIMA_CHECK(b_rows.size() == m && sum_rows.size() == m,
+             "operand/result row spans must have equal length");
+  check_row(carry_out_row);
+  // Grade-school binary addition, one independent ripple per column.
+  for (std::size_t c = 0; c < geom_.columns; ++c) {
+    int carry = 0;
+    std::vector<int> sum_bits(m, 0);
+    for (std::size_t i = 0; i < m; ++i) {
+      const int a = get(a_rows[i], c) ? 1 : 0;
+      const int b = get(b_rows[i], c) ? 1 : 0;
+      const int total = a + b + carry;
+      sum_bits[i] = total & 1;
+      carry = total >> 1;
+    }
+    // Writes happen after the reads of the column are done, so aliased
+    // sum/operand spans still add the *original* operands — the property
+    // the production kernel must also uphold (it stages operands first).
+    for (std::size_t i = 0; i < m; ++i) set(sum_rows[i], c, sum_bits[i] != 0);
+    set(carry_out_row, c, carry != 0);
+  }
+}
+
+void GoldenSubArray::compare_rows(dram::RowAddr a, dram::RowAddr b,
+                                  dram::RowAddr result_row) {
+  check_row(a);
+  check_row(b);
+  check_row(result_row);
+  for (std::size_t c = 0; c < geom_.columns; ++c)
+    set(result_row, c, get(a, c) == get(b, c));
+}
+
+bool GoldenSubArray::rows_match(dram::RowAddr a, dram::RowAddr b,
+                                std::size_t width) const {
+  check_row(a);
+  check_row(b);
+  PIMA_CHECK(width <= geom_.columns, "reduce width exceeds row");
+  for (std::size_t c = 0; c < width; ++c)
+    if (get(a, c) != get(b, c)) return false;
+  return true;
+}
+
+GoldenDevice::GoldenDevice(const dram::Geometry& geometry) : geom_(geometry) {
+  geom_.validate();
+}
+
+GoldenSubArray& GoldenDevice::subarray(std::size_t flat) {
+  PIMA_CHECK(flat < geom_.total_subarrays(), "sub-array index out of device");
+  auto it = subarrays_.find(flat);
+  if (it == subarrays_.end())
+    it = subarrays_.emplace(flat, GoldenSubArray(geom_)).first;
+  return it->second;
+}
+
+const GoldenSubArray* GoldenDevice::subarray_if(std::size_t flat) const {
+  const auto it = subarrays_.find(flat);
+  return it == subarrays_.end() ? nullptr : &it->second;
+}
+
+GoldenResults execute(GoldenDevice& device, const dram::Program& program) {
+  using dram::Opcode;
+  GoldenResults results;
+  for (const auto& inst : program) {
+    GoldenSubArray& sa = device.subarray(inst.subarray);
+    PIMA_CHECK(inst.size == 1 || inst.op == Opcode::kAapCopy ||
+                   inst.op == Opcode::kRowWrite ||
+                   inst.op == Opcode::kRowRead ||
+                   inst.op == Opcode::kDpuAnd || inst.op == Opcode::kDpuOr ||
+                   inst.op == Opcode::kDpuPopcount,
+               "multi-row size only valid on copy/read/write/reduce");
+    for (std::size_t r = 0; r < inst.size; ++r) {
+      switch (inst.op) {
+        case Opcode::kAapCopy:
+          sa.aap_copy(inst.src1 + r, inst.dst + r);
+          break;
+        case Opcode::kAapXnor:
+          sa.aap_xnor(inst.src1, inst.src2, inst.dst + r);
+          break;
+        case Opcode::kAapXor:
+          sa.aap_xor(inst.src1, inst.src2, inst.dst + r);
+          break;
+        case Opcode::kAapTra:
+          sa.aap_tra_carry(inst.src1, inst.src2, inst.src3, inst.dst + r);
+          break;
+        case Opcode::kSum:
+          sa.sum_cycle(inst.src1, inst.src2, inst.dst + r);
+          break;
+        case Opcode::kResetLatch:
+          sa.reset_latch();
+          break;
+        case Opcode::kRowWrite:
+          PIMA_CHECK(inst.payload.size() == sa.geometry().columns,
+                     "ROW_WRITE payload width mismatch");
+          sa.write_row(inst.src1 + r, inst.payload);
+          break;
+        case Opcode::kRowRead:
+          results.rows_read.push_back(sa.read_row(inst.src1 + r));
+          break;
+        case Opcode::kDpuAnd: {
+          PIMA_CHECK(inst.width <= sa.geometry().columns,
+                     "reduce width exceeds row");
+          bool all = true;
+          for (std::size_t c = 0; c < inst.width; ++c)
+            if (!sa.get(inst.src1 + r, c)) all = false;
+          results.reductions.push_back(all);
+          break;
+        }
+        case Opcode::kDpuOr: {
+          PIMA_CHECK(inst.width <= sa.geometry().columns,
+                     "reduce width exceeds row");
+          bool any = false;
+          for (std::size_t c = 0; c < inst.width; ++c)
+            if (sa.get(inst.src1 + r, c)) any = true;
+          results.reductions.push_back(any);
+          break;
+        }
+        case Opcode::kDpuPopcount: {
+          PIMA_CHECK(inst.width <= sa.geometry().columns,
+                     "reduce width exceeds row");
+          std::size_t n = 0;
+          for (std::size_t c = 0; c < inst.width; ++c)
+            if (sa.get(inst.src1 + r, c)) ++n;
+          results.popcounts.push_back(n);
+          break;
+        }
+      }
+    }
+  }
+  return results;
+}
+
+std::vector<std::uint32_t> column_sums(const std::vector<BitVector>& rows) {
+  if (rows.empty()) return {};
+  std::vector<std::uint32_t> sums(rows.front().size(), 0);
+  for (const auto& row : rows) {
+    PIMA_CHECK(row.size() == sums.size(), "adjacency rows differ in width");
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row.get(c)) ++sums[c];
+  }
+  return sums;
+}
+
+std::uint64_t column_value(const GoldenSubArray& sa,
+                           const std::vector<dram::RowAddr>& rows,
+                           std::size_t col) {
+  PIMA_CHECK(rows.size() <= 64, "vertical number wider than 64 bits");
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    if (sa.get(rows[i], col)) v |= std::uint64_t{1} << i;
+  return v;
+}
+
+}  // namespace pima::golden

@@ -1,0 +1,136 @@
+// Golden reference model for differential verification.
+//
+// A deliberately-naive, obviously-correct re-implementation of the
+// computational sub-array: every cell is one byte, every operation is an
+// explicit per-column loop of plain host boolean logic, and there is no
+// cost model, no tracing, no fault hook — nothing shared with the
+// word-parallel production model in dram::Subarray beyond the geometry and
+// the documented AAP semantics. SIMDRAM validates its in-DRAM operations
+// against exactly this kind of bit-serial reference; here the golden model
+// is the oracle the fuzzer and the property tests diff dram::Device
+// against (src/verify/differential.hpp).
+//
+// The model mirrors the production contracts bit for bit:
+//   * AAP copy: destination ← source; src == des rejected.
+//   * Two-row activation (XNOR/XOR): both activated computation rows are
+//     destroyed and restored to the SA result; destination gets it too.
+//   * TRA: all three rows, the destination and the carry latch get MAJ3.
+//   * Sum cycle: dst/xa/xb ← xa ⊕ xb ⊕ latch; the latch is preserved.
+//   * Multi-row activation is legal only on computation rows.
+// Precondition violations throw the same PreconditionError the production
+// model throws — a program either executes on both models or is rejected
+// by both, and either asymmetry is a reportable divergence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "dram/geometry.hpp"
+#include "dram/isa.hpp"
+
+namespace pima::golden {
+
+/// Naive bit-accurate model of one computational sub-array.
+class GoldenSubArray {
+ public:
+  explicit GoldenSubArray(const dram::Geometry& geometry);
+
+  const dram::Geometry& geometry() const { return geom_; }
+
+  dram::RowAddr compute_row(std::size_t i) const;
+  bool is_compute_row(dram::RowAddr r) const;
+
+  bool get(dram::RowAddr r, std::size_t col) const;
+  void set(dram::RowAddr r, std::size_t col, bool v);
+  bool latch(std::size_t col) const;
+
+  /// Row/latch contents as BitVector for diffing against the production
+  /// model (conversion only — storage stays byte-per-cell).
+  BitVector row_bits(dram::RowAddr r) const;
+  BitVector latch_bits() const;
+
+  void write_row(dram::RowAddr r, const BitVector& bits);
+  BitVector read_row(dram::RowAddr r) const;
+
+  // ---- AAP primitives (same contracts as dram::Subarray) ----
+  void aap_copy(dram::RowAddr src, dram::RowAddr dst);
+  void aap_xnor(dram::RowAddr xa, dram::RowAddr xb, dram::RowAddr dst);
+  void aap_xor(dram::RowAddr xa, dram::RowAddr xb, dram::RowAddr dst);
+  void aap_tra_carry(dram::RowAddr xa, dram::RowAddr xb, dram::RowAddr xc,
+                     dram::RowAddr dst);
+  void sum_cycle(dram::RowAddr xa, dram::RowAddr xb, dram::RowAddr dst);
+  void reset_latch();
+
+  // ---- Naive composite kernels (golden counterparts of the production
+  //      composites; result regions match, scratch state is not modelled) --
+
+  /// Per-column host addition of the vertical numbers in `a_rows`/`b_rows`
+  /// (LSB-first): writes the m-bit sums into `sum_rows` and the carry-out
+  /// into `carry_out_row` using grade-school binary addition per column.
+  void add_vertical(const std::vector<dram::RowAddr>& a_rows,
+                    const std::vector<dram::RowAddr>& b_rows,
+                    const std::vector<dram::RowAddr>& sum_rows,
+                    dram::RowAddr carry_out_row);
+
+  /// Golden PIM_XNOR: per-column equality of rows a and b into result_row.
+  void compare_rows(dram::RowAddr a, dram::RowAddr b,
+                    dram::RowAddr result_row);
+
+  /// Golden XNOR-compare + DPU AND reduction: true iff the first `width`
+  /// columns of rows a and b agree.
+  bool rows_match(dram::RowAddr a, dram::RowAddr b, std::size_t width) const;
+
+ private:
+  void check_row(dram::RowAddr r) const;
+  void check_compute(dram::RowAddr r) const;
+
+  dram::Geometry geom_;
+  std::vector<std::vector<std::uint8_t>> rows_;  ///< one byte per cell
+  std::vector<std::uint8_t> latch_;
+};
+
+/// Device-level mirror: a lazy collection of golden sub-arrays addressed by
+/// flat index, exactly like dram::Device.
+class GoldenDevice {
+ public:
+  explicit GoldenDevice(const dram::Geometry& geometry);
+
+  const dram::Geometry& geometry() const { return geom_; }
+
+  GoldenSubArray& subarray(std::size_t flat);
+  const GoldenSubArray* subarray_if(std::size_t flat) const;
+  std::size_t instantiated_count() const { return subarrays_.size(); }
+
+ private:
+  dram::Geometry geom_;
+  std::map<std::size_t, GoldenSubArray> subarrays_;
+};
+
+/// Result values of the read/reduce instructions, mirroring
+/// dram::ExecutionResults field for field.
+struct GoldenResults {
+  std::vector<BitVector> rows_read;
+  std::vector<bool> reductions;
+  std::vector<std::size_t> popcounts;
+};
+
+/// Executes an AAP program against the golden model with the same
+/// consecutive-row `size` expansion and the same validity checks as
+/// dram::execute. Reductions are computed with explicit per-bit loops.
+GoldenResults execute(GoldenDevice& device, const dram::Program& program);
+
+// ---- Host-arithmetic oracles for the composite kernels -------------------
+
+/// Column sums of 1-bit-per-column adjacency rows — the oracle for the
+/// degree kernel (core::pim_column_sums): plain per-column counting.
+std::vector<std::uint32_t> column_sums(const std::vector<BitVector>& rows);
+
+/// Reads the vertical number stored LSB-first across `rows` at `col`.
+/// rows.size() must be <= 64.
+std::uint64_t column_value(const GoldenSubArray& sa,
+                           const std::vector<dram::RowAddr>& rows,
+                           std::size_t col);
+
+}  // namespace pima::golden

@@ -40,6 +40,7 @@ Engine::Engine(dram::Device& device, EngineOptions options)
       scheduler_(device.geometry().total_subarrays(),
                  resolve_channels(options.channels)) {
   PIMA_CHECK(options_.program_chunk > 0, "program chunk must be positive");
+  if (options_.capture_trace) device_.enable_tracing();
   if (channels() == 1) return;  // inline fallback: no workers, no queues
   channels_.reserve(channels());
   for (std::size_t c = 0; c < channels(); ++c)

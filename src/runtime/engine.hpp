@@ -41,6 +41,12 @@ struct EngineOptions {
   std::size_t queue_capacity = 64;
   /// Instructions per task when a submitted ISA program is chunked.
   std::size_t program_chunk = 512;
+  /// Enables per-sub-array command capture on the device before any worker
+  /// starts (Device::enable_tracing). Each sub-array's TraceSink is touched
+  /// only by the channel owning it, so capture is race-free; the recorded
+  /// streams replay through dram::captured_program() for the differential
+  /// oracle.
+  bool capture_trace = false;
 };
 
 class Engine {

@@ -1,0 +1,213 @@
+#include "verify/fuzz.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/layout.hpp"
+
+namespace pima::verify {
+namespace {
+
+using dram::Instruction;
+using dram::Opcode;
+using dram::RowAddr;
+
+class Generator {
+ public:
+  explicit Generator(const FuzzOptions& options)
+      : opts_(options),
+        rng_(options.seed),
+        layout_(core::ShardLayout::for_geometry(options.geometry)) {
+    const auto& g = opts_.geometry;
+    // The rows bugs live at: edges of the sub-array, edges of the hash-table
+    // shard regions, and the row right before the compute region.
+    interesting_ = {0,
+                    1,
+                    g.data_rows() - 1,
+                    g.data_rows() >= 2 ? g.data_rows() - 2 : 0,
+                    layout_.kmer_rows,
+                    layout_.kmer_rows + layout_.value_rows,
+                    layout_.rows_used() > 0 ? layout_.rows_used() - 1 : 0};
+    for (auto& r : interesting_) r = std::min<RowAddr>(r, g.data_rows() - 1);
+  }
+
+  dram::Program generate() {
+    dram::Program program;
+    program.reserve(opts_.ops);
+    for (std::size_t i = 0; i < opts_.ops; ++i) program.push_back(next());
+    return program;
+  }
+
+ private:
+  Instruction next() {
+    const auto& g = opts_.geometry;
+    Instruction inst;
+    inst.subarray = pick_subarray();
+    // Weighted op mix, biased toward the state-churning AAP primitives.
+    const std::uint64_t w = rng_.uniform(100);
+    if (w < 22) {  // AAP copy, occasionally multi-row
+      inst.op = Opcode::kAapCopy;
+      inst.size = rng_.uniform(10) == 0 ? 1 + rng_.uniform(4) : 1;
+      const std::size_t span = inst.size;
+      do {
+        inst.src1 = any_row(span);
+        inst.dst = any_row(span);
+      } while (inst.src1 == inst.dst);
+    } else if (w < 36) {
+      inst.op = Opcode::kAapXnor;
+      two_compute_rows(inst);
+      inst.dst = any_row(1);
+    } else if (w < 50) {
+      inst.op = Opcode::kAapXor;
+      two_compute_rows(inst);
+      inst.dst = any_row(1);
+    } else if (w < 64) {
+      inst.op = Opcode::kAapTra;
+      three_compute_rows(inst);
+      inst.dst = any_row(1);
+    } else if (w < 74) {
+      inst.op = Opcode::kSum;
+      two_compute_rows(inst);
+      inst.dst = any_row(1);
+    } else if (w < 79) {
+      inst.op = Opcode::kResetLatch;
+    } else if (w < 89) {
+      inst.op = Opcode::kRowWrite;
+      inst.src1 = any_row(1);
+      inst.payload = random_row();
+    } else if (w < 95) {
+      inst.op = Opcode::kRowRead;
+      inst.src1 = any_row(1);
+    } else {
+      const std::uint64_t k = rng_.uniform(3);
+      inst.op = k == 0   ? Opcode::kDpuAnd
+                : k == 1 ? Opcode::kDpuOr
+                         : Opcode::kDpuPopcount;
+      inst.src1 = any_row(1);
+      inst.width = rng_.uniform(g.columns + 1);
+    }
+    return inst;
+  }
+
+  std::size_t pick_subarray() { return rng_.uniform(opts_.subarrays); }
+
+  /// A data row, biased (1 in 3) toward the interesting boundary rows.
+  RowAddr data_row() {
+    const auto& g = opts_.geometry;
+    if (rng_.uniform(3) == 0)
+      return interesting_[rng_.uniform(interesting_.size())];
+    return rng_.uniform(g.data_rows());
+  }
+
+  /// Any row a copy/read/write may address; `span` consecutive rows must
+  /// fit (span <= 4 always fits from a data row: the geometry guarantees at
+  /// least 4 compute rows past the data region).
+  RowAddr any_row(std::size_t span) {
+    const auto& g = opts_.geometry;
+    if (span <= g.compute_rows && rng_.uniform(5) == 0)  // 20%: compute row
+      return g.data_rows() + rng_.uniform(g.compute_rows - span + 1);
+    return data_row();
+  }
+
+  void two_compute_rows(Instruction& inst) {
+    const auto& g = opts_.geometry;
+    const RowAddr base = g.data_rows();
+    inst.src1 = base + rng_.uniform(g.compute_rows);
+    do {
+      inst.src2 = base + rng_.uniform(g.compute_rows);
+    } while (inst.src2 == inst.src1);
+  }
+
+  void three_compute_rows(Instruction& inst) {
+    two_compute_rows(inst);
+    const auto& g = opts_.geometry;
+    const RowAddr base = g.data_rows();
+    do {
+      inst.src3 = base + rng_.uniform(g.compute_rows);
+    } while (inst.src3 == inst.src1 || inst.src3 == inst.src2);
+  }
+
+  BitVector random_row() {
+    const auto& g = opts_.geometry;
+    BitVector bits(g.columns);
+    for (std::size_t c = 0; c < g.columns; ++c)
+      bits.set(c, rng_.uniform(2) == 1);
+    return bits;
+  }
+
+  FuzzOptions opts_;
+  Rng rng_;
+  core::ShardLayout layout_;
+  std::vector<RowAddr> interesting_;
+};
+
+}  // namespace
+
+dram::Program generate_program(const FuzzOptions& options) {
+  PIMA_CHECK(options.subarrays > 0, "fuzzer needs at least one sub-array");
+  PIMA_CHECK(options.subarrays <= options.geometry.total_subarrays(),
+             "more fuzz targets than sub-arrays in the geometry");
+  options.geometry.validate();
+  return Generator(options).generate();
+}
+
+std::optional<Divergence> run_candidate(const dram::Program& program,
+                                        const FuzzOptions& options,
+                                        const Prelude& prelude) {
+  dram::Device device(options.geometry);
+  golden::GoldenDevice golden(options.geometry);
+  if (prelude) prelude(device);
+  return run_differential(device, golden, program, options.diff);
+}
+
+std::optional<ShrinkResult> shrink(const dram::Program& failing,
+                                   const FuzzOptions& options,
+                                   const Prelude& prelude) {
+  ShrinkResult result;
+  auto fails = [&](const dram::Program& candidate)
+      -> std::optional<Divergence> {
+    ++result.candidates_run;
+    return run_candidate(candidate, options, prelude);
+  };
+
+  auto full = fails(failing);
+  if (!full) return std::nullopt;
+  result.program = failing;
+  result.divergence = std::move(*full);
+
+  // Phase 1: binary-search the shortest failing prefix. The harness reports
+  // the first divergence, so a prefix containing the diverging command fails
+  // no matter what followed it — the predicate is monotone in the length.
+  std::size_t lo = 1, hi = result.program.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    dram::Program prefix(result.program.begin(),
+                         result.program.begin() + static_cast<std::ptrdiff_t>(mid));
+    if (auto d = fails(prefix)) {
+      result.program = std::move(prefix);
+      result.divergence = std::move(*d);
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+
+  // Phase 2: greedy removal of interior commands until a fixed point.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = result.program.size(); i-- > 0;) {
+      dram::Program candidate = result.program;
+      candidate.erase(candidate.begin() + static_cast<std::ptrdiff_t>(i));
+      if (auto d = fails(candidate)) {
+        result.program = std::move(candidate);
+        result.divergence = std::move(*d);
+        changed = true;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace pima::verify

@@ -1,0 +1,65 @@
+// Seeded AAP command-stream fuzzer with shrinking.
+//
+// Generates random — but valid-by-construction — AAP programs: multi-row
+// activations only ever address computation rows, AAP copies never alias
+// src and dst, payload widths match the geometry, and sizes stay within the
+// sub-array. Row choices are biased toward the places bugs live: row 0, the
+// last data row, the ShardLayout region boundaries (k-mer/value/temp) from
+// the production hash-table mapping, and the computation rows.
+//
+// A failing program (one on which the production and golden models
+// diverge, see differential.hpp) is shrunk to a minimal repro: first a
+// binary search for the shortest failing prefix — sound because the
+// differential harness reports the *first* divergence, so commands after
+// the divergence point never make the failure disappear — then greedy
+// removal of the remaining interior commands until a fixed point. A
+// Prelude callback re-applies any out-of-band device preparation (e.g. a
+// deliberately injected latch flip) before every candidate run so shrinking
+// works on fault repros too.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "dram/isa.hpp"
+#include "verify/differential.hpp"
+
+namespace pima::verify {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;       ///< generator seed (one program per seed)
+  std::size_t ops = 200;        ///< instructions per generated program
+  std::size_t subarrays = 2;    ///< distinct sub-arrays a program targets
+  dram::Geometry geometry;      ///< sub-array geometry under test
+  DifferentialOptions diff;     ///< forwarded to the harness
+};
+
+/// Out-of-band device preparation applied before every candidate run
+/// (fault injection, pre-loaded rows). The golden device is never touched —
+/// an injected fault is exactly what the harness should flag.
+using Prelude = std::function<void(dram::Device&)>;
+
+/// Generates one valid-by-construction random program.
+dram::Program generate_program(const FuzzOptions& options);
+
+/// Runs one program through the differential harness on fresh devices,
+/// applying `prelude` (if any) to the production device first.
+std::optional<Divergence> run_candidate(const dram::Program& program,
+                                        const FuzzOptions& options,
+                                        const Prelude& prelude = nullptr);
+
+/// A shrunk failing program and the divergence it still reproduces.
+struct ShrinkResult {
+  dram::Program program;     ///< minimal failing command sequence
+  Divergence divergence;     ///< divergence of the shrunk program
+  std::size_t candidates_run = 0;  ///< differential runs spent shrinking
+};
+
+/// Shrinks a failing program (prefix binary search + greedy removal).
+/// Returns nullopt if `failing` does not actually fail under `prelude`.
+std::optional<ShrinkResult> shrink(const dram::Program& failing,
+                                   const FuzzOptions& options,
+                                   const Prelude& prelude = nullptr);
+
+}  // namespace pima::verify

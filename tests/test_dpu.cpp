@@ -65,6 +65,31 @@ TEST_F(DpuTest, WidthValidated) {
   EXPECT_THROW(Dpu::and_reduce(sa_, 0, 65), pima::PreconditionError);
 }
 
+TEST_F(DpuTest, EmptyWidthReductions) {
+  // Width 0: AND over nothing is vacuously true, OR is false, count is 0 —
+  // the identities of the respective reductions.
+  BitVector v(64);
+  v.fill(true);
+  sa_.write_row(0, v);
+  EXPECT_TRUE(Dpu::and_reduce(sa_, 0, 0));
+  EXPECT_FALSE(Dpu::or_reduce(sa_, 0, 0));
+  EXPECT_EQ(Dpu::popcount(sa_, 0, 0), 0u);
+}
+
+TEST_F(DpuTest, SingleColumnReductions) {
+  BitVector v(64);
+  v.set(0, true);
+  sa_.write_row(0, v);
+  EXPECT_TRUE(Dpu::and_reduce(sa_, 0, 1));
+  EXPECT_TRUE(Dpu::or_reduce(sa_, 0, 1));
+  EXPECT_EQ(Dpu::popcount(sa_, 0, 1), 1u);
+  v.set(0, false);
+  sa_.write_row(0, v);
+  EXPECT_FALSE(Dpu::and_reduce(sa_, 0, 1));
+  EXPECT_FALSE(Dpu::or_reduce(sa_, 0, 1));
+  EXPECT_EQ(Dpu::popcount(sa_, 0, 1), 0u);
+}
+
 TEST_F(DpuTest, ReduceIsCosted) {
   sa_.write_row(0, BitVector(64));
   sa_.clear_stats();

@@ -4,7 +4,9 @@
 // bit failure does to the algorithms built on top.
 #include <gtest/gtest.h>
 
+#include "common/rng.hpp"
 #include "core/pim_hash_table.hpp"
+#include "core/pipeline.hpp"
 #include "dna/genome.hpp"
 #include "dram/dpu.hpp"
 #include "dram/subarray.hpp"
@@ -170,6 +172,59 @@ TEST(FaultInjection, AdditionPropagatesFaultyOperandBit) {
     const int sum = (sa.peek_row(8).get(c) ? 1 : 0) +
                     (sa.peek_row(9).get(c) ? 2 : 0);
     EXPECT_EQ(sum, c == 99 ? 2 : 1) << c;
+  }
+}
+
+// ---- Fault-path determinism under randomized configurations --------------
+//
+// The determinism contract extends to the stochastic fault process: every
+// FaultInjector RNG is forked from (config seed, sub-array flat index), and
+// per-sub-array command sequences are channel-count invariant — so the
+// whole FaultStats roll-up must be bit-identical for any --threads value,
+// whatever the configuration. Checked over randomized fault configs, not
+// just one hand-picked point.
+TEST(FaultInjection, RandomizedConfigsAreThreadCountInvariant) {
+  dna::GenomeParams gp;
+  gp.length = 700;
+  gp.repeat_count = 0;
+  const auto genome = dna::generate_genome(gp);
+  dna::ReadSamplerParams rp;
+  rp.coverage = 5.0;
+  rp.read_length = 70;
+  const auto reads = dna::sample_reads(genome, rp);
+
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 8;
+  g.mats_per_bank = 1;
+  g.banks = 1;
+
+  Rng rng(4242);
+  for (int trial = 0; trial < 3; ++trial) {
+    core::PipelineOptions opt;
+    opt.k = 15;
+    opt.hash_shards = 4;
+    opt.fault.variation = 0.10 + 0.05 * static_cast<double>(rng.uniform(4));
+    opt.fault.seed = rng();
+    opt.fault.retention_flip_per_op = rng.bernoulli(0.5) ? 1e-4 : 0.0;
+    opt.fault.weak_row_fraction = rng.bernoulli(0.5) ? 0.02 : 0.0;
+    opt.recovery.mode = rng.bernoulli(0.5) ? runtime::RecoveryMode::kRetry
+                                           : runtime::RecoveryMode::kVote;
+
+    auto run = [&](std::size_t threads) {
+      core::PipelineOptions o = opt;
+      o.threads = threads;
+      dram::Device dev(g);
+      return core::run_pipeline(dev, reads, o);
+    };
+    const auto serial = run(1);
+    const auto parallel = run(3);
+    EXPECT_EQ(serial.fault_stats, parallel.fault_stats)
+        << "trial " << trial << " variation " << opt.fault.variation
+        << " seed " << opt.fault.seed;
+    EXPECT_GT(serial.fault_stats.injected, 0u) << "trial " << trial;
   }
 }
 

@@ -244,6 +244,84 @@ TEST_P(AddVertical, MatchesSoftwareAddition) {
 INSTANTIATE_TEST_SUITE_P(Widths, AddVertical,
                          ::testing::Values(1, 2, 3, 4, 8, 12));
 
+TEST_F(SubarrayTest, AapCopyRejectsAliasedRows) {
+  // src == des would activate the same row twice — electrically a refresh,
+  // not a RowClone — so the model rejects it instead of silently absorbing
+  // a controller bug.
+  EXPECT_THROW(sa_.aap_copy(3, 3), pima::PreconditionError);
+  const auto x1 = sa_.compute_row(0);
+  EXPECT_THROW(sa_.aap_copy(x1, x1), pima::PreconditionError);
+  EXPECT_NO_THROW(sa_.aap_copy(3, 4));
+}
+
+TEST_F(SubarrayTest, SumCycleAllOnesOperandsWithCarry) {
+  // Edge of the carry chain: 1 ⊕ 1 ⊕ 1 = 1 in every column.
+  const auto x1 = sa_.compute_row(0), x2 = sa_.compute_row(1),
+             x3 = sa_.compute_row(2);
+  BitVector ones(64);
+  ones.fill(true);
+  sa_.write_row(x1, ones);
+  sa_.write_row(x2, ones);
+  sa_.write_row(x3, ones);
+  sa_.aap_tra_carry(x1, x2, x3, 12);  // latch ← all ones
+  sa_.write_row(x1, ones);
+  sa_.write_row(x2, ones);
+  sa_.sum_cycle(x1, x2, 14);
+  EXPECT_TRUE(sa_.peek_row(14).all());
+  // The latch is consumed, not cleared: a second sum sees it again.
+  EXPECT_TRUE(sa_.peek_latch().all());
+  BitVector zeros(64);
+  sa_.write_row(x1, zeros);
+  sa_.write_row(x2, zeros);
+  sa_.sum_cycle(x1, x2, 15);
+  EXPECT_TRUE(sa_.peek_row(15).all());  // 0 ⊕ 0 ⊕ 1 = 1
+}
+
+// Full carry ripple: all-ones + 1 = 0 with carry-out in every column — the
+// longest possible carry chain through the vertical adder.
+TEST(AddVerticalEdges, AllOnesPlusOneRipplesThroughEveryBit) {
+  Subarray sa(small_geometry(), circuit::default_technology());
+  const std::size_t cols = sa.geometry().columns;
+  const std::size_t m = 12;
+  std::vector<RowAddr> a_rows, b_rows, s_rows;
+  BitVector ones(cols), zeros(cols);
+  ones.fill(true);
+  for (std::size_t bit = 0; bit < m; ++bit) {
+    sa.write_row(bit, ones);                      // a = 2^m - 1
+    sa.write_row(16 + bit, bit == 0 ? ones : zeros);  // b = 1
+    a_rows.push_back(bit);
+    b_rows.push_back(16 + bit);
+    s_rows.push_back(32 + bit);
+  }
+  sa.add_vertical(a_rows, b_rows, s_rows, 50);
+  for (std::size_t bit = 0; bit < m; ++bit)
+    EXPECT_TRUE(sa.peek_row(s_rows[bit]).none()) << "sum bit " << bit;
+  EXPECT_TRUE(sa.peek_row(50).all());  // carry-out in every column
+}
+
+// All-ones + all-ones: sum = 2^m+1 - 2, i.e. bit 0 clear, bits 1..m-1 set,
+// carry-out set — exercises simultaneous generate+propagate in every stage.
+TEST(AddVerticalEdges, AllOnesPlusAllOnes) {
+  Subarray sa(small_geometry(), circuit::default_technology());
+  const std::size_t cols = sa.geometry().columns;
+  const std::size_t m = 12;
+  std::vector<RowAddr> a_rows, b_rows, s_rows;
+  BitVector ones(cols);
+  ones.fill(true);
+  for (std::size_t bit = 0; bit < m; ++bit) {
+    sa.write_row(bit, ones);
+    sa.write_row(16 + bit, ones);
+    a_rows.push_back(bit);
+    b_rows.push_back(16 + bit);
+    s_rows.push_back(32 + bit);
+  }
+  sa.add_vertical(a_rows, b_rows, s_rows, 50);
+  EXPECT_TRUE(sa.peek_row(s_rows[0]).none());
+  for (std::size_t bit = 1; bit < m; ++bit)
+    EXPECT_TRUE(sa.peek_row(s_rows[bit]).all()) << "sum bit " << bit;
+  EXPECT_TRUE(sa.peek_row(50).all());
+}
+
 TEST(AddVerticalErrors, MismatchedSpansThrow) {
   Subarray sa(small_geometry(), circuit::default_technology());
   EXPECT_THROW(sa.add_vertical({1, 2}, {3}, {4, 5}, 6),

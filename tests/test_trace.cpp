@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "dram/isa.hpp"
 #include "dram/subarray.hpp"
 
 namespace pima::dram {
@@ -98,6 +99,78 @@ TEST(Trace, BreakdownFromStatsMatchesTrace) {
   EXPECT_DOUBLE_EQ(from_trace.total_energy_pj, from_stats.total_energy_pj);
   EXPECT_DOUBLE_EQ(from_trace.total_time_ns, from_stats.total_time_ns);
   EXPECT_EQ(from_trace.rows.size(), from_stats.rows.size());
+}
+
+TEST(Trace, EntriesCarryReplayExactOpcodes) {
+  // XNOR and XOR share CommandKind::kAapTwoRow (same cost class) but must
+  // stay distinguishable in the trace for exact replay.
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1);
+  sa.aap_xnor(x1, x2, 5);
+  sa.aap_xor(x1, x2, 6);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.entries()[0].kind, CommandKind::kAapTwoRow);
+  EXPECT_EQ(sink.entries()[1].kind, CommandKind::kAapTwoRow);
+  EXPECT_EQ(sink.entries()[0].op, Opcode::kAapXnor);
+  EXPECT_EQ(sink.entries()[1].op, Opcode::kAapXor);
+}
+
+TEST(Trace, LatchResetIsTraceOnlyAndUncosted) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  sa.reset_latch();
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.entries()[0].kind, CommandKind::kLatchReset);
+  EXPECT_EQ(sink.entries()[0].op, Opcode::kResetLatch);
+  EXPECT_DOUBLE_EQ(sink.entries()[0].latency_ns, 0.0);
+  EXPECT_DOUBLE_EQ(sink.entries()[0].energy_pj, 0.0);
+  // The Rst pulse rides the surrounding AAP envelope: no command counted,
+  // no time, no energy.
+  EXPECT_EQ(sa.stats().total_commands(), 0u);
+  EXPECT_DOUBLE_EQ(sa.stats().busy_ns, 0.0);
+}
+
+TEST(Trace, RowWritePayloadIsCaptured) {
+  Subarray sa(tiny(), circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  BitVector bits(32);
+  bits.set(0, true);
+  bits.set(31, true);
+  sa.write_row(4, bits);
+  sa.aap_copy(4, 5);
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.entries()[0].payload, bits);
+  EXPECT_TRUE(sink.entries()[1].payload.empty());  // only writes carry data
+}
+
+TEST(Trace, ProgramFromTraceReplaysIdenticalState) {
+  const auto g = tiny();
+  Subarray sa(g, circuit::default_technology());
+  TraceSink sink;
+  sa.attach_trace(&sink);
+  BitVector bits(32);
+  for (std::size_t i = 0; i < 32; i += 2) bits.set(i, true);
+  sa.write_row(1, bits);
+  sa.aap_copy(1, sa.compute_row(0));
+  sa.aap_copy(1, sa.compute_row(1));
+  sa.aap_copy(1, sa.compute_row(2));
+  sa.aap_tra_carry(sa.compute_row(0), sa.compute_row(1), sa.compute_row(2), 2);
+  sa.sum_cycle(sa.compute_row(0), sa.compute_row(1), 3);
+  sa.reset_latch();
+  (void)sa.read_row(3);
+
+  const auto program = program_from_trace(sink.entries(), 0, g.columns);
+  ASSERT_EQ(program.size(), sink.size());
+  Device replay(g);
+  execute(replay, program);
+  auto& rsa = replay.subarray(std::size_t{0});
+  for (RowAddr r = 0; r < g.rows; ++r)
+    ASSERT_EQ(rsa.peek_row(r), sa.peek_row(r)) << "row " << r;
+  EXPECT_EQ(rsa.peek_latch(), sa.peek_latch());
 }
 
 TEST(Trace, RenderContainsShares) {

@@ -27,6 +27,7 @@
 #include "core/cost_model.hpp"
 #include "core/pipeline.hpp"
 #include "dna/fasta.hpp"
+#include "dram/isa.hpp"
 #include "dna/genome.hpp"
 #include "platforms/presets.hpp"
 #include "runtime/recovery.hpp"
@@ -209,6 +210,10 @@ int cmd_pim_run(const Args& args) {
       args.get_size("max-retries", opt.recovery.max_retries);
   opt.recovery.subarray_failure_budget = args.get_size(
       "failure-budget", opt.recovery.subarray_failure_budget);
+  // Oracle capture: record every DRAM command and dump the replayable AAP
+  // program (feed it to `pima_fuzz --replay` for golden-model checking).
+  const auto dump_trace = args.get("dump-trace");
+  opt.capture_trace = dump_trace.has_value();
 
   const bool fault_aware =
       opt.fault.enabled() || opt.recovery.mode != runtime::RecoveryMode::kOff;
@@ -252,6 +257,14 @@ int cmd_pim_run(const Args& args) {
   }
   std::printf("contigs: %zu, N50 %zu bp\n", result.contig_stats.count,
               result.contig_stats.n50);
+  if (dump_trace) {
+    const auto program = dram::captured_program(device);
+    std::ofstream out(*dump_trace);
+    if (!out) Args::fail("cannot write trace: " + *dump_trace);
+    out << dram::to_text(program);
+    std::printf("trace: %zu commands -> %s\n", program.size(),
+                dump_trace->c_str());
+  }
   if (const auto ref = args.get("reference"))
     report_verification(*ref, result.contigs, 2 * opt.k);
   return 0;
@@ -314,6 +327,7 @@ void usage() {
       "           [--fault-seed N] [--fault-retention P]\n"
       "           [--fault-weak-rows F] [--recovery off|retry|vote]\n"
       "           [--max-retries N] [--failure-budget N]\n"
+      "           [--dump-trace trace.aap (replay: pima_fuzz --replay)]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]");
 }

@@ -1,0 +1,189 @@
+// pima_fuzz — AAP command-stream fuzzer against the golden model.
+//
+//   pima_fuzz [--seeds N] [--ops N] [--seed S] [--subarrays N]
+//   pima_fuzz --replay trace.aap
+//   pima_fuzz --inject-latch-flip [--ops N] [--seed S]
+//
+// Default mode generates one valid-by-construction random AAP program per
+// seed (seeds S..S+N-1) and runs each through the differential harness:
+// the production dram::Device and the naive golden model execute the same
+// commands and every touched row, the carry latch and all read/reduce
+// results are diffed. Any divergence is shrunk to a minimal repro and
+// printed in replayable ISA text; the exit code is the number of diverging
+// seeds (0 = models agree).
+//
+// --replay runs a captured program (`pima_asm pim-run --dump-trace`)
+// through the same harness instead of generating one.
+//
+// --inject-latch-flip is the self-test: it flips one carry-latch bit in the
+// production device only, demonstrates that the harness reports the
+// resulting divergence, and that the shrinker reduces the random program
+// around it to a minimal repro. Exits 0 iff the flip was caught and the
+// repro is minimal.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "dram/isa.hpp"
+#include "verify/fuzz.hpp"
+
+namespace {
+
+using namespace pima;
+
+[[noreturn]] void fail(const std::string& msg) {
+  std::fprintf(stderr, "pima_fuzz: %s\n", msg.c_str());
+  std::exit(2);
+}
+
+void usage() {
+  std::puts(
+      "usage: pima_fuzz [--seeds N] [--ops N] [--seed S] [--subarrays N]\n"
+      "       pima_fuzz --replay trace.aap [--rows N] [--columns N]\n"
+      "       pima_fuzz --inject-latch-flip [--ops N] [--seed S]\n"
+      "--rows/--columns must match the geometry the trace was captured\n"
+      "under (pima_asm pim-run --rows/--columns); a mismatch is reported\n"
+      "as a rejection divergence, not silently accepted.");
+}
+
+void print_divergence(const verify::Divergence& d) {
+  std::printf("DIVERGENCE: %s\n", d.report().c_str());
+}
+
+void print_repro(const verify::ShrinkResult& shrunk) {
+  std::printf("shrunk to %zu command(s) in %zu candidate run(s):\n",
+              shrunk.program.size(), shrunk.candidates_run);
+  std::fputs(dram::to_text(shrunk.program).c_str(), stdout);
+  print_divergence(shrunk.divergence);
+}
+
+int run_replay(const std::string& path, verify::FuzzOptions opts) {
+  std::ifstream in(path);
+  if (!in) fail("cannot read trace: " + path);
+  const dram::Program program = dram::parse_program(in);
+  std::printf("replaying %zu command(s) from %s\n", program.size(),
+              path.c_str());
+  // A captured trace already executed once on the production device, so
+  // every command must execute here too: symmetric rejection means the
+  // replay geometry (--rows/--columns) does not match the capture.
+  opts.diff.accept_symmetric_rejection = false;
+  if (auto d = verify::run_candidate(program, opts)) {
+    print_divergence(*d);
+    if (auto shrunk = verify::shrink(program, opts)) print_repro(*shrunk);
+    return 1;
+  }
+  std::puts("replay OK: production and golden models agree");
+  return 0;
+}
+
+int run_inject_demo(verify::FuzzOptions opts) {
+  dram::Program program = verify::generate_program(opts);
+  // A TRA or latch reset early in the random stream would overwrite the
+  // flipped latch in both models before anything reads it — the flip would
+  // be genuinely unobservable. Front a sum cycle that consumes the latch so
+  // the corruption always propagates into a row (which is also what makes
+  // the shrunk repro interesting: one command suffices).
+  dram::Instruction observe;
+  observe.op = dram::Opcode::kSum;
+  observe.subarray = 0;
+  observe.src1 = opts.geometry.data_rows();
+  observe.src2 = opts.geometry.data_rows() + 1;
+  observe.dst = 0;
+  program.insert(program.begin(), observe);
+  const verify::Prelude flip = [](dram::Device& device) {
+    device.subarray(std::size_t{0}).inject_latch_flip(0);
+  };
+  const auto d = verify::run_candidate(program, opts, flip);
+  if (!d) {
+    std::puts("FAIL: injected latch flip was not detected");
+    return 1;
+  }
+  std::printf("injected latch flip detected over %zu command(s)\n",
+              program.size());
+  print_divergence(*d);
+  const auto shrunk = verify::shrink(program, opts, flip);
+  if (!shrunk) {
+    std::puts("FAIL: shrinker lost the failure");
+    return 1;
+  }
+  print_repro(*shrunk);
+  if (shrunk->program.size() > 10) {
+    std::puts("FAIL: repro not minimal (> 10 commands)");
+    return 1;
+  }
+  std::puts("inject-latch-flip self-test OK");
+  return 0;
+}
+
+int run_fuzz(std::size_t seeds, const verify::FuzzOptions& base) {
+  int diverging = 0;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    verify::FuzzOptions opts = base;
+    opts.seed = base.seed + i;
+    const dram::Program program = verify::generate_program(opts);
+    if (auto d = verify::run_candidate(program, opts)) {
+      ++diverging;
+      std::printf("seed %llu: ", static_cast<unsigned long long>(opts.seed));
+      print_divergence(*d);
+      if (auto shrunk = verify::shrink(program, opts)) print_repro(*shrunk);
+    } else {
+      std::printf("seed %llu: OK (%zu commands)\n",
+                  static_cast<unsigned long long>(opts.seed), program.size());
+    }
+  }
+  if (diverging == 0)
+    std::printf("all %zu seed(s) agree with the golden model\n", seeds);
+  return diverging;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t seeds = 8;
+  verify::FuzzOptions opts;
+  opts.ops = 500;
+  std::optional<std::string> replay;
+  bool inject = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> std::string {
+      if (i + 1 >= argc) fail("missing value for " + arg);
+      return argv[++i];
+    };
+    if (arg == "--seeds")
+      seeds = std::stoull(value());
+    else if (arg == "--ops")
+      opts.ops = std::stoull(value());
+    else if (arg == "--seed")
+      opts.seed = std::stoull(value());
+    else if (arg == "--subarrays")
+      opts.subarrays = std::stoull(value());
+    else if (arg == "--rows")
+      opts.geometry.rows = std::stoull(value());
+    else if (arg == "--columns")
+      opts.geometry.columns = std::stoull(value());
+    else if (arg == "--replay")
+      replay = value();
+    else if (arg == "--inject-latch-flip")
+      inject = true;
+    else if (arg == "--help" || arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      fail("unknown flag: " + arg);
+    }
+  }
+
+  try {
+    if (replay) return run_replay(*replay, opts);
+    if (inject) return run_inject_demo(opts);
+    return run_fuzz(seeds, opts);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "pima_fuzz: %s\n", e.what());
+    return 2;
+  }
+}
