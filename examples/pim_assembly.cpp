@@ -40,10 +40,13 @@ int main(int argc, char** argv) {
   options.k = 17;
   options.hash_shards = 16;
   options.euler_contigs = false;  // unitigs: exact across repeats
-  // Usage: `pim_assembly [threads [fault-variation [recovery [fault-seed]]]]`
+  // Usage: `pim_assembly [threads [fault-variation [recovery [fault-seed
+  //                        [checkpoint-dir [resume]]]]]]`
   // threads 0 = hardware concurrency; the output is bit-identical for every
   // choice. fault-variation is the ±% of paper Table I (0.10 = ±10%);
-  // recovery is off/retry/vote.
+  // recovery is off/retry/vote. A checkpoint-dir makes the pipeline snapshot
+  // after every stage; resume=1 skips the stages an existing snapshot
+  // already covers (fault-free runs only).
   options.threads =
       argc > 1 ? static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10))
                : 0;
@@ -59,6 +62,8 @@ int main(int argc, char** argv) {
   }
   if (argc > 4)
     options.fault.seed = std::strtoull(argv[4], nullptr, 10);
+  if (argc > 5) options.checkpoint_dir = argv[5];
+  if (argc > 6) options.resume = std::strtoul(argv[6], nullptr, 10) != 0;
   const auto result = core::run_pipeline(device, reads, options);
 
   std::printf("PIM-Assembler functional run (%zu reads, k=%zu, threads=%zu)\n",

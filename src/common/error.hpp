@@ -4,8 +4,16 @@
 // by throwing std::logic_error / std::runtime_error subclasses. Simulation
 // code is exception-free on the hot path; checks compile to a branch + cold
 // throw helper.
+//
+// The taxonomy below maps one-to-one onto the CLI's documented exit codes
+// (see exit_code_for / DESIGN.md §10): front-end tools catch at main() and
+// translate the dynamic type into a stable process exit status, so scripts
+// and CI can distinguish "your input file is broken" from "the engine
+// stalled" without parsing stderr.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -23,6 +31,91 @@ class SimulationError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Thrown when an operating-system I/O operation fails (open/write/rename
+/// of checkpoints, traces, FASTA files).
+class IoError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a checkpoint snapshot fails validation — bad magic, version
+/// mismatch, truncation, checksum mismatch, or an incompatible run
+/// configuration (geometry/k/seed). The load is all-or-nothing: a snapshot
+/// that throws this has had no partial effect on the caller's state.
+class CorruptCheckpointError : public IoError {
+ public:
+  using IoError::IoError;
+};
+
+/// Thrown when user-supplied input data (FASTA/FASTQ) is malformed. The
+/// message carries source:line context.
+class InputFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by runtime::Engine::drain() when the watchdog detects that a
+/// channel worker has made no progress within the configured stall timeout.
+/// Carries enough context to locate the wedged work: the channel, the
+/// sub-array the stuck task was routed to (kNoSubarray for untargeted
+/// closures), and the index of the last command the channel retired.
+class EngineStalledError : public SimulationError {
+ public:
+  static constexpr std::size_t kNoSubarray = static_cast<std::size_t>(-1);
+
+  EngineStalledError(std::size_t channel, std::size_t subarray,
+                     std::uint64_t last_retired, double timeout_ms)
+      : SimulationError(format(channel, subarray, last_retired, timeout_ms)),
+        channel_(channel),
+        subarray_(subarray),
+        last_retired_(last_retired) {}
+
+  std::size_t channel() const { return channel_; }
+  std::size_t subarray() const { return subarray_; }
+  std::uint64_t last_retired() const { return last_retired_; }
+
+ private:
+  static std::string format(std::size_t channel, std::size_t subarray,
+                            std::uint64_t last_retired, double timeout_ms) {
+    std::string msg = "engine stalled: channel " + std::to_string(channel) +
+                      " made no progress for " + std::to_string(timeout_ms) +
+                      " ms (last retired task index " +
+                      std::to_string(last_retired);
+    if (subarray != kNoSubarray)
+      msg += ", stuck task targets sub-array " + std::to_string(subarray);
+    msg += ")";
+    return msg;
+  }
+
+  std::size_t channel_;
+  std::size_t subarray_;
+  std::uint64_t last_retired_;
+};
+
+/// Documented process exit codes of the CLI tools (DESIGN.md §10).
+enum ExitCode : int {
+  kExitOk = 0,                ///< success
+  kExitFailure = 1,           ///< unclassified runtime/logic error
+  kExitUsage = 2,             ///< bad command line
+  kExitInputFormat = 3,       ///< malformed FASTA/FASTQ input
+  kExitIo = 4,                ///< OS-level I/O failure
+  kExitCorruptCheckpoint = 5, ///< checkpoint rejected (checksum/version/compat)
+  kExitEngineStalled = 6,     ///< watchdog converted a hang into a failure
+};
+
+/// Maps an exception to its documented exit code. Most-derived types are
+/// tested first, so CorruptCheckpointError wins over its IoError base.
+inline int exit_code_for(const std::exception& e) {
+  if (dynamic_cast<const CorruptCheckpointError*>(&e) != nullptr)
+    return kExitCorruptCheckpoint;
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return kExitIo;
+  if (dynamic_cast<const InputFormatError*>(&e) != nullptr)
+    return kExitInputFormat;
+  if (dynamic_cast<const EngineStalledError*>(&e) != nullptr)
+    return kExitEngineStalled;
+  return kExitFailure;
+}
 
 namespace detail {
 [[noreturn]] inline void throw_precondition(const char* expr, const char* file,

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <fstream>
 #include <memory>
 #include <utility>
 #include <vector>
@@ -77,6 +78,31 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
   engine.drain();
 }
 
+// The run configuration the remaining stages' command streams depend on —
+// what a snapshot pins and a resume must match.
+runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
+                                                const PipelineOptions& o) {
+  runtime::CheckpointFingerprint fp;
+  fp.k = o.k;
+  fp.hash_shards = o.hash_shards;
+  fp.graph_intervals = o.graph_intervals;
+  fp.use_multiplicity = o.use_multiplicity;
+  fp.euler_contigs = o.euler_contigs;
+  fp.traversal = static_cast<std::uint8_t>(o.traversal);
+  fp.rows = geom.rows;
+  fp.compute_rows = geom.compute_rows;
+  fp.columns = geom.columns;
+  fp.subarrays_per_mat = geom.subarrays_per_mat;
+  fp.mats_per_bank = geom.mats_per_bank;
+  fp.banks = geom.banks;
+  fp.fault_variation = o.fault.variation;
+  fp.fault_seed = o.fault.seed;
+  fp.fault_retention = o.fault.retention_flip_per_op;
+  fp.fault_weak_rows = o.fault.weak_row_fraction;
+  fp.recovery_mode = static_cast<std::uint8_t>(o.recovery.mode);
+  return fp;
+}
+
 }  // namespace
 
 PipelineResult run_pipeline(dram::Device& device,
@@ -89,6 +115,7 @@ PipelineResult run_pipeline(dram::Device& device,
   engine_options.channels = options.threads;
   engine_options.queue_capacity = options.queue_capacity;
   engine_options.capture_trace = options.capture_trace;
+  engine_options.stall_timeout_ms = options.stall_timeout_ms;
   runtime::Engine engine(device, engine_options);
 
   // Fault-aware execution: attach the Table-I-calibrated fault model to
@@ -102,31 +129,88 @@ PipelineResult run_pipeline(dram::Device& device,
     recovery =
         std::make_unique<runtime::RecoveryManager>(device, options.recovery);
 
+  // ---- Checkpoint/resume plumbing ----
+  const runtime::CheckpointFingerprint fingerprint =
+      make_fingerprint(device.geometry(), options);
+  const std::string ckpt_path = options.checkpoint_dir.empty()
+                                    ? std::string{}
+                                    : options.checkpoint_dir + "/pipeline.ckpt";
+  runtime::PipelineSnapshot snap;
+  snap.fingerprint = fingerprint;
+  std::uint32_t resume_stage = 0;
+  if (options.resume) {
+    PIMA_CHECK(!options.checkpoint_dir.empty(),
+               "resume requires checkpoint_dir");
+    if (options.fault.enabled())
+      throw SimulationError(
+          "resume with fault injection enabled is unsupported: per-sub-array "
+          "fault RNG stream positions are not part of the snapshot, so a "
+          "resumed run could not reproduce the interrupted one bit-for-bit");
+    // A missing snapshot is not an error — the first run of a
+    // checkpoint-then-resume loop simply starts fresh.
+    if (std::ifstream probe(ckpt_path); probe.good()) {
+      snap = runtime::load_checkpoint(ckpt_path);
+      runtime::validate_compatible(snap, fingerprint);
+      resume_stage = snap.stages_done;
+    }
+  }
+  // Fault/recovery counters accumulated before the interruption; this
+  // process's RecoveryManager adds its own deltas on top.
+  const runtime::FaultStats base_fault = snap.fault_stats;
+  const auto fault_now = [&] {
+    return recovery ? base_fault + recovery->roll_up() : base_fault;
+  };
+  const auto write_checkpoint = [&](std::uint32_t stage) {
+    if (ckpt_path.empty()) return;
+    snap.stages_done = stage;
+    snap.fault_stats = fault_now();
+    runtime::save_checkpoint(ckpt_path, snap);
+    if (options.on_checkpoint) options.on_checkpoint(stage, ckpt_path);
+  };
+
   // ---- Stage 1: k-mer analysis (Hashmap(S, k)) ----
-  PimHashTable table(device, options.hash_shards);
-  table.bind_key_length(options.k);
-  table.attach_recovery(recovery.get());
-  submit_kmer_stream(engine, table, reads, options.k);
-  result.distinct_kmers = table.distinct_kmers();
-  result.hashmap = {device.roll_up(), "hashmap"};
-  device.clear_stats();
+  // Ends with the table extraction (the controller reading the counted
+  // shards back out), so the stage's snapshot state — the extracted
+  // (k-mer, freq) list — fully covers the stage's device traffic and a
+  // resumed run reproduces the uninterrupted stats exactly.
+  std::vector<std::pair<assembly::Kmer, std::uint32_t>> entries;
+  if (resume_stage >= 1) {
+    entries = snap.kmer_entries;
+    result.distinct_kmers = snap.distinct_kmers;
+    result.hashmap = {snap.hashmap, "hashmap"};
+  } else {
+    PimHashTable table(device, options.hash_shards);
+    table.bind_key_length(options.k);
+    table.attach_recovery(recovery.get());
+    submit_kmer_stream(engine, table, reads, options.k);
+    entries = table.extract();
+    result.distinct_kmers = table.distinct_kmers();
+    result.hashmap = {device.roll_up(), "hashmap"};
+    device.clear_stats();
+    snap.distinct_kmers = result.distinct_kmers;
+    snap.kmer_entries = entries;
+    snap.hashmap = result.hashmap.device;
+    write_checkpoint(1);
+  }
 
   // ---- Stage 2a: de Bruijn construction (DeBruijn(Hashmap, k)) ----
-  // Read the counted table out of the hash shards and materialize the
-  // graph. Node/edge MEM_inserts land on the graph sub-arrays (one row
-  // write per insert, round-robin over the shard range) — the construction
-  // is controller-sequenced but storage-local, exactly the paper's
-  // MEM_insert traffic, here emitted as a batched ROW_WRITE ISA program
-  // fanned out over the channels.
-  const auto entries = table.extract();
-  assembly::KmerCounter counter(entries.size());
-  for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
-  result.graph =
-      assembly::DeBruijnGraph::from_counter(counter, options.use_multiplicity);
-  const auto& graph = result.graph;
-  result.graph_nodes = graph.node_count();
-  result.graph_edges = graph.edge_count();
-  {
+  // Materialize the graph from the counted table. Node/edge MEM_inserts
+  // land on the graph sub-arrays (one row write per insert, round-robin
+  // over the shard range) — the construction is controller-sequenced but
+  // storage-local, exactly the paper's MEM_insert traffic, here emitted as
+  // a batched ROW_WRITE ISA program fanned out over the channels.
+  if (resume_stage >= 2) {
+    // from_edges() on the snapshot's edge list rebuilds the exact node ids
+    // and adjacency the interrupted run had (the list is already in the
+    // graph's sorted edge order).
+    result.graph = assembly::DeBruijnGraph::from_edges(snap.graph_edges);
+    result.debruijn = {snap.debruijn, "debruijn"};
+  } else {
+    assembly::KmerCounter counter(entries.size());
+    for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
+    result.graph = assembly::DeBruijnGraph::from_counter(
+        counter, options.use_multiplicity);
+    const auto& graph = result.graph;
     const std::size_t graph_base = options.hash_shards;
     const std::size_t graph_arrays = std::max<std::size_t>(
         1, std::min(options.hash_shards,
@@ -160,22 +244,35 @@ PipelineResult run_pipeline(dram::Device& device,
     }
     engine.submit_program(std::move(inserts));
     engine.drain();
+    result.debruijn = {device.roll_up(), "debruijn"};
+    device.clear_stats();
+    snap.graph_edges.clear();
+    snap.graph_edges.reserve(graph.edge_count());
+    for (const auto& e : graph.edges())
+      snap.graph_edges.emplace_back(e.kmer, e.multiplicity);
+    snap.debruijn = result.debruijn.device;
+    write_checkpoint(2);
   }
-  result.debruijn = {device.roll_up(), "debruijn"};
-  device.clear_stats();
+  const auto& graph = result.graph;
+  result.graph_nodes = graph.node_count();
+  result.graph_edges = graph.edge_count();
 
   // ---- Stage 2b: traversal (Traverse(G)) ----
-  const GraphPartition partition =
-      partition_fitting(graph, device.geometry(), options.graph_intervals);
-  const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
-  // The controller uses the PIM-computed degrees to pick Euler start
-  // vertices; the walk itself streams edge lookups (one row read each),
-  // batched into per-channel ROW_READ programs.
-  (void)degrees;
-  result.contigs = options.euler_contigs
-                       ? assembly::contigs_from_euler(graph, options.traversal)
-                       : assembly::contigs_from_unitigs(graph);
-  {
+  if (resume_stage >= 3) {
+    result.contigs = snap.contigs;
+    result.traverse = {snap.traverse, "traverse"};
+  } else {
+    const GraphPartition partition =
+        partition_fitting(graph, device.geometry(), options.graph_intervals);
+    const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
+    // The controller uses the PIM-computed degrees to pick Euler start
+    // vertices; the walk itself streams edge lookups (one row read each),
+    // batched into per-channel ROW_READ programs.
+    (void)degrees;
+    result.contigs =
+        options.euler_contigs
+            ? assembly::contigs_from_euler(graph, options.traversal)
+            : assembly::contigs_from_unitigs(graph);
     const std::size_t arrays = std::max<std::size_t>(1, options.hash_shards);
     const std::size_t data_rows = device.geometry().data_rows();
     constexpr std::size_t kProgramSlice = 8192;
@@ -196,12 +293,15 @@ PipelineResult run_pipeline(dram::Device& device,
     }
     engine.submit_program(std::move(lookups));
     engine.drain();
+    result.traverse = {device.roll_up(), "traverse"};
+    device.clear_stats();
+    snap.contigs = result.contigs;
+    snap.traverse = result.traverse.device;
+    write_checkpoint(3);
   }
-  result.traverse = {device.roll_up(), "traverse"};
-  device.clear_stats();
 
   result.contig_stats = assembly::compute_stats(result.contigs);
-  if (recovery != nullptr) result.fault_stats = recovery->roll_up();
+  result.fault_stats = fault_now();
   return result;
 }
 

@@ -14,8 +14,21 @@
 // `PipelineOptions::threads` picks the channel count; every output —
 // contigs, graph, per-stage DeviceStats — is bit-identical for any value,
 // because work routing is a pure function of the target sub-array.
+// Run resilience: with PipelineOptions::checkpoint_dir set, the pipeline
+// writes a versioned, checksummed snapshot (runtime/checkpoint.hpp) at
+// every stage boundary — atomically, so a crash at any instant leaves a
+// loadable file. `resume` skips the stages a snapshot already covers and
+// provably reproduces the uninterrupted run bit-for-bit (contigs, per-stage
+// DeviceStats, FaultStats) for fault-free configurations; fault-injected
+// runs cannot resume because per-sub-array RNG stream positions are not
+// part of the snapshot. `stall_timeout_ms` arms the engine watchdog so a
+// wedged channel worker surfaces as EngineStalledError instead of hanging
+// the run.
 #pragma once
 
+#include <cstdint>
+#include <functional>
+#include <string>
 #include <vector>
 
 #include "assembly/assembler.hpp"
@@ -23,6 +36,7 @@
 #include "core/pim_hash_table.hpp"
 #include "dram/device.hpp"
 #include "dram/fault.hpp"
+#include "runtime/checkpoint.hpp"
 #include "runtime/recovery.hpp"
 
 namespace pima::core {
@@ -53,6 +67,26 @@ struct PipelineOptions {
   /// replays through dram::captured_program() — e.g. `pima_asm pim-run
   /// --dump-trace` → `pima_fuzz --replay` for oracle verification.
   bool capture_trace = false;
+  /// Directory for stage-boundary snapshots. Empty disables checkpointing.
+  /// The snapshot file is `<checkpoint_dir>/pipeline.ckpt`, rewritten
+  /// atomically after each completed stage.
+  std::string checkpoint_dir;
+  /// Resume from `<checkpoint_dir>/pipeline.ckpt` if it exists: completed
+  /// stages are skipped and re-seeded from the snapshot, and the run's
+  /// outputs are bit-identical to the uninterrupted run. Requires
+  /// checkpoint_dir; a missing snapshot file simply starts fresh. Resume is
+  /// refused (SimulationError) when fault injection is enabled — the fault
+  /// streams' RNG positions are not part of the snapshot.
+  bool resume = false;
+  /// Per-task watchdog deadline forwarded to EngineOptions::stall_timeout_ms
+  /// (0 = unsupervised). A wedged channel worker surfaces as
+  /// EngineStalledError instead of hanging the run.
+  double stall_timeout_ms = 0.0;
+  /// Test hook: invoked after each stage snapshot has been durably written
+  /// (stage number 1..3, path of the snapshot file). The kill-and-resume
+  /// crash test SIGKILLs itself from here.
+  std::function<void(std::uint32_t stage, const std::string& path)>
+      on_checkpoint;
 };
 
 /// Per-stage roll-up (device stats snapshot over the stage's commands).

@@ -1,16 +1,16 @@
 #include "runtime/engine.hpp"
 
 #include <algorithm>
-#include <condition_variable>
+#include <chrono>
 #include <exception>
-#include <mutex>
-#include <thread>
 
 #include "runtime/bounded_queue.hpp"
 
 namespace pima::runtime {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 std::size_t resolve_channels(std::size_t requested) {
   if (requested != 0) return requested;
@@ -23,15 +23,30 @@ std::size_t resolve_channels(std::size_t requested) {
 struct Engine::Channel {
   explicit Channel(std::size_t capacity) : queue(capacity) {}
 
-  BoundedQueue<Task> queue;
+  struct Entry {
+    Task task;
+    std::size_t subarray = EngineStalledError::kNoSubarray;
+  };
+
+  BoundedQueue<Entry> queue;
   std::thread worker;
 
   // Outstanding-task accounting for drain(): incremented before push,
-  // decremented after the task retires.
+  // decremented after the task retires. The heartbeat fields (busy,
+  // last_activity, retired) feed the watchdog; `cancelled` makes a healthy
+  // worker drop queued tasks after another channel stalled; `stalled`
+  // marks this channel's worker as wedged (its pending count can never
+  // reach zero again, so drain() stops waiting on it).
   std::mutex mutex;
   std::condition_variable idle;
   std::size_t pending = 0;
   std::exception_ptr failure;
+  bool busy = false;
+  std::size_t current_subarray = EngineStalledError::kNoSubarray;
+  Clock::time_point last_activity = Clock::now();
+  std::uint64_t retired = 0;
+  bool cancelled = false;
+  bool stalled = false;
 };
 
 Engine::Engine(dram::Device& device, EngineOptions options)
@@ -40,34 +55,68 @@ Engine::Engine(dram::Device& device, EngineOptions options)
       scheduler_(device.geometry().total_subarrays(),
                  resolve_channels(options.channels)) {
   PIMA_CHECK(options_.program_chunk > 0, "program chunk must be positive");
+  PIMA_CHECK(options_.stall_timeout_ms >= 0.0,
+             "stall timeout must be non-negative");
   if (options_.capture_trace) device_.enable_tracing();
   if (channels() == 1) return;  // inline fallback: no workers, no queues
   channels_.reserve(channels());
   for (std::size_t c = 0; c < channels(); ++c)
     channels_.push_back(std::make_unique<Channel>(options_.queue_capacity));
   for (auto& ch : channels_)
-    ch->worker = std::thread([this, &ch = *ch] { worker_loop(ch); });
+    ch->worker = std::thread([&ch = *ch] { worker_loop(ch); });
+  if (options_.stall_timeout_ms > 0.0)
+    watchdog_ = std::thread([this] { watchdog_loop(); });
 }
 
 Engine::~Engine() {
+  if (watchdog_.joinable()) {
+    {
+      std::lock_guard lock(watchdog_mutex_);
+      watchdog_stop_ = true;
+    }
+    watchdog_wake_.notify_all();
+    watchdog_.join();
+  }
   for (auto& ch : channels_) ch->queue.close();
-  for (auto& ch : channels_)
-    if (ch->worker.joinable()) ch->worker.join();
+  for (auto& ch : channels_) {
+    bool wedged;
+    {
+      std::lock_guard lock(ch->mutex);
+      wedged = ch->stalled && ch->busy;
+    }
+    if (!wedged) {
+      if (ch->worker.joinable()) ch->worker.join();
+      continue;
+    }
+    // The worker is stuck inside a task and may never return: joining
+    // would trade the hang we just diagnosed for a destructor deadlock.
+    // Abandon the thread instead and deliberately leak its Channel so the
+    // detached worker's accounting writes land in live memory if the task
+    // ever does finish.
+    ch->worker.detach();
+    (void)ch.release();
+  }
 }
 
 void Engine::worker_loop(Channel& ch) {
-  while (auto task = ch.queue.pop()) {
+  // Static: must stay valid on a detached thread after the Engine object
+  // is gone, so it may touch only `ch` (leaked alive in that case).
+  while (auto entry = ch.queue.pop()) {
     bool skip;
     {
-      // Fail-fast: a channel with an uncollected failure drops the rest of
-      // its stream instead of executing tasks that assumed the failed
-      // task's effects.
+      // Fail-fast: a channel with an uncollected failure (or a
+      // cancellation from another channel's stall) drops the rest of its
+      // stream instead of executing tasks that assumed the failed task's
+      // effects.
       std::lock_guard lock(ch.mutex);
-      skip = static_cast<bool>(ch.failure);
+      skip = static_cast<bool>(ch.failure) || ch.cancelled;
+      ch.busy = true;
+      ch.current_subarray = entry->subarray;
+      ch.last_activity = Clock::now();
     }
     if (!skip) {
       try {
-        (*task)();
+        (entry->task)();
       } catch (...) {
         std::lock_guard lock(ch.mutex);
         if (!ch.failure) ch.failure = std::current_exception();
@@ -75,14 +124,80 @@ void Engine::worker_loop(Channel& ch) {
     }
     {
       std::lock_guard lock(ch.mutex);
+      ch.busy = false;
+      ch.current_subarray = EngineStalledError::kNoSubarray;
+      ch.last_activity = Clock::now();
+      ++ch.retired;
       --ch.pending;
     }
     ch.idle.notify_all();
   }
 }
 
-void Engine::submit(std::size_t channel, Task task) {
+void Engine::watchdog_loop() {
+  const auto timeout = std::chrono::duration<double, std::milli>(
+      options_.stall_timeout_ms);
+  // Poll a few times per timeout window so a stall is reported promptly
+  // after it exceeds the deadline, without burning a core.
+  const auto poll = std::max(std::chrono::duration<double, std::milli>(1.0),
+                             timeout / 4);
+  std::unique_lock watchdog_lock(watchdog_mutex_);
+  while (!watchdog_stop_) {
+    watchdog_wake_.wait_for(
+        watchdog_lock,
+        std::chrono::duration_cast<Clock::duration>(poll),
+        [&] { return watchdog_stop_; });
+    if (watchdog_stop_) return;
+    if (stalled_.load(std::memory_order_acquire)) continue;
+    for (std::size_t c = 0; c < channels_.size(); ++c) {
+      Channel& ch = *channels_[c];
+      bool fire = false;
+      std::size_t subarray = EngineStalledError::kNoSubarray;
+      std::uint64_t retired = 0;
+      {
+        std::lock_guard lock(ch.mutex);
+        if (ch.busy && !ch.stalled &&
+            Clock::now() - ch.last_activity >=
+                std::chrono::duration_cast<Clock::duration>(timeout)) {
+          ch.stalled = true;
+          fire = true;
+          subarray = ch.current_subarray;
+          retired = ch.retired;
+        }
+      }
+      if (!fire) continue;
+      stalled_.store(true, std::memory_order_release);
+      {
+        std::lock_guard lock(ch.mutex);
+        if (!ch.failure)
+          ch.failure = std::make_exception_ptr(EngineStalledError(
+              c, subarray, retired, options_.stall_timeout_ms));
+      }
+      // Cooperative cancellation: healthy channels drop their remaining
+      // queues instead of finishing work the caller will discard. Closing
+      // the queues also unblocks any producer stuck in a backpressured
+      // push() against the wedged channel — its submit is dropped (the
+      // engine is poisoned anyway) instead of deadlocking.
+      for (auto& other : channels_) {
+        std::lock_guard lock(other->mutex);
+        other->cancelled = true;
+      }
+      for (auto& other : channels_) {
+        other->queue.close();
+        other->idle.notify_all();
+      }
+      return;  // one stall poisons the engine; nothing further to watch
+    }
+  }
+}
+
+void Engine::submit_tagged(std::size_t channel, Task task,
+                           std::size_t subarray) {
   PIMA_CHECK(channel < channels(), "channel index out of engine");
+  if (stalled_.load(std::memory_order_acquire))
+    throw SimulationError(
+        "engine is stalled; the run must be restarted (a wedged channel "
+        "worker was abandoned by the watchdog)");
   if (channels_.empty()) {
     task();  // single-threaded fallback: retire inline
     return;
@@ -97,14 +212,18 @@ void Engine::submit(std::size_t channel, Task task) {
           "before submitting more work");
     ++ch.pending;
   }
-  if (!ch.queue.push(std::move(task))) {
+  if (!ch.queue.push({std::move(task), subarray})) {
     std::lock_guard lock(ch.mutex);
     --ch.pending;  // engine shutting down; drop silently
   }
 }
 
+void Engine::submit(std::size_t channel, Task task) {
+  submit_tagged(channel, std::move(task), EngineStalledError::kNoSubarray);
+}
+
 void Engine::submit_to_subarray(std::size_t subarray_flat, Task task) {
-  submit(channel_of(subarray_flat), std::move(task));
+  submit_tagged(channel_of(subarray_flat), std::move(task), subarray_flat);
 }
 
 bool Engine::channel_failed(std::size_t channel) const {
@@ -118,16 +237,19 @@ bool Engine::channel_failed(std::size_t channel) const {
 void Engine::submit_program(dram::Program program) {
   for (auto& sub : scheduler_.split(program)) {
     if (sub.empty()) continue;
-    const std::size_t channel = channel_of(sub.front().subarray);
+    const std::size_t subarray = sub.front().subarray;
+    const std::size_t channel = channel_of(subarray);
     for (std::size_t begin = 0; begin < sub.size();
          begin += options_.program_chunk) {
       const std::size_t end =
           std::min(sub.size(), begin + options_.program_chunk);
       dram::Program chunk(sub.begin() + static_cast<std::ptrdiff_t>(begin),
                           sub.begin() + static_cast<std::ptrdiff_t>(end));
-      submit(channel, [this, chunk = std::move(chunk)] {
-        dram::execute(device_, chunk);
-      });
+      submit_tagged(
+          channel, [this, chunk = std::move(chunk)] {
+            dram::execute(device_, chunk);
+          },
+          subarray);
     }
   }
 }
@@ -135,16 +257,28 @@ void Engine::submit_program(dram::Program program) {
 void Engine::drain() {
   for (auto& ch : channels_) {
     std::unique_lock lock(ch->mutex);
-    ch->idle.wait(lock, [&] { return ch->pending == 0; });
+    // A stalled channel's pending count can never reach zero (its worker
+    // is wedged inside a task); the watchdog wakes this wait instead.
+    ch->idle.wait(lock, [&] { return ch->pending == 0 || ch->stalled; });
   }
+  // Collect the first failure in channel order, but clear every channel's
+  // failure state before throwing: one drain() fully resets the engine so
+  // the next submit()/drain() cycle starts clean even when several
+  // channels failed in the same batch.
+  std::exception_ptr first;
   for (auto& ch : channels_) {
     std::lock_guard lock(ch->mutex);
-    if (ch->failure) {
-      auto failure = ch->failure;
-      ch->failure = nullptr;
-      std::rethrow_exception(failure);
-    }
+    if (ch->failure && !first) first = ch->failure;
+    ch->failure = nullptr;
+    if (!stalled_.load(std::memory_order_acquire)) ch->cancelled = false;
   }
+  if (first) std::rethrow_exception(first);
+  if (stalled_.load(std::memory_order_acquire))
+    // The stall error was already collected by an earlier drain(); the
+    // engine stays poisoned.
+    throw SimulationError(
+        "engine is stalled; the run must be restarted (a wedged channel "
+        "worker was abandoned by the watchdog)");
 }
 
 std::vector<dram::DeviceStats> Engine::channel_roll_up() const {

@@ -17,11 +17,27 @@
 // channels == 1 is the single-threaded fallback: tasks run inline on the
 // submitting thread, no worker is spawned, and behaviour reduces to the
 // pre-runtime serial code path exactly.
+//
+// Supervision: with stall_timeout_ms > 0 a watchdog thread monitors a
+// per-channel heartbeat (updated when a worker picks up and when it
+// retires a task). A channel that holds a task longer than the timeout is
+// declared stalled: the watchdog plants an EngineStalledError (carrying
+// the channel, the stuck task's target sub-array and the last-retired
+// task index) as the channel's failure, cancels the remaining queues
+// cooperatively, and wakes drain() — which throws instead of blocking
+// forever on the wedged worker. A stalled engine is poisoned: every later
+// submit()/drain() refuses, and the destructor abandons (detaches) the
+// wedged worker thread rather than deadlocking on join.
 #pragma once
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 #include "dram/device.hpp"
@@ -47,6 +63,12 @@ struct EngineOptions {
   /// streams replay through dram::captured_program() for the differential
   /// oracle.
   bool capture_trace = false;
+  /// Per-task deadline enforced by the watchdog thread: a worker that
+  /// holds one task longer than this without retiring it is declared
+  /// stalled and drain() throws EngineStalledError instead of hanging.
+  /// 0 disables supervision. Ignored in the inline (channels == 1)
+  /// fallback, where tasks run synchronously on the caller.
+  double stall_timeout_ms = 0.0;
 };
 
 class Engine {
@@ -78,6 +100,11 @@ class Engine {
   /// are rejected until drain() rethrows it).
   bool channel_failed(std::size_t channel) const;
 
+  /// True once the watchdog has declared any channel stalled. The engine
+  /// is poisoned from that point on: drain() throws the stall error once,
+  /// then every submit()/drain() refuses with SimulationError.
+  bool stalled() const { return stalled_.load(std::memory_order_acquire); }
+
   /// Routes a task to the channel owning `subarray_flat`.
   void submit_to_subarray(std::size_t subarray_flat, Task task);
 
@@ -86,9 +113,12 @@ class Engine {
   /// flow belongs in closures on the owning channel.
   void submit_program(dram::Program program);
 
-  /// Barrier: blocks until every submitted task has retired. Rethrows the
-  /// first exception raised by a task (lowest channel wins, so failure
-  /// reporting is deterministic).
+  /// Barrier: blocks until every submitted task has retired, or until the
+  /// watchdog declares a stall. Rethrows the first exception raised by a
+  /// task (lowest channel wins, so failure reporting is deterministic) and
+  /// clears every channel's failure state, so one drain() fully resets the
+  /// engine for the next submit cycle — except after a stall, which
+  /// poisons the engine permanently.
   void drain();
 
   /// Per-channel roll-up over the channel's instantiated sub-arrays
@@ -99,12 +129,22 @@ class Engine {
  private:
   struct Channel;
 
-  void worker_loop(Channel& ch);
+  static void worker_loop(Channel& ch);
+  void watchdog_loop();
+  void submit_tagged(std::size_t channel, Task task, std::size_t subarray);
 
   dram::Device& device_;
   EngineOptions options_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Channel>> channels_;
+
+  // Watchdog state. stalled_ flips once and never resets (the wedged
+  // worker still owns its sub-arrays, so the engine cannot be reused).
+  std::atomic<bool> stalled_{false};
+  std::thread watchdog_;
+  std::mutex watchdog_mutex_;
+  std::condition_variable watchdog_wake_;
+  bool watchdog_stop_ = false;
 };
 
 }  // namespace pima::runtime

@@ -1,8 +1,20 @@
 #include "runtime/recovery.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <utility>
 
 namespace pima::runtime {
+
+double recovery_backoff_ns(const RecoveryOptions& options,
+                           std::size_t attempt) {
+  // ldexp saturates to +inf for huge exponents instead of overflowing a
+  // shift, so the clamp is exact at every attempt count.
+  const double exponential =
+      std::ldexp(options.backoff_base_ns,
+                 attempt > 1024 ? 1024 : static_cast<int>(attempt));
+  return std::min(options.backoff_cap_ns, exponential);
+}
 
 std::optional<RecoveryMode> parse_recovery_mode(std::string_view s) {
   if (s == "off") return RecoveryMode::kOff;
@@ -142,9 +154,8 @@ void RecoveryExecutor::run_checked(
       return;
     }
     ++stats_.retried;
-    // Exponential backoff on this sub-array's command stream.
-    sa_.wait_ns(options_.backoff_base_ns *
-                static_cast<double>(std::size_t{1} << attempt));
+    // Exponential backoff (capped) on this sub-array's command stream.
+    sa_.wait_ns(recovery_backoff_ns(options_, attempt));
   }
 }
 

@@ -71,14 +71,24 @@ struct RecoveryOptions {
   RecoveryMode mode = RecoveryMode::kOff;
   /// Re-executions after the first detected failure of one op.
   std::size_t max_retries = 3;
-  /// Idle wait before retry k is backoff_base_ns << k (exponential).
+  /// Idle wait before retry k is backoff_base_ns · 2^k (exponential),
+  /// clamped to backoff_cap_ns.
   double backoff_base_ns = 100.0;
+  /// Upper bound of one backoff wait. Without the clamp, large
+  /// max_retries values would shift the base past 2^63 (overflow) or park
+  /// a sub-array for absurd simulated aeons.
+  double backoff_cap_ns = 1e6;  // 1 ms of simulated time
   /// Failures blamed on one computation row before it is remapped.
   std::size_t weak_row_threshold = 4;
   /// Detected failures on one sub-array before it degrades to host-side
   /// recompute for all further critical ops.
   std::size_t subarray_failure_budget = 256;
 };
+
+/// The backoff wait before retry `attempt`: backoff_base_ns · 2^attempt,
+/// clamped to backoff_cap_ns (overflow-safe for any attempt count).
+double recovery_backoff_ns(const RecoveryOptions& options,
+                           std::size_t attempt);
 
 /// Per-channel (or rolled-up) recovery statistics.
 struct FaultStats {

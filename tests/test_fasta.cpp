@@ -55,7 +55,46 @@ TEST(Fasta, SubstitutePolicyKeepsRecord) {
 
 TEST(Fasta, ThrowPolicyRejects) {
   std::istringstream in(">r\nACNT\n");
-  EXPECT_THROW(read_fasta(in, AmbiguityPolicy::kThrow), SimulationError);
+  try {
+    read_fasta(in, AmbiguityPolicy::kThrow);
+    FAIL() << "expected InputFormatError";
+  } catch (const InputFormatError& e) {
+    // Errors carry source:line context for operators.
+    EXPECT_NE(std::string(e.what()).find("<fasta>:2"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Fasta, MalformedInputTable) {
+  // Fuzz-style table over malformed inputs: every row must throw
+  // InputFormatError (never crash, never silently return records).
+  const char* kMalformed[] = {
+      "",                          // empty file
+      "\n\r\n\n",                  // blank lines only
+      "ACGT\n>r\nACGT\n",          // data before the first header
+      ">only-header\n",            // truncated record: header, no data
+      ">a\nACGT\n>trunc\n",        // truncated final record
+      ">a\nAC*GT\n",               // illegal character (not IUPAC)
+      ">a\nACGT\x01\n",            // non-printable byte in data
+      ">a\nacgq\n",                // lowercase non-IUPAC
+  };
+  for (const char* text : kMalformed) {
+    std::istringstream in(text);
+    EXPECT_THROW(read_fasta(in, AmbiguityPolicy::kSubstitute),
+                 InputFormatError)
+        << "input: " << text;
+  }
+}
+
+TEST(Fasta, CrlfAndAmbiguityCodesAccepted) {
+  // CRLF endings and the full IUPAC ambiguity set are tolerated (policy
+  // decides what happens to ambiguous records; they are never a format
+  // error).
+  std::istringstream in(">r1\r\nACGT\r\n>r2\r\nRYSWKM\r\n>r3\r\nACGT\r\n");
+  const auto recs = read_fasta(in, AmbiguityPolicy::kSkipRecord);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].id, "r1");
+  EXPECT_EQ(recs[1].id, "r3");
 }
 
 TEST(Fasta, WriteReadRoundTrip) {
@@ -73,7 +112,7 @@ TEST(Fasta, WriteReadRoundTrip) {
 }
 
 TEST(Fasta, MissingFileThrows) {
-  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), SimulationError);
+  EXPECT_THROW(read_fasta_file("/nonexistent/path.fa"), IoError);
 }
 
 TEST(Fastq, ParsesRecords) {
@@ -87,11 +126,13 @@ TEST(Fastq, ParsesRecords) {
 
 TEST(Fastq, RejectsMalformed) {
   std::istringstream truncated("@r1\nACGT\n+\n");
-  EXPECT_THROW(read_fastq(truncated), SimulationError);
+  EXPECT_THROW(read_fastq(truncated), InputFormatError);
   std::istringstream bad_sep("@r1\nACGT\nX\nIIII\n");
-  EXPECT_THROW(read_fastq(bad_sep), PreconditionError);
+  EXPECT_THROW(read_fastq(bad_sep), InputFormatError);
   std::istringstream bad_qual("@r1\nACGT\n+\nII\n");
-  EXPECT_THROW(read_fastq(bad_qual), SimulationError);
+  EXPECT_THROW(read_fastq(bad_qual), InputFormatError);
+  std::istringstream empty("");
+  EXPECT_THROW(read_fastq(empty), InputFormatError);
 }
 
 TEST(Fastq, AmbiguousReadSkipped) {

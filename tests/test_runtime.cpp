@@ -9,10 +9,12 @@
 #include <thread>
 
 #include "assembly/gfa.hpp"
+#include "common/error.hpp"
 #include "core/pipeline.hpp"
 #include "dna/genome.hpp"
 #include "runtime/bounded_queue.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/recovery.hpp"
 #include "runtime/scheduler.hpp"
 #include "runtime/stats.hpp"
 
@@ -183,6 +185,104 @@ TEST(Engine, FailFastRejectsSubmissionAfterChannelFailure) {
   engine.submit(0, [&] { ++retired; });
   engine.drain();
   EXPECT_EQ(retired.load(), 2);
+}
+
+TEST(Engine, DrainResetsEveryChannelAfterMultiChannelFailure) {
+  // Regression: drain() used to stop at the first failed channel, leaving
+  // later channels' failure flags set — the next submit()/drain() cycle on
+  // them was rejected forever. One drain() must reset ALL channels.
+  dram::Device device(small_geometry());
+  Engine engine(device, {.channels = 3, .queue_capacity = 4});
+  engine.submit(0, [] { throw SimulationError("fault on channel 0"); });
+  engine.submit(1, [] { throw SimulationError("fault on channel 1"); });
+  // One drain throws exactly one error (channel 0's — lowest wins)…
+  try {
+    engine.drain();
+    FAIL() << "expected drain() to rethrow the channel failure";
+  } catch (const SimulationError& e) {
+    EXPECT_NE(std::string(e.what()).find("channel 0"), std::string::npos);
+  }
+  // …and afterwards every channel, including channel 1, accepts work again.
+  EXPECT_FALSE(engine.channel_failed(0));
+  EXPECT_FALSE(engine.channel_failed(1));
+  std::atomic<int> retired{0};
+  engine.submit(0, [&] { ++retired; });
+  engine.submit(1, [&] { ++retired; });
+  engine.submit(2, [&] { ++retired; });
+  engine.drain();
+  EXPECT_EQ(retired.load(), 3);
+}
+
+TEST(Engine, WatchdogSurfacesStalledChannel) {
+  dram::Device device(small_geometry());
+  EngineOptions opt;
+  opt.channels = 2;
+  opt.queue_capacity = 4;
+  opt.stall_timeout_ms = 50.0;
+  std::atomic<bool> release{false};
+  std::atomic<bool> task_done{false};
+  const auto started = std::chrono::steady_clock::now();
+  {
+    Engine engine(device, opt);
+    // Wedge channel 1's worker inside a task; the watchdog must convert the
+    // hang into a typed error instead of letting drain() block forever.
+    engine.submit_to_subarray(1, [&] {
+      while (!release.load()) std::this_thread::yield();
+      task_done = true;
+    });
+    try {
+      engine.drain();
+      FAIL() << "expected EngineStalledError";
+    } catch (const EngineStalledError& e) {
+      EXPECT_EQ(e.channel(), engine.channel_of(1));
+      EXPECT_EQ(e.subarray(), 1u);
+      EXPECT_EQ(e.last_retired(), 0u);
+    }
+    const auto waited = std::chrono::steady_clock::now() - started;
+    // Detection is prompt: well under 20x the 50 ms deadline even on a
+    // loaded CI machine, nowhere near an indefinite hang.
+    EXPECT_LT(waited, std::chrono::seconds(5));
+    EXPECT_TRUE(engine.stalled());
+    // The poisoned engine refuses further work.
+    EXPECT_THROW(engine.submit(0, [] {}), SimulationError);
+    EXPECT_THROW(engine.drain(), SimulationError);
+    // Un-wedge the worker before destruction so the test leaks nothing
+    // (the destructor only abandons workers that are still stuck).
+    release = true;
+    while (!task_done.load()) std::this_thread::yield();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+TEST(Engine, WatchdogLeavesHealthyRunAlone) {
+  dram::Device device(small_geometry());
+  EngineOptions opt;
+  opt.channels = 2;
+  opt.stall_timeout_ms = 200.0;
+  Engine engine(device, opt);
+  std::atomic<int> retired{0};
+  for (int i = 0; i < 100; ++i)
+    engine.submit(static_cast<std::size_t>(i) % 2, [&] { ++retired; });
+  engine.drain();
+  EXPECT_EQ(retired.load(), 100);
+  EXPECT_FALSE(engine.stalled());
+}
+
+TEST(RecoveryBackoff, ExponentialClampedAtCap) {
+  RecoveryOptions opt;
+  opt.backoff_base_ns = 100.0;
+  opt.backoff_cap_ns = 1e6;
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 0), 100.0);
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 1), 200.0);
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 10), 102400.0);
+  // At the boundary: 100 * 2^13 = 819200 < cap, 100 * 2^14 = 1638400 > cap.
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 13), 819200.0);
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 14), 1e6);
+  // The old `base << attempt` integer shift overflowed past attempt 63;
+  // the clamped form stays finite and capped for any attempt count.
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 63), 1e6);
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 64), 1e6);
+  EXPECT_DOUBLE_EQ(recovery_backoff_ns(opt, 100000), 1e6);
 }
 
 TEST(Engine, TasksQueuedBehindFailureAreDroppedNotExecuted) {

@@ -13,11 +13,14 @@
 // estimates for every platform.
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <map>
 #include <optional>
 #include <string>
 #include <vector>
+
+#include "common/error.hpp"
 
 #include "assembly/assembler.hpp"
 #include "assembly/gfa.hpp"
@@ -215,6 +218,24 @@ int cmd_pim_run(const Args& args) {
   const auto dump_trace = args.get("dump-trace");
   opt.capture_trace = dump_trace.has_value();
 
+  // Run resilience: stage-boundary snapshots, resume, engine watchdog.
+  if (const auto dir = args.get("checkpoint-dir")) {
+    opt.checkpoint_dir = *dir;
+    std::error_code ec;
+    std::filesystem::create_directories(*dir, ec);
+    if (ec)
+      throw IoError("cannot create checkpoint directory " + *dir + ": " +
+                    ec.message());
+  }
+  opt.resume = args.has("resume");
+  if (opt.resume && opt.checkpoint_dir.empty())
+    Args::fail("--resume requires --checkpoint-dir");
+  opt.stall_timeout_ms = args.get_double("stall-timeout", 0.0);
+  if (opt.resume &&
+      !std::filesystem::exists(opt.checkpoint_dir + "/pipeline.ckpt"))
+    std::printf("resume: no checkpoint in %s, starting fresh\n",
+                opt.checkpoint_dir.c_str());
+
   const bool fault_aware =
       opt.fault.enabled() || opt.recovery.mode != runtime::RecoveryMode::kOff;
   if (fault_aware)
@@ -328,6 +349,9 @@ void usage() {
       "           [--fault-weak-rows F] [--recovery off|retry|vote]\n"
       "           [--max-retries N] [--failure-budget N]\n"
       "           [--dump-trace trace.aap (replay: pima_fuzz --replay)]\n"
+      "           [--checkpoint-dir DIR (snapshot after each stage)]\n"
+      "           [--resume (skip stages covered by DIR/pipeline.ckpt)]\n"
+      "           [--stall-timeout MS (watchdog per-task deadline; 0=off)]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]");
 }
@@ -349,7 +373,10 @@ int main(int argc, char** argv) {
     if (cmd == "project") return cmd_project(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pima_asm: %s\n", e.what());
-    return 1;
+    // Documented exit codes (see DESIGN.md §10): 3 = malformed input,
+    // 4 = I/O failure, 5 = corrupt/incompatible checkpoint, 6 = engine
+    // stall, 1 = anything else.
+    return pima::exit_code_for(e);
   }
   usage();
   return 2;
