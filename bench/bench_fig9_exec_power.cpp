@@ -3,15 +3,29 @@
 // PIM-Assembler (P-A), Ambit, DRISA-3T1C (D3) and DRISA-1T1C (D1) at
 // k ∈ {16, 22, 26, 32}, per pipeline stage (hashmap / deBruijn / traverse).
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "common/stats.hpp"
 #include "common/table.hpp"
 #include "core/cost_model.hpp"
 #include "platforms/presets.hpp"
+#include "telemetry/session.hpp"
 
 using namespace pima;
 
-int main() {
+int main(int argc, char** argv) {
+  // `--metrics-out=out.prom` (or `--metrics-out out.prom`) additionally
+  // exports every projected figure through the shared metrics registry:
+  // Prometheus text at the given path plus a JSON snapshot at <path>.json.
+  std::string metrics_out;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--metrics-out=", 14) == 0)
+      metrics_out = argv[i] + 14;
+    else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc)
+      metrics_out = argv[++i];
+  }
+
   const auto apps = platforms::application_platforms();
   const std::size_t ks[] = {16, 22, 26, 32};
 
@@ -21,6 +35,7 @@ int main() {
   TextTable power("Fig. 9b: power consumption (W)");
   power.set_header({"k", "platform", "power"});
 
+  auto& registry = telemetry::metrics();
   for (const auto k : ks) {
     core::WorkloadParams w;
     w.k = k;
@@ -33,6 +48,32 @@ int main() {
                     TextTable::num(cost.total_time_s, 4)});
       power.add_row({std::to_string(k), p.name,
                      TextTable::num(cost.avg_power_w, 4)});
+      if (!metrics_out.empty()) {
+        const telemetry::Labels base = {{"platform", p.name},
+                                        {"k", std::to_string(k)}};
+        const struct {
+          const char* stage;
+          double time_s;
+        } stages[] = {{"hashmap", cost.hashmap.time_s},
+                      {"debruijn", cost.debruijn.time_s},
+                      {"traverse", cost.traverse.time_s}};
+        for (const auto& s : stages) {
+          telemetry::Labels labels = base;
+          labels.emplace_back("stage", s.stage);
+          registry
+              .gauge("pima_fig9_stage_time_seconds",
+                     "Projected per-stage execution time (Fig. 9a)", labels)
+              .set(s.time_s);
+        }
+        registry
+            .gauge("pima_fig9_total_time_seconds",
+                   "Projected end-to-end execution time (Fig. 9a)", base)
+            .set(cost.total_time_s);
+        registry
+            .gauge("pima_fig9_power_watts",
+                   "Projected average power draw (Fig. 9b)", base)
+            .set(cost.avg_power_w);
+      }
     }
   }
   std::fputs(exec.render().c_str(), stdout);
@@ -84,5 +125,11 @@ int main() {
                    TextTable::num(gpu_power_over_pa_sum / 4.0, 3) +
                        "x lower"});
   std::fputs(summary.render().c_str(), stdout);
+
+  if (!metrics_out.empty()) {
+    telemetry::TelemetrySession::instance().write_metrics(metrics_out);
+    std::fprintf(stderr, "metrics: %s (+ %s.json)\n", metrics_out.c_str(),
+                 metrics_out.c_str());
+  }
   return 0;
 }

@@ -6,14 +6,49 @@
 // straight from the simulated sub-arrays.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "assembly/verify.hpp"
 #include "common/table.hpp"
 #include "core/pipeline.hpp"
 #include "dna/genome.hpp"
+#include "telemetry/session.hpp"
 
 int main(int argc, char** argv) {
   using namespace pima;
+
+  // Telemetry flags (`--trace-json=out.json`, `--metrics-out=out.prom`,
+  // `--progress[=seconds]`) are peeled off before the positional arguments
+  // below are interpreted, so they can appear anywhere on the line.
+  auto& session = telemetry::TelemetrySession::instance();
+  std::string trace_json, metrics_out;
+  double progress_interval_s = 0.0;
+  std::vector<char*> positional;
+  for (int i = 0; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--trace-json=", 13) == 0) {
+      trace_json = a + 13;
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      metrics_out = a + 14;
+    } else if (std::strncmp(a, "--progress=", 11) == 0) {
+      progress_interval_s = std::strtod(a + 11, nullptr);
+    } else if (std::strcmp(a, "--progress") == 0) {
+      progress_interval_s = 1.0;
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  argc = static_cast<int>(positional.size());
+  argv = positional.data();
+  if (!trace_json.empty()) {
+    session.set_trace_path(trace_json);
+    session.tracer().enable();
+  }
+  if (!metrics_out.empty()) session.set_metrics_path(metrics_out);
+  if (!metrics_out.empty() || progress_interval_s > 0.0)
+    session.enable_metrics();
 
   // Synthetic 3 kb chromosome and 8x read set.
   dna::GenomeParams gp;
@@ -64,7 +99,17 @@ int main(int argc, char** argv) {
     options.fault.seed = std::strtoull(argv[4], nullptr, 10);
   if (argc > 5) options.checkpoint_dir = argv[5];
   if (argc > 6) options.resume = std::strtoul(argv[6], nullptr, 10) != 0;
+  options.progress_interval_s = progress_interval_s;
   const auto result = core::run_pipeline(device, reads, options);
+  if (!trace_json.empty() || !metrics_out.empty()) {
+    session.tracer().disable();
+    session.flush();
+    std::fprintf(stderr, "telemetry: wrote%s%s%s%s\n",
+                 trace_json.empty() ? "" : " ",
+                 trace_json.c_str(),
+                 metrics_out.empty() ? "" : " ",
+                 metrics_out.c_str());
+  }
 
   std::printf("PIM-Assembler functional run (%zu reads, k=%zu, threads=%zu)\n",
               reads.size(), options.k, options.threads);

@@ -41,7 +41,7 @@ void or_into_next(dram::Subarray& sa, const BfsRows& rows,
 // dst ← a ∧ ¬b, computed with the in-memory ops:
 //   t = a ⊕ b (two-row XOR), dst = t ∧ a = MAJ3(t, a, 0)… MAJ3 needs a
 // constant zero; a ∧ ¬b = (a ⊕ b) ∧ a, and AND(x, y) = MAJ3(x, y, 0).
-void and_not(dram::Subarray& sa, const BfsRows& rows, dram::RowAddr a,
+void and_not(dram::Subarray& sa, const BfsRows&, dram::RowAddr a,
              dram::RowAddr b, dram::RowAddr dst, dram::RowAddr zero_row) {
   const auto x1 = sa.compute_row(0), x2 = sa.compute_row(1),
              x3 = sa.compute_row(2);

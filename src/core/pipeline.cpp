@@ -10,6 +10,9 @@
 #include "core/graph_map.hpp"
 #include "runtime/engine.hpp"
 #include "runtime/stats.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pima::core {
 
@@ -62,8 +65,24 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
     pending[channel].reserve(kKmerBatch);
   };
 
+  // Live progress counters: bumped on the controller thread only, once per
+  // read, so the totals are deterministic for any channel count (model
+  // class) and cost nothing per k-mer.
+  telemetry::Counter* reads_ctr = nullptr;
+  telemetry::Counter* kmers_ctr = nullptr;
+  if (telemetry::metrics_enabled()) {
+    auto& registry = telemetry::metrics();
+    reads_ctr = &registry.counter(telemetry::kReadsTotal,
+                                  "reads streamed through k-mer analysis");
+    kmers_ctr =
+        &registry.counter(telemetry::kKmersTotal, "k-mer windows submitted");
+  }
+
   for (const auto& read : reads) {
-    if (read.size() < k) continue;
+    if (read.size() < k) {
+      if (reads_ctr != nullptr) reads_ctr->increment();
+      continue;
+    }
     assembly::Kmer window = assembly::Kmer::from_sequence(read, 0, k);
     for (std::size_t i = 0;; ++i) {
       const std::size_t channel = engine.channel_of(
@@ -72,6 +91,10 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
       if (pending[channel].size() >= kKmerBatch) flush(channel);
       if (i + k >= read.size()) break;
       window = window.rolled(read.at(i + k));
+    }
+    if (reads_ctr != nullptr) {
+      reads_ctr->increment();
+      kmers_ctr->add(static_cast<double>(read.size() - k + 1));
     }
   }
   for (std::size_t c = 0; c < pending.size(); ++c) flush(c);
@@ -110,6 +133,49 @@ PipelineResult run_pipeline(dram::Device& device,
                             const PipelineOptions& options) {
   PipelineResult result;
   device.clear_stats();
+
+  PIMA_TEL_NAME_TRACK(runtime::Engine::kMainTrack, "main");
+  PIMA_TEL_SET_THREAD_TRACK(runtime::Engine::kMainTrack);
+  PIMA_TEL_SPAN("pipeline");
+  if (telemetry::metrics_enabled())
+    telemetry::metrics()
+        .counter(telemetry::kReadsExpected, "reads in the input stream")
+        .add(static_cast<double>(reads.size()));
+  // Per-stage model metrics: stage roll-up plus the per-CommandKind
+  // energy/latency split, derived from the same breakdown_from_stats the
+  // report tables use — the two can never disagree.
+  const auto export_stage = [&](const char* stage,
+                                const dram::DeviceStats& st,
+                                const dram::CommandStats& cmds) {
+    if (!telemetry::metrics_enabled()) return;
+    auto& registry = telemetry::metrics();
+    const telemetry::Labels labels = {{"stage", stage}};
+    registry
+        .counter("pima_stage_commands_total", "DRAM commands per stage",
+                 labels)
+        .add(static_cast<double>(st.commands));
+    registry
+        .counter("pima_stage_time_ns_total",
+                 "simulated critical-path time per stage (ns)", labels)
+        .add(st.time_ns);
+    registry
+        .counter("pima_stage_energy_pj_total",
+                 "simulated energy per stage (pJ)", labels)
+        .add(st.energy_pj);
+    registry
+        .gauge("pima_stage_subarrays_used", "sub-arrays touched per stage",
+               labels)
+        .set(static_cast<double>(st.subarrays_used));
+    telemetry::add_breakdown_metrics(
+        registry, dram::breakdown_from_stats(cmds, device.geometry().columns,
+                                             device.technology()));
+  };
+  std::unique_ptr<telemetry::ProgressReporter> progress;
+  if (options.progress_interval_s > 0.0)
+    progress = std::make_unique<telemetry::ProgressReporter>(
+        telemetry::metrics(),
+        telemetry::ProgressReporter::Options{options.progress_interval_s,
+                                             nullptr});
 
   runtime::EngineOptions engine_options;
   engine_options.channels = options.threads;
@@ -179,6 +245,7 @@ PipelineResult run_pipeline(dram::Device& device,
     result.distinct_kmers = snap.distinct_kmers;
     result.hashmap = {snap.hashmap, "hashmap"};
   } else {
+    PIMA_TEL_SPAN("stage:hashmap");
     PimHashTable table(device, options.hash_shards);
     table.bind_key_length(options.k);
     table.attach_recovery(recovery.get());
@@ -186,6 +253,7 @@ PipelineResult run_pipeline(dram::Device& device,
     entries = table.extract();
     result.distinct_kmers = table.distinct_kmers();
     result.hashmap = {device.roll_up(), "hashmap"};
+    export_stage("hashmap", result.hashmap.device, device.command_roll_up());
     device.clear_stats();
     snap.distinct_kmers = result.distinct_kmers;
     snap.kmer_entries = entries;
@@ -206,6 +274,7 @@ PipelineResult run_pipeline(dram::Device& device,
     result.graph = assembly::DeBruijnGraph::from_edges(snap.graph_edges);
     result.debruijn = {snap.debruijn, "debruijn"};
   } else {
+    PIMA_TEL_SPAN("stage:debruijn");
     assembly::KmerCounter counter(entries.size());
     for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
     result.graph = assembly::DeBruijnGraph::from_counter(
@@ -245,6 +314,7 @@ PipelineResult run_pipeline(dram::Device& device,
     engine.submit_program(std::move(inserts));
     engine.drain();
     result.debruijn = {device.roll_up(), "debruijn"};
+    export_stage("debruijn", result.debruijn.device, device.command_roll_up());
     device.clear_stats();
     snap.graph_edges.clear();
     snap.graph_edges.reserve(graph.edge_count());
@@ -262,6 +332,7 @@ PipelineResult run_pipeline(dram::Device& device,
     result.contigs = snap.contigs;
     result.traverse = {snap.traverse, "traverse"};
   } else {
+    PIMA_TEL_SPAN("stage:traverse");
     const GraphPartition partition =
         partition_fitting(graph, device.geometry(), options.graph_intervals);
     const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
@@ -294,6 +365,7 @@ PipelineResult run_pipeline(dram::Device& device,
     engine.submit_program(std::move(lookups));
     engine.drain();
     result.traverse = {device.roll_up(), "traverse"};
+    export_stage("traverse", result.traverse.device, device.command_roll_up());
     device.clear_stats();
     snap.contigs = result.contigs;
     snap.traverse = result.traverse.device;
@@ -302,6 +374,20 @@ PipelineResult run_pipeline(dram::Device& device,
 
   result.contig_stats = assembly::compute_stats(result.contigs);
   result.fault_stats = fault_now();
+  if (telemetry::metrics_enabled()) {
+    auto& registry = telemetry::metrics();
+    engine.export_metrics(registry);
+    if (recovery) recovery->export_metrics(registry);
+    registry
+        .gauge("pima_pipeline_distinct_kmers", "distinct k-mers counted")
+        .set(static_cast<double>(result.distinct_kmers));
+    registry.gauge("pima_pipeline_graph_nodes", "de Bruijn graph nodes")
+        .set(static_cast<double>(result.graph_nodes));
+    registry.gauge("pima_pipeline_graph_edges", "de Bruijn graph edges")
+        .set(static_cast<double>(result.graph_edges));
+    registry.gauge("pima_pipeline_contigs", "contigs produced")
+        .set(static_cast<double>(result.contigs.size()));
+  }
   return result;
 }
 

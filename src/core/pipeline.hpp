@@ -82,6 +82,10 @@ struct PipelineOptions {
   /// (0 = unsupervised). A wedged channel worker surfaces as
   /// EngineStalledError instead of hanging the run.
   double stall_timeout_ms = 0.0;
+  /// Periodic progress reporting on stderr (reads/s, k-mers/s, ETA, live
+  /// fault counters), sampled from the telemetry registry every this many
+  /// seconds. 0 disables the reporter thread.
+  double progress_interval_s = 0.0;
   /// Test hook: invoked after each stage snapshot has been durably written
   /// (stage number 1..3, path of the snapshot file). The kill-and-resume
   /// crash test SIGKILLs itself from here.

@@ -70,6 +70,13 @@ DeviceStats Device::roll_up() const {
   return s;
 }
 
+CommandStats Device::command_roll_up() const {
+  CommandStats total{};
+  for (const auto& sa : subarrays_)
+    if (sa) total.merge_serial(sa->stats());
+  return total;
+}
+
 void Device::clear_stats() {
   for (const auto& sa : subarrays_)
     if (sa) sa->clear_stats();

@@ -62,6 +62,12 @@ class Device {
   /// Rolls up stats over all instantiated sub-arrays.
   DeviceStats roll_up() const;
 
+  /// Folds every instantiated sub-array's CommandStats in flat-index order
+  /// (serial merge). Feed through breakdown_from_stats() for the per-kind
+  /// energy/latency split — telemetry exports derive from this so they can
+  /// never drift from the Fig. 9-style tables.
+  CommandStats command_roll_up() const;
+
   /// Clears every sub-array's command statistics (contents preserved).
   void clear_stats();
 

@@ -42,8 +42,20 @@ class TraceSink {
   std::size_t size() const { return entries_.size(); }
   void clear() { entries_.clear(); }
 
-  /// CSV rendering: kind,row_a,row_b,row_c,dst,start_ns,latency_ns,energy_pj
+  /// The CSV column order — part of the format contract.
+  static constexpr const char* kCsvHeader =
+      "kind,row_a,row_b,row_c,dst,start_ns,latency_ns,energy_pj";
+
+  /// CSV rendering in kCsvHeader column order; floats at fixed %.6f
+  /// precision, so the output is byte-stable and parse_csv() round-trips
+  /// it exactly at that granularity.
   std::string to_csv() const;
+
+  /// Parses a to_csv() rendering back into entries. The CSV does not carry
+  /// `op` or `payload`, so those fields come back defaulted; everything
+  /// else round-trips exactly. Throws InputFormatError on a malformed row
+  /// or header.
+  static std::vector<TraceEntry> parse_csv(const std::string& csv);
 
  private:
   std::vector<TraceEntry> entries_;

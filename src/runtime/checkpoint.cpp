@@ -5,10 +5,12 @@
 
 #include <array>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <fstream>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace pima::runtime {
 
@@ -324,6 +326,24 @@ std::string CheckpointFingerprint::diff(
 }
 
 void save_checkpoint(const std::string& path, const PipelineSnapshot& snap) {
+  PIMA_TEL_SPAN("checkpoint:save");
+#if PIMA_TELEMETRY
+  const auto t0 = std::chrono::steady_clock::now();
+  struct Timer {
+    std::chrono::steady_clock::time_point t0;
+    ~Timer() {
+      if (!telemetry::metrics_enabled()) return;
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      telemetry::metrics()
+          .histogram("pima_checkpoint_write_seconds",
+                     "checkpoint write+fsync duration",
+                     {0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0})
+          .observe(secs);
+    }
+  } timer{t0};
+#endif
   const std::string payload = serialize_payload(snap);
   Writer header;
   header.bytes(kMagic, sizeof kMagic);

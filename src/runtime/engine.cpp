@@ -5,6 +5,11 @@
 #include <exception>
 
 #include "runtime/bounded_queue.hpp"
+#include "telemetry/telemetry.hpp"
+
+#if PIMA_TELEMETRY
+#include "telemetry/session.hpp"
+#endif
 
 namespace pima::runtime {
 
@@ -26,6 +31,7 @@ struct Engine::Channel {
   struct Entry {
     Task task;
     std::size_t subarray = EngineStalledError::kNoSubarray;
+    std::int64_t submit_ns = 0;  ///< host stamp for submit→retire latency
   };
 
   BoundedQueue<Entry> queue;
@@ -47,6 +53,12 @@ struct Engine::Channel {
   std::uint64_t retired = 0;
   bool cancelled = false;
   bool stalled = false;
+
+  // Telemetry: the worker's trace track and (when metrics are enabled at
+  // engine construction) a stable handle to its submit→retire latency
+  // histogram. Null handle = one pointer check per task and nothing else.
+  std::uint32_t track = 0;
+  telemetry::Histogram* latency_hist = nullptr;
 };
 
 Engine::Engine(dram::Device& device, EngineOptions options)
@@ -60,8 +72,21 @@ Engine::Engine(dram::Device& device, EngineOptions options)
   if (options_.capture_trace) device_.enable_tracing();
   if (channels() == 1) return;  // inline fallback: no workers, no queues
   channels_.reserve(channels());
-  for (std::size_t c = 0; c < channels(); ++c)
+  for (std::size_t c = 0; c < channels(); ++c) {
     channels_.push_back(std::make_unique<Channel>(options_.queue_capacity));
+    channels_.back()->track = channel_track(c);
+    PIMA_TEL_NAME_TRACK(channel_track(c),
+                        "channel " + std::to_string(c));
+#if PIMA_TELEMETRY
+    if (telemetry::metrics_enabled())
+      channels_.back()->latency_hist = &telemetry::metrics().histogram(
+          "pima_engine_task_latency_ns",
+          "submit to retire latency per channel (host ns)",
+          {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9},
+          {{"channel", std::to_string(c)}}, telemetry::MetricClass::kHost);
+#endif
+  }
+  PIMA_TEL_NAME_TRACK(watchdog_track(), "watchdog");
   for (auto& ch : channels_)
     ch->worker = std::thread([&ch = *ch] { worker_loop(ch); });
   if (options_.stall_timeout_ms > 0.0)
@@ -101,6 +126,7 @@ Engine::~Engine() {
 void Engine::worker_loop(Channel& ch) {
   // Static: must stay valid on a detached thread after the Engine object
   // is gone, so it may touch only `ch` (leaked alive in that case).
+  PIMA_TEL_SET_THREAD_TRACK(ch.track);
   while (auto entry = ch.queue.pop()) {
     bool skip;
     {
@@ -115,6 +141,10 @@ void Engine::worker_loop(Channel& ch) {
       ch.last_activity = Clock::now();
     }
     if (!skip) {
+      PIMA_TEL_SPAN_ARG("task", "subarray",
+                        entry->subarray == EngineStalledError::kNoSubarray
+                            ? -1.0
+                            : static_cast<double>(entry->subarray));
       try {
         (entry->task)();
       } catch (...) {
@@ -122,6 +152,8 @@ void Engine::worker_loop(Channel& ch) {
         if (!ch.failure) ch.failure = std::current_exception();
       }
     }
+    std::size_t queue_depth;
+    std::uint64_t retired;
     {
       std::lock_guard lock(ch.mutex);
       ch.busy = false;
@@ -129,8 +161,20 @@ void Engine::worker_loop(Channel& ch) {
       ch.last_activity = Clock::now();
       ++ch.retired;
       --ch.pending;
+      queue_depth = ch.pending;
+      retired = ch.retired;
     }
     ch.idle.notify_all();
+    PIMA_TEL_COUNTER(ch.track, "queue_depth",
+                     static_cast<double>(queue_depth));
+    PIMA_TEL_COUNTER(ch.track, "retired", static_cast<double>(retired));
+    if (ch.latency_hist != nullptr && entry->submit_ns != 0) {
+      const std::int64_t now_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              Clock::now().time_since_epoch())
+              .count();
+      ch.latency_hist->observe(static_cast<double>(now_ns - entry->submit_ns));
+    }
   }
 }
 
@@ -141,6 +185,7 @@ void Engine::watchdog_loop() {
   // after it exceeds the deadline, without burning a core.
   const auto poll = std::max(std::chrono::duration<double, std::milli>(1.0),
                              timeout / 4);
+  PIMA_TEL_SET_THREAD_TRACK(watchdog_track());
   std::unique_lock watchdog_lock(watchdog_mutex_);
   while (!watchdog_stop_) {
     watchdog_wake_.wait_for(
@@ -149,6 +194,7 @@ void Engine::watchdog_loop() {
         [&] { return watchdog_stop_; });
     if (watchdog_stop_) return;
     if (stalled_.load(std::memory_order_acquire)) continue;
+    PIMA_TEL_INSTANT("watchdog:heartbeat");
     for (std::size_t c = 0; c < channels_.size(); ++c) {
       Channel& ch = *channels_[c];
       bool fire = false;
@@ -186,6 +232,23 @@ void Engine::watchdog_loop() {
         other->queue.close();
         other->idle.notify_all();
       }
+      // Last words: mark the wedged channel's track and push everything
+      // recorded so far to the configured sinks, so the run leaves a
+      // readable trace even though drain() is about to throw and the
+      // process is likely going down. Sink failures are swallowed — the
+      // stall diagnosis must still reach the caller.
+      PIMA_TEL_INSTANT_ON(channel_track(c), "stall");
+#if PIMA_TELEMETRY
+      telemetry::metrics()
+          .counter("pima_engine_stalls_total",
+                   "channels declared stalled by the watchdog", {},
+                   telemetry::MetricClass::kHost)
+          .increment();
+      try {
+        telemetry::TelemetrySession::instance().flush();
+      } catch (...) {
+      }
+#endif
       return;  // one stall poisons the engine; nothing further to watch
     }
   }
@@ -199,7 +262,14 @@ void Engine::submit_tagged(std::size_t channel, Task task,
         "engine is stalled; the run must be restarted (a wedged channel "
         "worker was abandoned by the watchdog)");
   if (channels_.empty()) {
-    task();  // single-threaded fallback: retire inline
+    // Single-threaded fallback: retire inline. The span lands on the
+    // caller's track, so serial traces still show per-batch spans.
+    PIMA_TEL_SPAN_ARG("task", "subarray",
+                      subarray == EngineStalledError::kNoSubarray
+                          ? -1.0
+                          : static_cast<double>(subarray));
+    task();
+    inline_retired_.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   Channel& ch = *channels_[channel];
@@ -212,7 +282,12 @@ void Engine::submit_tagged(std::size_t channel, Task task,
           "before submitting more work");
     ++ch.pending;
   }
-  if (!ch.queue.push({std::move(task), subarray})) {
+  std::int64_t submit_ns = 0;
+  if (ch.latency_hist != nullptr)
+    submit_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                    Clock::now().time_since_epoch())
+                    .count();
+  if (!ch.queue.push({std::move(task), subarray, submit_ns})) {
     std::lock_guard lock(ch.mutex);
     --ch.pending;  // engine shutting down; drop silently
   }
@@ -279,6 +354,44 @@ void Engine::drain() {
     throw SimulationError(
         "engine is stalled; the run must be restarted (a wedged channel "
         "worker was abandoned by the watchdog)");
+}
+
+void Engine::export_metrics(telemetry::MetricsRegistry& registry) const {
+  using telemetry::MetricClass;
+  registry
+      .gauge("pima_engine_channels", "engine channel count", {},
+             MetricClass::kHost)
+      .set(static_cast<double>(channels()));
+  if (channels_.empty()) {
+    registry
+        .counter("pima_engine_tasks_retired_total",
+                 "tasks retired per channel", {{"channel", "0"}},
+                 MetricClass::kHost)
+        .add(static_cast<double>(
+            inline_retired_.load(std::memory_order_relaxed)));
+    return;
+  }
+  for (std::size_t c = 0; c < channels_.size(); ++c) {
+    Channel& ch = *channels_[c];  // unique_ptr does not propagate const
+    std::uint64_t retired;
+    bool stalled;
+    {
+      std::lock_guard lock(ch.mutex);
+      retired = ch.retired;
+      stalled = ch.stalled;
+    }
+    registry
+        .counter("pima_engine_tasks_retired_total",
+                 "tasks retired per channel",
+                 {{"channel", std::to_string(c)}}, MetricClass::kHost)
+        .add(static_cast<double>(retired));
+    if (stalled)
+      registry
+          .counter("pima_engine_stalled_channels_total",
+                   "channels declared stalled by the watchdog",
+                   {{"channel", std::to_string(c)}}, MetricClass::kHost)
+          .increment();
+  }
 }
 
 std::vector<dram::DeviceStats> Engine::channel_roll_up() const {

@@ -43,6 +43,7 @@
 #include "dram/device.hpp"
 #include "dram/isa.hpp"
 #include "runtime/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pima::runtime {
 
@@ -126,6 +127,21 @@ class Engine {
   /// Call only when drained.
   std::vector<dram::DeviceStats> channel_roll_up() const;
 
+  /// Exports engine counters into `registry` in channel index order
+  /// (host-class: task routing depends on the channel count). Call when
+  /// drained; idempotent only in the sense that calling twice adds twice.
+  void export_metrics(telemetry::MetricsRegistry& registry) const;
+
+  /// Telemetry track ids (Chrome trace tid): 0 is the controller ("main"),
+  /// 1..channels are the channel workers, channels+1 is the watchdog.
+  static constexpr std::uint32_t kMainTrack = 0;
+  std::uint32_t channel_track(std::size_t channel) const {
+    return static_cast<std::uint32_t>(channel + 1);
+  }
+  std::uint32_t watchdog_track() const {
+    return static_cast<std::uint32_t>(channels() + 1);
+  }
+
  private:
   struct Channel;
 
@@ -137,6 +153,7 @@ class Engine {
   EngineOptions options_;
   Scheduler scheduler_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::atomic<std::uint64_t> inline_retired_{0};  // channels == 1 fallback
 
   // Watchdog state. stalled_ flips once and never resets (the wedged
   // worker still owns its sub-arrays, so the engine cannot be reused).

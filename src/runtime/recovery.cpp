@@ -4,7 +4,28 @@
 #include <cmath>
 #include <utility>
 
+#include "telemetry/progress.hpp"
+#include "telemetry/telemetry.hpp"
+
 namespace pima::runtime {
+
+namespace {
+
+// Live fault counters for the progress reporter: fault paths are rare and
+// already expensive (re-stage + re-execute), so a registry lookup per event
+// is fine. Integral atomic adds commute exactly, so the totals stay
+// deterministic for any channel count.
+void bump_live(const char* name, const char* help) {
+#if PIMA_TELEMETRY
+  if (telemetry::metrics_enabled())
+    telemetry::metrics().counter(name, help).increment();
+#else
+  (void)name;
+  (void)help;
+#endif
+}
+
+}  // namespace
 
 double recovery_backoff_ns(const RecoveryOptions& options,
                            std::size_t attempt) {
@@ -69,9 +90,14 @@ void RecoveryExecutor::execute_once(
 
 void RecoveryExecutor::note_detected() {
   ++stats_.detected;
+  bump_live(telemetry::kFaultDetected, "verification mismatches detected");
+  PIMA_TEL_INSTANT("fault:detected");
   if (!degraded_ && stats_.detected > options_.subarray_failure_budget) {
     degraded_ = true;
     ++stats_.degraded_subarrays;
+    bump_live("pima_fault_degraded_subarrays_total",
+              "sub-arrays degraded to host-side recompute");
+    PIMA_TEL_INSTANT("fault:degraded");
   }
 }
 
@@ -83,6 +109,8 @@ void RecoveryExecutor::blame_staging(std::size_t n_operands) {
     staging_[slot] = spares_.back();
     spares_.pop_back();
     ++stats_.remapped;
+    bump_live("pima_fault_remapped_rows_total",
+              "computation rows retired to spares");
   }
 }
 
@@ -94,6 +122,8 @@ void RecoveryExecutor::host_fallback(
   for (std::size_t i = 0; i < n_operands; ++i) (void)sa_.read_row(operands[i]);
   sa_.write_row(dst, golden);
   ++stats_.host_fallbacks;
+  bump_live(telemetry::kFaultHostFallbacks,
+            "critical ops recomputed host-side");
 }
 
 void RecoveryExecutor::run_checked(
@@ -133,6 +163,8 @@ void RecoveryExecutor::run_checked(
     if (results[2] != voted) {
       sa_.write_row(dst, voted);  // fix the stored copy to the majority
       ++stats_.vote_corrections;
+      bump_live("pima_fault_vote_corrections_total",
+                "vote-mode results fixed by majority");
     }
     if (voted != golden) ++stats_.escaped;
     return;
@@ -154,6 +186,7 @@ void RecoveryExecutor::run_checked(
       return;
     }
     ++stats_.retried;
+    bump_live(telemetry::kFaultRetried, "re-executions performed");
     // Exponential backoff (capped) on this sub-array's command stream.
     sa_.wait_ns(recovery_backoff_ns(options_, attempt));
   }
@@ -214,6 +247,42 @@ FaultStats RecoveryManager::roll_up() const {
     if (ex) total += ex->stats();
   total.injected = device_.injection_roll_up().total_flips();
   return total;
+}
+
+void RecoveryManager::export_metrics(
+    telemetry::MetricsRegistry& registry) const {
+  using telemetry::Labels;
+  const auto add = [&](const char* name, const char* help,
+                       const Labels& labels, std::size_t v) {
+    if (v != 0) registry.counter(name, help, labels).add(static_cast<double>(v));
+  };
+  for (std::size_t flat = 0; flat < executors_.size(); ++flat) {
+    const auto& ex = executors_[flat];
+    if (!ex) continue;
+    const FaultStats& s = ex->stats();
+    const Labels labels = {{"subarray", std::to_string(flat)}};
+    add("pima_recovery_detected_total",
+        "verification mismatches per sub-array", labels, s.detected);
+    add("pima_recovery_retries_total", "re-executions per sub-array", labels,
+        s.retried);
+    add("pima_recovery_vote_corrections_total",
+        "vote-mode majority corrections per sub-array", labels,
+        s.vote_corrections);
+    add("pima_recovery_remapped_rows_total",
+        "computation rows retired to spares per sub-array", labels,
+        s.remapped);
+    add("pima_recovery_host_fallbacks_total",
+        "host-side recomputes per sub-array", labels, s.host_fallbacks);
+    add("pima_recovery_escaped_total",
+        "wrong results accepted per sub-array", labels, s.escaped);
+    add("pima_recovery_degraded_total",
+        "sub-array degraded to host-side recompute", labels,
+        s.degraded_subarrays);
+  }
+  registry
+      .counter("pima_fault_injected_total",
+               "corrupted columns injected (ground truth)")
+      .add(static_cast<double>(device_.injection_roll_up().total_flips()));
 }
 
 }  // namespace pima::runtime

@@ -46,6 +46,7 @@
 
 #include "dram/device.hpp"
 #include "runtime/scheduler.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace pima::runtime {
 
@@ -189,6 +190,13 @@ class RecoveryManager {
   /// Device-wide roll-up, with `injected` filled from the device's
   /// injection counters.
   FaultStats roll_up() const;
+
+  /// Exports per-sub-array recovery counters (retries, vote corrections,
+  /// remapped rows, host fallbacks, …) labeled {subarray=<flat>}, folded in
+  /// flat-index order, plus the device-wide injected total. Model-class:
+  /// recovery decisions are deterministic in (seed, command sequence) for
+  /// any channel count. Call only when the engine is drained.
+  void export_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
   dram::Device& device_;

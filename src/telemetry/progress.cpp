@@ -1,0 +1,66 @@
+#include "telemetry/progress.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+namespace pima::telemetry {
+
+ProgressReporter::ProgressReporter(MetricsRegistry& registry, Options options)
+    : registry_(registry), options_(options) {
+  if (options_.out == nullptr) options_.out = stderr;
+  if (options_.interval_s <= 0.0) return;
+  thread_ = std::thread([this] { loop(); });
+}
+
+ProgressReporter::~ProgressReporter() {
+  if (!thread_.joinable()) return;
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  stop_wake_.notify_all();
+  thread_.join();
+  report(options_.interval_s);  // final line with the end-state counters
+}
+
+void ProgressReporter::loop() {
+  const auto interval = std::chrono::duration<double>(options_.interval_s);
+  std::unique_lock lock(mutex_);
+  while (!stop_) {
+    if (stop_wake_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    report(options_.interval_s);
+    lock.lock();
+  }
+}
+
+void ProgressReporter::report(double dt_s) {
+  // find-or-create with empty help: the pipeline registers these with real
+  // help strings first; an early tick before that just sees zeros.
+  const double reads = registry_.counter(kReadsTotal, "").value();
+  const double expected = registry_.counter(kReadsExpected, "").value();
+  const double kmers = registry_.counter(kKmersTotal, "").value();
+  const double detected = registry_.counter(kFaultDetected, "").value();
+  const double retried = registry_.counter(kFaultRetried, "").value();
+  const double fallbacks = registry_.counter(kFaultHostFallbacks, "").value();
+
+  const double reads_rate = std::max(0.0, reads - last_reads_) / dt_s;
+  const double kmers_rate = std::max(0.0, kmers - last_kmers_) / dt_s;
+  last_reads_ = reads;
+  last_kmers_ = kmers;
+
+  char eta[32] = "--";
+  if (expected > reads && reads_rate > 0.0) {
+    std::snprintf(eta, sizeof eta, "%.1fs", (expected - reads) / reads_rate);
+  } else if (expected > 0.0 && reads >= expected) {
+    std::snprintf(eta, sizeof eta, "done");
+  }
+  std::fprintf(options_.out,
+               "[pima] reads %.0f/%.0f (%.0f/s) kmers %.0f (%.0f/s) eta %s "
+               "faults det=%.0f retry=%.0f host=%.0f\n",
+               reads, expected, reads_rate, kmers, kmers_rate, eta, detected,
+               retried, fallbacks);
+  std::fflush(options_.out);
+}
+
+}  // namespace pima::telemetry

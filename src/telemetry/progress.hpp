@@ -1,0 +1,56 @@
+// Periodic progress reporter: a background thread that samples the live
+// telemetry counters every interval and prints a one-line status to
+// stderr — reads/s, k-mers/s, an ETA for the read stream, and the live
+// fault-recovery counters. Purely observational: it only reads atomics,
+// never blocks the pipeline, and stops (with a final line) on destruction.
+#pragma once
+
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+#include "telemetry/metrics.hpp"
+
+namespace pima::telemetry {
+
+/// Counter/gauge names the reporter samples (shared with the pipeline's
+/// instrumentation so both sides agree on the wiring).
+inline constexpr const char* kReadsTotal = "pima_reads_total";
+inline constexpr const char* kReadsExpected = "pima_reads_expected";
+inline constexpr const char* kKmersTotal = "pima_kmers_total";
+inline constexpr const char* kFaultDetected = "pima_fault_detected_total";
+inline constexpr const char* kFaultRetried = "pima_fault_retried_total";
+inline constexpr const char* kFaultHostFallbacks =
+    "pima_fault_host_fallbacks_total";
+
+class ProgressReporter {
+ public:
+  struct Options {
+    double interval_s = 1.0;
+    std::FILE* out = nullptr;  ///< defaults to stderr
+  };
+
+  /// Starts the reporting thread over `registry` (usually
+  /// telemetry::metrics()). Does nothing when interval_s <= 0.
+  ProgressReporter(MetricsRegistry& registry, Options options);
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+ private:
+  void loop();
+  void report(double dt_s);
+
+  MetricsRegistry& registry_;
+  Options options_;
+  double last_reads_ = 0.0;
+  double last_kmers_ = 0.0;
+  std::mutex mutex_;
+  std::condition_variable stop_wake_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace pima::telemetry

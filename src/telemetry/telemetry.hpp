@@ -1,0 +1,63 @@
+// Instrumentation macro layer — the only telemetry header hot paths
+// include. With PIMA_TELEMETRY=0 (CMake option PIMA_TELEMETRY=OFF) every
+// macro compiles to nothing, so instrumented code carries zero cost; with
+// it on (the default) each site costs one relaxed atomic load while
+// telemetry is disabled at runtime.
+//
+// Span taxonomy (DESIGN.md §11): spans nest pipeline stage → shard /
+// submit phase → engine channel task (one per command batch). Counter
+// events render queue depth and retired-task counts as Perfetto counter
+// tracks; instant events mark one-shot incidents (stall, checkpoint).
+#pragma once
+
+#ifndef PIMA_TELEMETRY
+#define PIMA_TELEMETRY 1
+#endif
+
+#if PIMA_TELEMETRY
+
+#include "telemetry/session.hpp"
+
+#define PIMA_TEL_CONCAT_INNER(a, b) a##b
+#define PIMA_TEL_CONCAT(a, b) PIMA_TEL_CONCAT_INNER(a, b)
+
+/// Scoped span on the current thread's track: PIMA_TEL_SPAN("stage:hashmap");
+#define PIMA_TEL_SPAN(name) \
+  ::pima::telemetry::ScopedSpan PIMA_TEL_CONCAT(pima_tel_span_, __COUNTER__)(name)
+
+/// Scoped span with one numeric argument (shown in Perfetto's args pane).
+#define PIMA_TEL_SPAN_ARG(name, arg_name, value)                          \
+  ::pima::telemetry::ScopedSpan PIMA_TEL_CONCAT(pima_tel_span_,           \
+                                                __COUNTER__)(name, arg_name, \
+                                                             value)
+
+/// Instant event on the current thread's track.
+#define PIMA_TEL_INSTANT(name) ::pima::telemetry::tracer().record_instant(name)
+
+/// Instant event on an explicit track (watchdog → stalled channel).
+#define PIMA_TEL_INSTANT_ON(track, name) \
+  ::pima::telemetry::tracer().record_instant(name, track)
+
+/// Counter sample rendered as a per-track counter track.
+#define PIMA_TEL_COUNTER(track, name, value) \
+  ::pima::telemetry::tracer().record_counter(name, value, track)
+
+/// Binds the calling thread to a track id (engine workers).
+#define PIMA_TEL_SET_THREAD_TRACK(track) \
+  ::pima::telemetry::tracer().set_thread_track(track)
+
+/// Names a track in the exported trace (idempotent, cold path).
+#define PIMA_TEL_NAME_TRACK(track, name) \
+  ::pima::telemetry::tracer().set_track_name(track, name)
+
+#else  // PIMA_TELEMETRY compiled out
+
+#define PIMA_TEL_SPAN(name) ((void)0)
+#define PIMA_TEL_SPAN_ARG(name, arg_name, value) ((void)0)
+#define PIMA_TEL_INSTANT(name) ((void)0)
+#define PIMA_TEL_INSTANT_ON(track, name) ((void)0)
+#define PIMA_TEL_COUNTER(track, name, value) ((void)0)
+#define PIMA_TEL_SET_THREAD_TRACK(track) ((void)0)
+#define PIMA_TEL_NAME_TRACK(track, name) ((void)0)
+
+#endif  // PIMA_TELEMETRY

@@ -1,0 +1,219 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+namespace pima::telemetry {
+
+namespace {
+
+// Thread-local buffer/track state. The (owner, generation) stamp
+// invalidates the cached pointer when Tracer::clear() drops the buffers or
+// when a different Tracer instance (tests construct their own) uses this
+// thread, and the pointer is re-resolved on next use — so a stale thread
+// can never write into freed memory (buffers are owned by the tracer and
+// only freed in clear(), which bumps the generation first).
+struct ThreadState {
+  const void* owner = nullptr;
+  TraceBuffer* buffer = nullptr;
+  std::uint64_t generation = 0;
+  std::uint32_t track = 0;
+};
+thread_local ThreadState tls;
+
+// Process-unique generation values (see the header): every Tracer birth
+// and every clear() draws a fresh stamp.
+std::atomic<std::uint64_t> next_generation{1};
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+Tracer::Tracer()
+    : generation_(next_generation.fetch_add(1, std::memory_order_relaxed)) {}
+
+void Tracer::enable(std::size_t events_per_thread) {
+  clear();
+  {
+    std::lock_guard lock(mutex_);
+    capacity_ = events_per_thread == 0 ? 1 : events_per_thread;
+    epoch_ = std::chrono::steady_clock::now();
+  }
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::disable() { enabled_.store(false, std::memory_order_release); }
+
+void Tracer::clear() {
+  enabled_.store(false, std::memory_order_release);
+  generation_.store(next_generation.fetch_add(1, std::memory_order_relaxed),
+                    std::memory_order_release);
+  std::lock_guard lock(mutex_);
+  buffers_.clear();
+  track_names_.clear();
+}
+
+TraceBuffer* Tracer::thread_buffer() {
+  const std::uint64_t gen = generation_.load(std::memory_order_acquire);
+  if (tls.buffer == nullptr || tls.owner != this || tls.generation != gen) {
+    std::lock_guard lock(mutex_);
+    buffers_.push_back(std::make_unique<TraceBuffer>(capacity_));
+    tls.owner = this;
+    tls.buffer = buffers_.back().get();
+    tls.generation = gen;
+  }
+  return tls.buffer;
+}
+
+void Tracer::set_thread_track(std::uint32_t track) { tls.track = track; }
+
+std::uint32_t Tracer::thread_track() const { return tls.track; }
+
+void Tracer::set_track_name(std::uint32_t track, const std::string& name) {
+  std::lock_guard lock(mutex_);
+  track_names_[track] = name;
+}
+
+void Tracer::record_complete(const char* name, std::int64_t start_ns,
+                             std::int64_t dur_ns, const char* arg_name,
+                             double value) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'X';
+  e.track = tls.track;
+  e.ts_ns = start_ns;
+  e.dur_ns = dur_ns;
+  e.arg_name = arg_name;
+  e.value = value;
+  thread_buffer()->record(e);
+}
+
+void Tracer::record_instant(const char* name, std::uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'i';
+  e.track = track == kThreadTrack ? tls.track : track;
+  e.ts_ns = now_ns();
+  thread_buffer()->record(e);
+}
+
+void Tracer::record_counter(const char* name, double value,
+                            std::uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = 'C';
+  e.track = track;
+  e.ts_ns = now_ns();
+  e.arg_name = "value";
+  e.value = value;
+  thread_buffer()->record(e);
+}
+
+std::size_t Tracer::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t n = 0;
+  for (const auto& b : buffers_) n += b->published();
+  return n;
+}
+
+std::uint64_t Tracer::dropped_count() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t n = 0;
+  for (const auto& b : buffers_) n += b->dropped();
+  return n;
+}
+
+std::string Tracer::chrome_json() const {
+  std::lock_guard lock(mutex_);
+  // Gather published events from every buffer, then sort by timestamp so
+  // Perfetto's importer sees a monotone stream per track.
+  std::vector<TraceEvent> events;
+  for (const auto& b : buffers_) {
+    const std::size_t n = b->published();
+    for (std::size_t i = 0; i < n; ++i) events.push_back(b->at(i));
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_ns < b.ts_ns;
+                   });
+
+  std::ostringstream out;
+  out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
+  bool first = true;
+  const auto sep = [&] {
+    out << (first ? "\n" : ",\n");
+    first = false;
+  };
+  // Track (thread) naming metadata. sort_index keeps "main" on top and
+  // channels in numeric order.
+  for (const auto& [track, name] : track_names_) {
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << track
+        << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
+        << json_escape(name) << "\"}}";
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << track
+        << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
+        << track << "}}";
+  }
+  char num[40];
+  const auto fmt_us = [&](std::int64_t ns) {
+    // Chrome wants microseconds; keep ns resolution in the fraction.
+    std::snprintf(num, sizeof num, "%.3f", static_cast<double>(ns) / 1000.0);
+    return num;
+  };
+  const auto fmt_val = [&](double v) {
+    std::snprintf(num, sizeof num, "%.17g", v);
+    return num;
+  };
+  const auto track_label = [&](std::uint32_t track) {
+    const auto it = track_names_.find(track);
+    return it != track_names_.end() ? it->second
+                                    : "track " + std::to_string(track);
+  };
+  for (const auto& e : events) {
+    sep();
+    // Counter events are keyed by (pid, name) in the trace-event model, so
+    // the owning track's name is folded into the counter name to get one
+    // counter track per channel.
+    std::string name = json_escape(e.name);
+    if (e.phase == 'C') name += " [" + json_escape(track_label(e.track)) + "]";
+    out << "{\"name\": \"" << name << "\", \"ph\": \"" << e.phase
+        << "\", \"pid\": 1, \"tid\": " << e.track
+        << ", \"ts\": " << fmt_us(e.ts_ns);
+    switch (e.phase) {
+      case 'X':
+        out << ", \"dur\": " << fmt_us(e.dur_ns);
+        if (e.arg_name != nullptr)
+          out << ", \"args\": {\"" << json_escape(e.arg_name)
+              << "\": " << fmt_val(e.value) << '}';
+        break;
+      case 'i':
+        out << ", \"s\": \"t\"";
+        break;
+      case 'C':
+        out << ", \"args\": {\"" << json_escape(e.arg_name)
+            << "\": " << fmt_val(e.value) << '}';
+        break;
+      default:
+        break;
+    }
+    out << '}';
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+}  // namespace pima::telemetry

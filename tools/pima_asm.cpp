@@ -34,6 +34,7 @@
 #include "dna/genome.hpp"
 #include "platforms/presets.hpp"
 #include "runtime/recovery.hpp"
+#include "telemetry/session.hpp"
 
 namespace {
 
@@ -236,6 +237,23 @@ int cmd_pim_run(const Args& args) {
     std::printf("resume: no checkpoint in %s, starting fresh\n",
                 opt.checkpoint_dir.c_str());
 
+  // Telemetry sinks: --trace-json writes a Chrome trace-event file
+  // (Perfetto / chrome://tracing), --metrics-out a Prometheus text file
+  // plus a JSON snapshot at <path>.json, --progress[=seconds] a periodic
+  // status line on stderr.
+  auto& session = telemetry::TelemetrySession::instance();
+  const auto trace_json = args.get("trace-json");
+  const auto metrics_out = args.get("metrics-out");
+  if (trace_json) {
+    session.set_trace_path(*trace_json);
+    session.tracer().enable();
+  }
+  if (metrics_out) session.set_metrics_path(*metrics_out);
+  if (metrics_out || args.has("progress")) session.enable_metrics();
+  if (args.has("progress"))
+    // Bare --progress parses as "1" → the default 1 s interval.
+    opt.progress_interval_s = args.get_double("progress", 1.0);
+
   const bool fault_aware =
       opt.fault.enabled() || opt.recovery.mode != runtime::RecoveryMode::kOff;
   if (fault_aware)
@@ -248,7 +266,22 @@ int cmd_pim_run(const Args& args) {
         opt.fault.retention_flip_per_op, opt.fault.weak_row_fraction,
         runtime::to_string(opt.recovery.mode));
 
-  const auto result = core::run_pipeline(device, reads, opt);
+  const auto result = [&] {
+    try {
+      return core::run_pipeline(device, reads, opt);
+    } catch (...) {
+      // Flush whatever telemetry the run recorded before the error (the
+      // engine watchdog already flushed on a stall; this covers the rest).
+      if (trace_json || metrics_out) {
+        session.tracer().disable();
+        try {
+          session.flush();
+        } catch (...) {
+        }
+      }
+      throw;
+    }
+  }();
 
   TextTable table("PIM-Assembler simulated execution");
   table.set_header({"stage", "commands", "time (us)", "energy (nJ)",
@@ -285,6 +318,16 @@ int cmd_pim_run(const Args& args) {
     out << dram::to_text(program);
     std::printf("trace: %zu commands -> %s\n", program.size(),
                 dump_trace->c_str());
+  }
+  if (trace_json || metrics_out) {
+    session.tracer().disable();
+    session.flush();
+    if (trace_json)
+      std::printf("telemetry: %zu trace events -> %s (open in Perfetto)\n",
+                  session.tracer().event_count(), trace_json->c_str());
+    if (metrics_out)
+      std::printf("telemetry: metrics -> %s (+ %s.json)\n",
+                  metrics_out->c_str(), metrics_out->c_str());
   }
   if (const auto ref = args.get("reference"))
     report_verification(*ref, result.contigs, 2 * opt.k);
@@ -352,6 +395,9 @@ void usage() {
       "           [--checkpoint-dir DIR (snapshot after each stage)]\n"
       "           [--resume (skip stages covered by DIR/pipeline.ckpt)]\n"
       "           [--stall-timeout MS (watchdog per-task deadline; 0=off)]\n"
+      "           [--trace-json out.json (Chrome trace for Perfetto)]\n"
+      "           [--metrics-out out.prom (Prometheus text + .json)]\n"
+      "           [--progress [SECONDS] (periodic stderr status; default 1)]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]");
 }
