@@ -48,9 +48,27 @@ class CorruptCheckpointError : public IoError {
   using IoError::IoError;
 };
 
-/// Thrown when user-supplied input data (FASTA/FASTQ) is malformed. The
-/// message carries source:line context.
+/// Thrown when user-supplied input data (FASTA/FASTQ) or a command-line
+/// value is malformed. The message carries source:line (or --flag) context.
 class InputFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by cooperative cancellation points (runtime/cancel.hpp) when a
+/// CancelToken has been triggered — by a SIGINT/SIGTERM handler, a service
+/// `cancel` verb, or daemon shutdown. Work interrupted this way is clean:
+/// stage checkpoints already written stay valid, so a cancelled run resumes
+/// exactly like a crashed one.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown by the service admission controller when a job cannot be accepted
+/// — the bounded queue is full, or the daemon is draining. The submitter
+/// should back off and retry; nothing about the job was recorded.
+class AdmissionRejectedError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
@@ -102,6 +120,8 @@ enum ExitCode : int {
   kExitIo = 4,                ///< OS-level I/O failure
   kExitCorruptCheckpoint = 5, ///< checkpoint rejected (checksum/version/compat)
   kExitEngineStalled = 6,     ///< watchdog converted a hang into a failure
+  kExitInterrupted = 7,       ///< cancelled (signal / cancel verb); resumable
+  kExitAdmissionRejected = 8, ///< service refused the job (queue full/draining)
 };
 
 /// Maps an exception to its documented exit code. Most-derived types are
@@ -114,6 +134,10 @@ inline int exit_code_for(const std::exception& e) {
     return kExitInputFormat;
   if (dynamic_cast<const EngineStalledError*>(&e) != nullptr)
     return kExitEngineStalled;
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr)
+    return kExitInterrupted;
+  if (dynamic_cast<const AdmissionRejectedError*>(&e) != nullptr)
+    return kExitAdmissionRejected;
   return kExitFailure;
 }
 

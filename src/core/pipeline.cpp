@@ -53,7 +53,7 @@ GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
 // order equals read-stream order for any channel count.
 void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
                         const std::vector<dna::Sequence>& reads,
-                        std::size_t k) {
+                        std::size_t k, const runtime::CancelToken* cancel) {
   constexpr std::size_t kKmerBatch = 128;
   std::vector<std::vector<assembly::Kmer>> pending(engine.channels());
   auto flush = [&](std::size_t channel) {
@@ -79,6 +79,7 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
   }
 
   for (const auto& read : reads) {
+    if (cancel != nullptr) cancel->throw_if_requested();
     if (read.size() < k) {
       if (reads_ctr != nullptr) reads_ctr->increment();
       continue;
@@ -246,11 +247,26 @@ PipelineResult run_pipeline(dram::Device& device,
     result.hashmap = {snap.hashmap, "hashmap"};
   } else {
     PIMA_TEL_SPAN("stage:hashmap");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
     PimHashTable table(device, options.hash_shards);
     table.bind_key_length(options.k);
     table.attach_recovery(recovery.get());
-    submit_kmer_stream(engine, table, reads, options.k);
-    entries = table.extract();
+    try {
+      submit_kmer_stream(engine, table, reads, options.k, options.cancel);
+      entries = table.extract();
+    } catch (const SimulationError&) {
+      // In-flight insert tasks reference `table`; stop the channels before
+      // the unwind destroys it (a failed shard otherwise races workers
+      // against the destructor — use-after-free). Then drain to surface
+      // the root task failure (e.g. "hash shard full") instead of the
+      // fail-fast submit refusal that unwound us here.
+      engine.quiesce();
+      engine.drain();
+      throw;
+    } catch (...) {
+      engine.quiesce();  // same race on the cancel path
+      throw;
+    }
     result.distinct_kmers = table.distinct_kmers();
     result.hashmap = {device.roll_up(), "hashmap"};
     export_stage("hashmap", result.hashmap.device, device.command_roll_up());
@@ -275,6 +291,7 @@ PipelineResult run_pipeline(dram::Device& device,
     result.debruijn = {snap.debruijn, "debruijn"};
   } else {
     PIMA_TEL_SPAN("stage:debruijn");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
     assembly::KmerCounter counter(entries.size());
     for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
     result.graph = assembly::DeBruijnGraph::from_counter(
@@ -301,6 +318,7 @@ PipelineResult run_pipeline(dram::Device& device,
       inst.payload = row_image;
       inserts.push_back(std::move(inst));
       if (inserts.size() >= kProgramSlice) {
+        if (options.cancel != nullptr) options.cancel->throw_if_requested();
         engine.submit_program(std::move(inserts));
         inserts = {};
         inserts.reserve(kProgramSlice);
@@ -333,6 +351,7 @@ PipelineResult run_pipeline(dram::Device& device,
     result.traverse = {snap.traverse, "traverse"};
   } else {
     PIMA_TEL_SPAN("stage:traverse");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
     const GraphPartition partition =
         partition_fitting(graph, device.geometry(), options.graph_intervals);
     const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
@@ -357,6 +376,7 @@ PipelineResult run_pipeline(dram::Device& device,
       inst.src1 = (rr / arrays) % data_rows;
       lookups.push_back(std::move(inst));
       if (lookups.size() >= kProgramSlice) {
+        if (options.cancel != nullptr) options.cancel->throw_if_requested();
         engine.submit_program(std::move(lookups));
         lookups = {};
         lookups.reserve(kProgramSlice);

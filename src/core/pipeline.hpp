@@ -36,6 +36,7 @@
 #include "core/pim_hash_table.hpp"
 #include "dram/device.hpp"
 #include "dram/fault.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/recovery.hpp"
 
@@ -91,6 +92,12 @@ struct PipelineOptions {
   /// crash test SIGKILLs itself from here.
   std::function<void(std::uint32_t stage, const std::string& path)>
       on_checkpoint;
+  /// Cooperative cancellation (runtime/cancel.hpp). Polled per read in the
+  /// k-mer stream, per program slice in construction/traversal, and at
+  /// every stage boundary; a triggered token raises CancelledError on the
+  /// controller thread. Checkpoints already written stay valid, so a
+  /// cancelled run resumes like a crashed one. Null = not cancellable.
+  const runtime::CancelToken* cancel = nullptr;
 };
 
 /// Per-stage roll-up (device stats snapshot over the stage's commands).

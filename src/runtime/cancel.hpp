@@ -1,0 +1,66 @@
+// Cooperative cancellation for long-running pipeline work.
+//
+// A CancelToken is a shared flag that cancellation *requesters* (signal
+// handlers, the service daemon's `cancel` verb, graceful shutdown) set and
+// that *workers* poll at natural safe points — per read in the k-mer
+// stream, per program slice in the construction/traversal stages, and at
+// every stage boundary. A triggered token surfaces as CancelledError on
+// the polling thread, which unwinds through the engine's normal teardown:
+// queued work is dropped, worker threads join, and any stage checkpoint
+// already written stays valid, so a cancelled run is resumable exactly
+// like a crashed one.
+//
+// request() is async-signal-safe (two relaxed/release atomic stores, no
+// allocation, no locks), so a SIGINT/SIGTERM handler may call it directly.
+// The reason string must be a string literal (static storage) for the same
+// reason.
+#pragma once
+
+#include <atomic>
+
+#include "common/error.hpp"
+
+namespace pima::runtime {
+
+class CancelToken {
+ public:
+  /// Requests cancellation. Safe from signal handlers; `reason` must point
+  /// to static storage (a string literal). Idempotent — the first reason
+  /// wins.
+  void request(const char* reason = "cancelled") {
+    const char* expected = nullptr;
+    reason_.compare_exchange_strong(expected, reason,
+                                    std::memory_order_relaxed);
+    requested_.store(true, std::memory_order_release);
+  }
+
+  bool requested() const {
+    return requested_.load(std::memory_order_acquire);
+  }
+
+  /// The first request()'s reason, or "" before any request.
+  const char* reason() const {
+    const char* r = reason_.load(std::memory_order_relaxed);
+    return r == nullptr ? "" : r;
+  }
+
+  /// Cancellation point: throws CancelledError once the token has been
+  /// triggered. One acquire load on the fast path.
+  void throw_if_requested() const {
+    if (requested()) [[unlikely]]
+      throw CancelledError(std::string("cancelled: ") + reason());
+  }
+
+  /// Re-arms a token for reuse (tests; a requeued service job gets a fresh
+  /// run). Not safe concurrently with request().
+  void reset() {
+    requested_.store(false, std::memory_order_release);
+    reason_.store(nullptr, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> requested_{false};
+  std::atomic<const char*> reason_{nullptr};
+};
+
+}  // namespace pima::runtime

@@ -5,11 +5,8 @@
 #include <exception>
 
 #include "runtime/bounded_queue.hpp"
-#include "telemetry/telemetry.hpp"
-
-#if PIMA_TELEMETRY
 #include "telemetry/session.hpp"
-#endif
+#include "telemetry/telemetry.hpp"
 
 namespace pima::runtime {
 
@@ -87,10 +84,22 @@ Engine::Engine(dram::Device& device, EngineOptions options)
 #endif
   }
   PIMA_TEL_NAME_TRACK(watchdog_track(), "watchdog");
+  // Workers and the watchdog inherit the constructing thread's metrics
+  // routing: a pipeline run started under a ScopedMetricsRegistry (a
+  // service job's private registry) records its worker-side metrics —
+  // recovery events, stall counters — into the same registry.
+  telemetry::MetricsRegistry* const scoped_registry =
+      telemetry::ScopedMetricsRegistry::current();
   for (auto& ch : channels_)
-    ch->worker = std::thread([&ch = *ch] { worker_loop(ch); });
+    ch->worker = std::thread([&ch = *ch, scoped_registry] {
+      telemetry::ScopedMetricsRegistry scope(scoped_registry);
+      worker_loop(ch);
+    });
   if (options_.stall_timeout_ms > 0.0)
-    watchdog_ = std::thread([this] { watchdog_loop(); });
+    watchdog_ = std::thread([this, scoped_registry] {
+      telemetry::ScopedMetricsRegistry scope(scoped_registry);
+      watchdog_loop();
+    });
 }
 
 Engine::~Engine() {
@@ -354,6 +363,28 @@ void Engine::drain() {
     throw SimulationError(
         "engine is stalled; the run must be restarted (a wedged channel "
         "worker was abandoned by the watchdog)");
+}
+
+void Engine::quiesce() noexcept {
+  for (auto& ch : channels_) {
+    {
+      std::lock_guard lock(ch->mutex);
+      ch->cancelled = true;  // workers skip, but still retire, queued tasks
+    }
+    ch->idle.notify_all();
+  }
+  for (auto& ch : channels_) {
+    std::unique_lock lock(ch->mutex);
+    ch->idle.wait(lock, [&] { return ch->pending == 0 || ch->stalled; });
+  }
+  // Re-arm for the next submit cycle (unless the engine is poisoned by a
+  // stall, where cancelled must stay set so healthy workers keep dropping
+  // their streams).
+  if (!stalled_.load(std::memory_order_acquire))
+    for (auto& ch : channels_) {
+      std::lock_guard lock(ch->mutex);
+      ch->cancelled = false;
+    }
 }
 
 void Engine::export_metrics(telemetry::MetricsRegistry& registry) const {

@@ -122,6 +122,17 @@ class Engine {
   /// poisons the engine permanently.
   void drain();
 
+  /// Emergency barrier for exception unwind: stops execution of queued
+  /// tasks (they retire as skipped) and blocks until no task is running,
+  /// without collecting or clearing failures. Call before destroying any
+  /// object that in-flight tasks reference — e.g. a stage-local hash
+  /// table — when an exception is about to unwind past it; otherwise a
+  /// worker still executing a queued task races the destruction
+  /// (use-after-free). Stalled channels are not waited on (their wedged
+  /// worker is the watchdog's problem). noexcept, and the engine accepts
+  /// new submits afterwards, so a success path running it is a no-op.
+  void quiesce() noexcept;
+
   /// Per-channel roll-up over the channel's instantiated sub-arrays
   /// (time = max over the channel's sub-arrays, like Device::roll_up).
   /// Call only when drained.

@@ -1,0 +1,64 @@
+#include "service/admission.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::service {
+
+void AdmissionQueue::push(const std::string& job_id, int priority,
+                          std::uint64_t seq, std::size_t channels) {
+  if (entries_.size() >= policy_.queue_depth)
+    throw AdmissionRejectedError(
+        "admission queue full (" + std::to_string(policy_.queue_depth) +
+        " jobs queued); retry after a job finishes");
+  if (channels > policy_.channel_budget)
+    throw AdmissionRejectedError(
+        "job requests " + std::to_string(channels) +
+        " channels but the daemon's budget is " +
+        std::to_string(policy_.channel_budget) + "; lower --threads");
+  entries_.push_back({job_id, priority, seq, channels});
+}
+
+void AdmissionQueue::restore(const std::string& job_id, int priority,
+                             std::uint64_t seq, std::size_t channels) {
+  if (channels > policy_.channel_budget)
+    throw AdmissionRejectedError(
+        "recovered job " + job_id + " requests " + std::to_string(channels) +
+        " channels but the daemon's budget is " +
+        std::to_string(policy_.channel_budget));
+  entries_.push_back({job_id, priority, seq, channels});
+}
+
+std::size_t AdmissionQueue::head_index() const {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    const Entry& b = entries_[best];
+    if (e.priority > b.priority ||
+        (e.priority == b.priority && e.seq < b.seq))
+      best = i;
+  }
+  return best;
+}
+
+std::string AdmissionQueue::pop_admissible(std::size_t running_jobs,
+                                           std::size_t used_channels) {
+  if (entries_.empty() || running_jobs >= policy_.max_jobs) return {};
+  const std::size_t head = head_index();
+  if (used_channels + entries_[head].channels > policy_.channel_budget)
+    return {};  // head-of-line: wait for budget, no backfill past it
+  std::string id = entries_[head].job_id;
+  entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(head));
+  return id;
+}
+
+bool AdmissionQueue::remove(const std::string& job_id) {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].job_id == job_id) {
+      entries_.erase(entries_.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace pima::service

@@ -1,0 +1,87 @@
+// Admission control for the assembly service: a bounded priority queue
+// plus the resource-budget policy that decides when a queued job may
+// start.
+//
+// Policy (DESIGN.md §12):
+//   * The queue holds at most `queue_depth` jobs. A submit beyond that is
+//     rejected *synchronously* with AdmissionRejectedError — the client
+//     learns immediately instead of the daemon buffering unbounded work
+//     (the same backpressure discipline as the engine's bounded task
+//     queues, one level up).
+//   * At most `max_jobs` jobs run concurrently, and the sum of running
+//     jobs' channel quotas never exceeds `channel_budget` — the daemon
+//     never oversubscribes the host threads the simulated channels map
+//     onto.
+//   * Dispatch order is strict: highest priority first, FIFO within a
+//     priority (submission seq breaks ties). Head-of-line blocking is
+//     deliberate — a wide job at the head waits for budget rather than
+//     being starved by an endless stream of narrow jobs backfilled past
+//     it.
+//
+// The queue is not thread-safe by itself; the daemon serializes access
+// under its job-table mutex.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pima::service {
+
+struct AdmissionPolicy {
+  std::size_t queue_depth = 8;     ///< queued (not yet running) job bound
+  std::size_t max_jobs = 2;        ///< concurrently running job bound
+  std::size_t channel_budget = 8;  ///< total channels across running jobs
+};
+
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(AdmissionPolicy policy) : policy_(policy) {}
+
+  const AdmissionPolicy& policy() const { return policy_; }
+
+  /// Enqueues a job. Throws AdmissionRejectedError when the queue is at
+  /// its depth bound, naming the bound so the client can report it. A
+  /// job's channel quota wider than the whole budget is also rejected
+  /// here — it could never be dispatched.
+  void push(const std::string& job_id, int priority, std::uint64_t seq,
+            std::size_t channels);
+
+  /// The next job that may start given current usage, or "" when none
+  /// fits. Strict priority order: only the head (highest priority, lowest
+  /// seq) is considered. The caller commits to running it — the entry is
+  /// removed and the caller's accounting (running count, used channels)
+  /// takes over.
+  std::string pop_admissible(std::size_t running_jobs,
+                             std::size_t used_channels);
+
+  /// Recovery-path enqueue: a job re-queued after a daemon restart was
+  /// already admitted once, so the depth bound does not apply (rejecting
+  /// it now would lose accepted work). Quota-vs-budget still holds — a
+  /// restart with a smaller budget must not wedge the queue head forever,
+  /// so an unfittable job is rejected like a fresh submit.
+  void restore(const std::string& job_id, int priority, std::uint64_t seq,
+               std::size_t channels);
+
+  /// Removes a queued job (cancel verb). Returns false if absent.
+  bool remove(const std::string& job_id);
+
+  std::size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+ private:
+  struct Entry {
+    std::string job_id;
+    int priority = 0;
+    std::uint64_t seq = 0;
+    std::size_t channels = 1;
+  };
+
+  /// Index of the dispatch head: max priority, min seq.
+  std::size_t head_index() const;
+
+  AdmissionPolicy policy_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pima::service

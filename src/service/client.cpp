@@ -1,0 +1,38 @@
+#include "service/client.hpp"
+
+#include "common/error.hpp"
+
+namespace pima::service {
+
+Client Client::connect_unix_socket(const std::string& path) {
+  return Client(connect_unix(path));
+}
+
+Client Client::connect_tcp_port(std::uint16_t port) {
+  return Client(connect_tcp(port));
+}
+
+Json Client::request(const Json& req) {
+  channel_.write_line(req.dump());
+  std::string line;
+  if (!channel_.read_line(line))
+    throw IoError("daemon closed the connection before responding");
+  return Json::parse(line);
+}
+
+Json Client::stream(const Json& req,
+                    const std::function<bool(const Json&)>& on_line) {
+  channel_.write_line(req.dump());
+  std::string line;
+  Json last;
+  bool any = false;
+  while (channel_.read_line(line)) {
+    last = Json::parse(line);
+    any = true;
+    if (!on_line(last)) break;
+  }
+  if (!any) throw IoError("daemon closed the connection before responding");
+  return last;
+}
+
+}  // namespace pima::service

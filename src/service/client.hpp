@@ -1,0 +1,38 @@
+// Client side of the service wire protocol: connect, send one request
+// object, read the response line(s). Used by the `pima_asm` client verbs
+// (submit/status/result/cancel/list/drain/metrics) and by the tests; the
+// transport (unix socket vs loopback TCP) is fixed at connect time and
+// invisible afterwards.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "service/json.hpp"
+#include "service/socket.hpp"
+
+namespace pima::service {
+
+class Client {
+ public:
+  static Client connect_unix_socket(const std::string& path);
+  static Client connect_tcp_port(std::uint16_t port);
+
+  /// One request, one response line. Throws IoError if the daemon hangs
+  /// up before responding.
+  Json request(const Json& req);
+
+  /// One request, streamed responses (`status --follow`): `on_line` is
+  /// called per response object until the daemon closes the stream or
+  /// returns false from the callback. Returns the last response seen.
+  Json stream(const Json& req, const std::function<bool(const Json&)>& on_line);
+
+ private:
+  explicit Client(ScopedFd fd) : fd_(std::move(fd)), channel_(fd_.get()) {}
+
+  ScopedFd fd_;
+  LineChannel channel_;
+};
+
+}  // namespace pima::service

@@ -1,0 +1,669 @@
+#include "service/daemon.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "dna/fasta.hpp"
+#include "dram/device.hpp"
+#include "telemetry/session.hpp"
+
+namespace pima::service {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr const char* kContigsFile = "contigs.fa";
+
+/// Exception class name recorded in JobRecord::error_type — the same
+/// taxonomy exit_code_for maps to process exit codes, here as a string so
+/// a client can branch on it.
+const char* error_type_name(const std::exception& e) {
+  if (dynamic_cast<const InputFormatError*>(&e) != nullptr)
+    return "InputFormatError";
+  if (dynamic_cast<const CorruptCheckpointError*>(&e) != nullptr)
+    return "CorruptCheckpointError";
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return "IoError";
+  if (dynamic_cast<const EngineStalledError*>(&e) != nullptr)
+    return "EngineStalledError";
+  if (dynamic_cast<const SimulationError*>(&e) != nullptr)
+    return "SimulationError";
+  if (dynamic_cast<const AdmissionRejectedError*>(&e) != nullptr)
+    return "AdmissionRejectedError";
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr)
+    return "CancelledError";
+  return "RuntimeError";
+}
+
+Json error_response(const char* type, const std::string& message) {
+  Json j = Json::object();
+  j.set("ok", false);
+  j.set("error", std::string(type));
+  j.set("message", message);
+  return j;
+}
+
+}  // namespace
+
+Daemon::Daemon(DaemonOptions options)
+    : options_(std::move(options)), queue_(options_.admission) {
+  if (options_.socket_path.empty())
+    throw InputFormatError("daemon: socket path must not be empty");
+  if (options_.state_dir.empty())
+    throw InputFormatError("daemon: state dir must not be empty");
+  options_.geometry.validate();
+}
+
+Daemon::~Daemon() {
+  // run() joins everything before returning; nothing left to do here
+  // unless run() was never called.
+  for (auto& [id, entry] : jobs_)
+    if (entry->runner.joinable()) entry->runner.join();
+}
+
+std::string Daemon::job_dir(const std::string& id) const {
+  return options_.state_dir + "/jobs/" + id;
+}
+
+void Daemon::persist(const JobEntry& entry) const {
+  save_job_record(job_dir(entry.record.id), entry.record);
+}
+
+void Daemon::recover_jobs() {
+  const fs::path jobs_root = fs::path(options_.state_dir) / "jobs";
+  std::error_code ec;
+  fs::create_directories(jobs_root, ec);
+  if (ec) throw IoError("cannot create " + jobs_root.string());
+
+  // Deterministic recovery order: sorted job ids (== submission order,
+  // ids are zero-padded monotonics).
+  std::vector<std::string> ids;
+  for (const auto& dirent : fs::directory_iterator(jobs_root)) {
+    if (!dirent.is_directory()) continue;
+    if (fs::exists(dirent.path() / "job.json"))
+      ids.push_back(dirent.path().filename().string());
+  }
+  std::sort(ids.begin(), ids.end());
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& id : ids) {
+    JobRecord record;
+    try {
+      record = load_job_record(job_dir(id));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "pima_asm serve: skipping unreadable job %s: %s\n",
+                   id.c_str(), e.what());
+      continue;
+    }
+    auto entry = std::make_unique<JobEntry>();
+    entry->record = std::move(record);
+    entry->registry.set_default_labels({{"job", id}});
+    next_seq_ = std::max(next_seq_, entry->record.seq + 1);
+    if (id.size() > 1 && id[0] == 'j') {
+      const std::uint64_t n = std::strtoull(id.c_str() + 1, nullptr, 10);
+      next_id_ = std::max(next_id_, n + 1);
+    }
+    if (!is_terminal(entry->record.state)) {
+      // The daemon died (or was SIGKILLed) with this job in flight. Its
+      // stage checkpoints are durable; re-queue it and the pipeline's
+      // resume path continues from the last snapshot.
+      try {
+        queue_.restore(id, entry->record.spec.priority, entry->record.seq,
+                       entry->record.spec.channels);
+        entry->record.state = JobState::kQueued;
+        service_registry_
+            .counter("pima_service_jobs_recovered_total",
+                     "jobs re-queued after a daemon restart", {},
+                     telemetry::MetricClass::kHost)
+            .increment();
+      } catch (const AdmissionRejectedError& e) {
+        // Daemon restarted with a smaller channel budget than this job's
+        // quota: it can never run here. Typed terminal failure.
+        entry->record.state = JobState::kFailed;
+        entry->record.error_type = "AdmissionRejectedError";
+        entry->record.error_message = e.what();
+      }
+      persist(*entry);
+    }
+    jobs_.emplace(id, std::move(entry));
+  }
+  update_service_gauges();
+}
+
+void Daemon::update_service_gauges() {
+  service_registry_
+      .gauge("pima_service_queue_depth", "jobs waiting for admission", {},
+             telemetry::MetricClass::kHost)
+      .set(static_cast<double>(queue_.size()));
+  service_registry_
+      .gauge("pima_service_jobs_running", "jobs currently executing", {},
+             telemetry::MetricClass::kHost)
+      .set(static_cast<double>(running_jobs_));
+  service_registry_
+      .gauge("pima_service_channels_in_use",
+             "sum of running jobs' channel quotas", {},
+             telemetry::MetricClass::kHost)
+      .set(static_cast<double>(used_channels_));
+}
+
+void Daemon::maybe_dispatch() {
+  // Note: draining_ does NOT stop dispatch — drain means "run the queue
+  // dry, then stop", so already-accepted jobs keep starting; only new
+  // submits are refused. Shutdown is the opposite: stop starting work.
+  while (!stopping()) {
+    const std::string id = queue_.pop_admissible(running_jobs_, used_channels_);
+    if (id.empty()) break;
+    JobEntry& entry = *jobs_.at(id);
+    entry.record.state = JobState::kAdmitted;
+    persist(entry);
+    ++running_jobs_;
+    used_channels_ += entry.record.spec.channels;
+    if (entry.runner.joinable()) entry.runner.join();  // prior incarnation
+    entry.runner = std::thread([this, &entry] { run_job(entry); });
+  }
+  update_service_gauges();
+  cv_.notify_all();
+}
+
+void Daemon::run_job(JobEntry& entry) {
+  const std::string dir = job_dir(entry.record.id);
+  JobSpec spec;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.record.state = JobState::kRunning;
+    persist(entry);
+    spec = entry.record.spec;
+    cv_.notify_all();
+  }
+
+  try {
+    // Every metric the pipeline/engine registers from this thread (and
+    // from the engine's worker/watchdog threads, which inherit the
+    // override) lands in the job's own registry, tagged {job="<id>"}.
+    telemetry::ScopedMetricsRegistry scope(&entry.registry);
+
+    const auto reads = [&] {
+      const auto records = dna::read_fasta_file(spec.reads_path);
+      std::vector<dna::Sequence> seqs;
+      seqs.reserve(records.size());
+      for (const auto& r : records) seqs.push_back(r.seq);
+      return seqs;
+    }();
+
+    dram::Device device(options_.geometry);
+    core::PipelineOptions opt;
+    opt.k = spec.k;
+    opt.hash_shards = spec.hash_shards;
+    opt.euler_contigs = spec.euler;
+    opt.threads = spec.channels;
+    opt.stall_timeout_ms = spec.stall_timeout_ms;
+    opt.checkpoint_dir = dir;
+    opt.resume = true;  // continue from any durable stage snapshot
+    opt.cancel = &entry.cancel;
+    opt.on_checkpoint = [this, &entry](std::uint32_t stage,
+                                       const std::string&) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      entry.record.stages_done = std::max(entry.record.stages_done, stage);
+      persist(entry);
+      cv_.notify_all();
+    };
+
+    const auto result = core::run_pipeline(device, reads, opt);
+
+    std::vector<dna::Record> records;
+    records.reserve(result.contigs.size());
+    for (std::size_t i = 0; i < result.contigs.size(); ++i)
+      records.push_back({"contig_" + std::to_string(i), result.contigs[i]});
+    dna::write_fasta_file(dir + "/" + kContigsFile, records);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.record.state = JobState::kDone;
+    entry.record.stages_done = 3;
+    entry.record.contigs = result.contig_stats.count;
+    entry.record.n50 = result.contig_stats.n50;
+    entry.record.total_length = result.contig_stats.total_length;
+    entry.record.distinct_kmers = result.distinct_kmers;
+    persist(entry);
+  } catch (const CancelledError&) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (entry.requeue_on_cancel) {
+      // Shutdown-path cancellation: the job did nothing wrong. Back to
+      // queued; the next daemon start resumes it from its checkpoints.
+      entry.record.state = JobState::kQueued;
+    } else {
+      entry.record.state = JobState::kCancelled;
+    }
+    persist(entry);
+  } catch (const std::exception& e) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.record.state = JobState::kFailed;
+    entry.record.error_type = error_type_name(e);
+    entry.record.error_message = e.what();
+    persist(entry);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_registry_
+      .counter("pima_service_jobs_finished_total",
+               "jobs that reached a terminal state (or were re-queued by "
+               "shutdown), by state",
+               {{"state", to_string(entry.record.state)}},
+               telemetry::MetricClass::kHost)
+      .increment();
+  --running_jobs_;
+  used_channels_ -= entry.record.spec.channels;
+  maybe_dispatch();  // a finished job may unblock the queue head
+}
+
+Json Daemon::status_json(const JobEntry& entry) const {
+  Json j = Json::object();
+  j.set("ok", true);
+  j.set("job", entry.record.id);
+  j.set("state", std::string(to_string(entry.record.state)));
+  j.set("stage", std::string(entry.record.current_stage()));
+  j.set("stages_done", static_cast<std::uint64_t>(entry.record.stages_done));
+  j.set("priority", entry.record.spec.priority);
+  if (entry.record.state == JobState::kFailed) {
+    j.set("error", entry.record.error_type);
+    j.set("message", entry.record.error_message);
+  }
+  if (entry.record.state == JobState::kDone) {
+    j.set("contigs", entry.record.contigs);
+    j.set("n50", entry.record.n50);
+    j.set("total_length", entry.record.total_length);
+    j.set("distinct_kmers", entry.record.distinct_kmers);
+  }
+  return j;
+}
+
+Json Daemon::verb_submit(const Json& request) {
+  const JobSpec spec = JobSpec::from_json(request);  // validates
+  std::lock_guard<std::mutex> lock(mutex_);
+  service_registry_
+      .counter("pima_service_jobs_submitted_total", "submit verbs received",
+               {}, telemetry::MetricClass::kHost)
+      .increment();
+  const auto reject = [this](const std::string& message) {
+    service_registry_
+        .counter("pima_service_jobs_rejected_total",
+                 "submits refused by admission control", {},
+                 telemetry::MetricClass::kHost)
+        .increment();
+    throw AdmissionRejectedError(message);
+  };
+  if (draining_ || stopping()) reject("daemon is draining; not accepting jobs");
+
+  char id_buf[16];
+  std::snprintf(id_buf, sizeof(id_buf), "j%04llu",
+                static_cast<unsigned long long>(next_id_));
+  const std::string id = id_buf;
+  const std::uint64_t seq = next_seq_;
+  try {
+    queue_.push(id, spec.priority, seq, spec.channels);
+  } catch (const AdmissionRejectedError& e) {
+    reject(e.what());
+  }
+  ++next_id_;
+  ++next_seq_;
+
+  auto entry = std::make_unique<JobEntry>();
+  entry->record.id = id;
+  entry->record.spec = spec;
+  entry->record.state = JobState::kQueued;
+  entry->record.seq = seq;
+  entry->registry.set_default_labels({{"job", id}});
+
+  std::error_code ec;
+  fs::create_directories(job_dir(id), ec);
+  if (ec) {
+    queue_.remove(id);
+    throw IoError("cannot create job dir " + job_dir(id));
+  }
+  persist(*entry);
+  Json response = status_json(*entry);
+  jobs_.emplace(id, std::move(entry));
+  maybe_dispatch();
+  return response;
+}
+
+Json Daemon::verb_status(const Json& request, LineChannel& channel,
+                         bool& close) {
+  const std::string id = request.get_string("job");
+  const bool follow = request.get_bool("follow", false);
+  std::unique_lock<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return error_response("NotFound", "no such job: " + id);
+  if (!follow) return status_json(*it->second);
+
+  // Streaming status: one line per observed change, final line is the
+  // terminal state (or the latest state if the daemon stops first), then
+  // the connection closes — a client can `submit` + `status --follow` and
+  // block until completion.
+  JobState last_state = it->second->record.state;
+  std::uint32_t last_stages = it->second->record.stages_done;
+  channel.write_line(status_json(*it->second).dump());
+  while (!is_terminal(it->second->record.state) && !stopping()) {
+    cv_.wait_for(lock, std::chrono::milliseconds(200));
+    if (it->second->record.state != last_state ||
+        it->second->record.stages_done != last_stages) {
+      last_state = it->second->record.state;
+      last_stages = it->second->record.stages_done;
+      channel.write_line(status_json(*it->second).dump());
+    }
+  }
+  if (it->second->record.state != last_state ||
+      it->second->record.stages_done != last_stages)
+    channel.write_line(status_json(*it->second).dump());
+  close = true;
+  return Json();  // null sentinel: responses already streamed
+}
+
+Json Daemon::verb_result(const Json& request) {
+  const std::string id = request.get_string("job");
+  const bool fetch = request.get_bool("fetch", false);
+  std::string contigs_path;
+  Json response;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = jobs_.find(id);
+    if (it == jobs_.end())
+      return error_response("NotFound", "no such job: " + id);
+    const JobEntry& entry = *it->second;
+    if (entry.record.state != JobState::kDone) {
+      Json err = error_response(
+          "JobNotDone", "job " + id + " is " + to_string(entry.record.state));
+      err.set("state", std::string(to_string(entry.record.state)));
+      return err;
+    }
+    response = status_json(entry);
+    contigs_path = job_dir(id) + "/" + kContigsFile;
+    response.set("contigs_path", contigs_path);
+  }
+  if (fetch) {
+    std::ifstream in(contigs_path, std::ios::binary);
+    if (!in) return error_response("IoError", "cannot open " + contigs_path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    response.set("fasta", buf.str());
+  }
+  return response;
+}
+
+Json Daemon::verb_cancel(const Json& request) {
+  const std::string id = request.get_string("job");
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end())
+    return error_response("NotFound", "no such job: " + id);
+  JobEntry& entry = *it->second;
+  if (queue_.remove(id)) {
+    entry.record.state = JobState::kCancelled;
+    persist(entry);
+    service_registry_
+        .counter("pima_service_jobs_finished_total",
+                 "jobs that reached a terminal state (or were re-queued by "
+                 "shutdown), by state",
+                 {{"state", to_string(entry.record.state)}},
+                 telemetry::MetricClass::kHost)
+        .increment();
+    update_service_gauges();
+    cv_.notify_all();
+  } else if (!is_terminal(entry.record.state)) {
+    // Running (or admitted): cooperative — the pipeline raises
+    // CancelledError at its next cancellation point.
+    entry.cancel.request("cancel verb");
+  }
+  return status_json(entry);
+}
+
+Json Daemon::verb_list() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Json arr = Json::array();
+  for (const auto& [id, entry] : jobs_) arr.push_back(status_json(*entry));
+  Json j = Json::object();
+  j.set("ok", true);
+  j.set("jobs", arr);
+  return j;
+}
+
+std::string Daemon::aggregate_metrics(bool as_json) {
+  telemetry::MetricsRegistry aggregate;
+  std::lock_guard<std::mutex> lock(mutex_);
+  aggregate.merge_from(service_registry_);
+  for (const auto& [id, entry] : jobs_) aggregate.merge_from(entry->registry);
+  return as_json ? aggregate.json_snapshot() : aggregate.prometheus_text();
+}
+
+Json Daemon::verb_metrics(const Json& request) {
+  const std::string format = request.get_string("format", "prometheus");
+  Json j = Json::object();
+  j.set("ok", true);
+  j.set("format", format);
+  if (format == "prometheus") {
+    j.set("body", aggregate_metrics(false));
+  } else if (format == "json") {
+    j.set("body", aggregate_metrics(true));
+  } else {
+    return error_response("InputFormatError",
+                          "unknown metrics format '" + format +
+                              "' (prometheus|json)");
+  }
+  return j;
+}
+
+Json Daemon::verb_drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  draining_ = true;
+  cv_.wait(lock, [this] {
+    return (queue_.empty() && running_jobs_ == 0) || stopping();
+  });
+  Json j = Json::object();
+  j.set("ok", true);
+  j.set("drained", queue_.empty() && running_jobs_ == 0);
+  std::uint64_t done = 0, failed = 0, cancelled = 0;
+  for (const auto& [id, entry] : jobs_) {
+    switch (entry->record.state) {
+      case JobState::kDone: ++done; break;
+      case JobState::kFailed: ++failed; break;
+      case JobState::kCancelled: ++cancelled; break;
+      default: break;
+    }
+  }
+  j.set("done", done);
+  j.set("failed", failed);
+  j.set("cancelled", cancelled);
+  return j;
+}
+
+bool Daemon::dispatch_verb(const Json& request, LineChannel& channel) {
+  std::string verb;
+  Json response;
+  bool close = false;
+  try {
+    verb = request.get_string("verb");
+    if (verb.empty())
+      throw InputFormatError("request is missing the 'verb' field");
+    if (verb == "ping") {
+      response = Json::object();
+      response.set("ok", true);
+      response.set("service", std::string("pima_asm"));
+      response.set("protocol", static_cast<std::int64_t>(1));
+    } else if (verb == "submit") {
+      response = verb_submit(request);
+    } else if (verb == "status") {
+      response = verb_status(request, channel, close);
+    } else if (verb == "result") {
+      response = verb_result(request);
+    } else if (verb == "cancel") {
+      response = verb_cancel(request);
+    } else if (verb == "list") {
+      response = verb_list();
+    } else if (verb == "metrics") {
+      response = verb_metrics(request);
+    } else if (verb == "drain") {
+      // Reply before signaling shutdown — the shutdown path SHUT_RDWRs
+      // every connection, and the client must still see this response.
+      channel.write_line(verb_drain().dump());
+      request_shutdown();
+      return false;
+    } else if (verb == "shutdown") {
+      response = Json::object();
+      response.set("ok", true);
+      response.set("stopping", true);
+      channel.write_line(response.dump());
+      request_shutdown();
+      return false;
+    } else {
+      throw InputFormatError("unknown verb '" + verb + "'");
+    }
+  } catch (const std::exception& e) {
+    response = error_response(error_type_name(e), e.what());
+  }
+  if (response.type() != Json::Type::kNull)
+    channel.write_line(response.dump());
+  return !close;
+}
+
+void Daemon::handle_connection(ScopedFd fd, std::size_t slot) {
+  LineChannel channel(fd.get());
+  std::string line;
+  try {
+    while (channel.read_line(line)) {
+      if (line.empty()) continue;
+      Json request;
+      try {
+        request = Json::parse(line);
+      } catch (const std::exception& e) {
+        channel.write_line(
+            error_response("InputFormatError", e.what()).dump());
+        continue;
+      }
+      if (!dispatch_verb(request, channel)) break;
+    }
+  } catch (const std::exception&) {
+    // Peer vanished mid-write or abused the protocol; drop the connection.
+  }
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  connections_[slot]->fd.store(-1, std::memory_order_release);
+}
+
+void Daemon::request_shutdown() {
+  // Async-signal-safe: atomic store + pipe write, nothing else.
+  shutdown_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+void Daemon::run() {
+  // Metric recording is gated process-wide; the daemon always collects
+  // (that's half its point — a /metrics endpoint over every job). Which
+  // registry a sample lands in is per-thread (ScopedMetricsRegistry).
+  telemetry::TelemetrySession::instance().enable_metrics();
+  recover_jobs();
+
+  if (::pipe(wake_pipe_) != 0) throw IoError("cannot create wake pipe");
+  ScopedFd wake_read(wake_pipe_[0]);
+
+  ScopedFd unix_listener = listen_unix(options_.socket_path);
+  ScopedFd tcp_listener;
+  if (options_.tcp_port != 0) tcp_listener = listen_tcp(options_.tcp_port);
+
+  {
+    // Recovered jobs may start immediately.
+    std::lock_guard<std::mutex> lock(mutex_);
+    maybe_dispatch();
+  }
+
+  while (!stopping()) {
+    struct pollfd fds[3];
+    fds[0] = {wake_read.get(), POLLIN, 0};
+    fds[1] = {unix_listener.get(), POLLIN, 0};
+    nfds_t nfds = 2;
+    if (tcp_listener.valid()) fds[nfds++] = {tcp_listener.get(), POLLIN, 0};
+
+    if (::poll(fds, nfds, -1) < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("poll failed on the daemon listeners");
+    }
+    if ((fds[0].revents & POLLIN) != 0) break;  // request_shutdown woke us
+
+    for (nfds_t i = 1; i < nfds; ++i) {
+      if ((fds[i].revents & POLLIN) == 0) continue;
+      ScopedFd conn = accept_connection(fds[i].fd);
+      if (!conn.valid()) continue;
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      auto slot = std::make_unique<ConnSlot>();
+      slot->fd.store(conn.get(), std::memory_order_release);
+      const std::size_t index = connections_.size();
+      connections_.push_back(std::move(slot));
+      connections_[index]->thread =
+          std::thread([this, fd = std::move(conn), index]() mutable {
+            handle_connection(std::move(fd), index);
+          });
+    }
+  }
+
+  // ---- graceful shutdown ----
+  // 1. Stop accepting; wake every waiter (follow watchers, drain).
+  unix_listener = ScopedFd();
+  tcp_listener = ScopedFd();
+  cv_.notify_all();
+
+  // 2. Cancel running jobs in shutdown mode: they persist back to
+  //    `queued` and resume from their stage checkpoints on next start.
+  //    Entry pointers are stable (map of unique_ptr, never erased), so the
+  //    join loop can run unlocked — run_job itself needs the mutex to
+  //    finish. No new runners start after the flag (maybe_dispatch checks
+  //    stopping() under the same lock).
+  std::vector<JobEntry*> to_join;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [id, entry] : jobs_) {
+      if (entry->record.state == JobState::kAdmitted ||
+          entry->record.state == JobState::kRunning) {
+        entry->requeue_on_cancel = true;
+        entry->cancel.request("daemon shutdown");
+      }
+      to_join.push_back(entry.get());
+    }
+  }
+  for (JobEntry* entry : to_join)
+    if (entry->runner.joinable()) entry->runner.join();
+
+  // 3. Unblock idle connections (blocked in read) and join their threads.
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    for (auto& slot : connections_) {
+      const int fd = slot->fd.load(std::memory_order_acquire);
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (auto& slot : connections_)
+    if (slot->thread.joinable()) slot->thread.join();
+
+  // Retract the write end from request_shutdown() before closing it;
+  // wake_read's ScopedFd closes the read end at scope exit.
+  const int wake_write = wake_pipe_[1];
+  wake_pipe_[1] = -1;
+  wake_pipe_[0] = -1;
+  ::close(wake_write);
+  ::unlink(options_.socket_path.c_str());
+}
+
+}  // namespace pima::service

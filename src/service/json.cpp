@@ -1,0 +1,378 @@
+#include "service/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace pima::service {
+
+namespace {
+
+[[noreturn]] void type_error(const char* want, Json::Type got) {
+  static const char* const names[] = {"null",   "bool",  "number",
+                                      "string", "array", "object"};
+  throw InputFormatError(std::string("json: expected ") + want + ", got " +
+                         names[static_cast<int>(got)]);
+}
+
+// Shortest round-trip-exact rendering (same discipline as the metrics
+// registry): equal doubles always serialize to equal bytes, and integers
+// below 2^53 render without an exponent or trailing ".0".
+std::string format_number(double v) {
+  if (!std::isfinite(v))
+    throw InputFormatError("json: non-finite number cannot be serialized");
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 9.007199254740992e15) {
+    char buf[24];
+    std::snprintf(buf, sizeof buf, "%lld",
+                  static_cast<long long>(static_cast<std::int64_t>(v)));
+    return buf;
+  }
+  char buf[40];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0.0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json run() {
+    Json v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw InputFormatError("json: " + msg + " at byte " +
+                           std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(const char* literal, Json value, Json& out) {
+    for (const char* p = literal; *p != '\0'; ++p)
+      if (pos_ >= text_.size() || text_[pos_++] != *p)
+        fail(std::string("invalid literal (expected '") + literal + "')");
+    out = std::move(value);
+  }
+
+  Json parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': {
+        Json v;
+        expect("true", Json(true), v);
+        return v;
+      }
+      case 'f': {
+        Json v;
+        expect("false", Json(false), v);
+        return v;
+      }
+      case 'n': {
+        Json v;
+        expect("null", Json(), v);
+        return v;
+      }
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    next();  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return obj;
+    }
+    for (;;) {
+      skip_ws();
+      if (peek() != '"') fail("object key must be a string");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':' after object key");
+      obj.set(key, parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == '}') return obj;
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Json parse_array() {
+    next();  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return arr;
+    }
+    for (;;) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = next();
+      if (c == ']') return arr;
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  unsigned parse_hex4() {
+    unsigned v = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = next();
+      v <<= 4;
+      if (c >= '0' && c <= '9')
+        v |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        v |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F')
+        v |= static_cast<unsigned>(c - 'A' + 10);
+      else
+        fail("invalid \\u escape digit");
+    }
+    return v;
+  }
+
+  void append_utf8(std::string& out, unsigned cp) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  std::string parse_string() {
+    next();  // '"'
+    std::string out;
+    for (;;) {
+      const char c = next();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      const char e = next();
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = parse_hex4();
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            // Surrogate pair: the low half must follow immediately.
+            if (pos_ + 1 >= text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u')
+              fail("unpaired high surrogate");
+            pos_ += 2;
+            const unsigned lo = parse_hex4();
+            if (lo < 0xDC00 || lo > 0xDFFF) fail("invalid low surrogate");
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            fail("unpaired low surrogate");
+          }
+          append_utf8(out, cp);
+          break;
+        }
+        default: fail("invalid escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') next();
+    while (pos_ < text_.size() &&
+           ((text_[pos_] >= '0' && text_[pos_] <= '9') || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' ||
+            text_[pos_] == '-'))
+      ++pos_;
+    const std::string token = text_.substr(start, pos_ - start);
+    double v = 0.0;
+    int consumed = 0;
+    if (token.empty() ||
+        std::sscanf(token.c_str(), "%lf%n", &v, &consumed) != 1 ||
+        static_cast<std::size_t>(consumed) != token.size()) {
+      pos_ = start;
+      fail("invalid number '" + token + "'");
+    }
+    return Json(v);
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+bool Json::as_bool() const {
+  if (type_ != Type::kBool) type_error("bool", type_);
+  return bool_;
+}
+
+double Json::as_number() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  if (type_ != Type::kString) type_error("string", type_);
+  return string_;
+}
+
+const std::vector<Json>& Json::items() const {
+  if (type_ != Type::kArray) type_error("array", type_);
+  return array_;
+}
+
+const Json* Json::find(const std::string& key) const {
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (const auto& [k, v] : object_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool Json::has(const std::string& key) const { return find(key) != nullptr; }
+
+const Json& Json::get(const std::string& key) const {
+  static const Json null;
+  const Json* v = find(key);
+  return v != nullptr ? *v : null;
+}
+
+std::string Json::get_string(const std::string& key,
+                             const std::string& fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_string() : fallback;
+}
+
+double Json::get_number(const std::string& key, double fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_number() : fallback;
+}
+
+bool Json::get_bool(const std::string& key, bool fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_bool() : fallback;
+}
+
+Json& Json::set(const std::string& key, Json value) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  if (type_ != Type::kObject) type_error("object", type_);
+  for (auto& [k, v] : object_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  object_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push_back(Json value) {
+  if (type_ == Type::kNull) type_ = Type::kArray;
+  if (type_ != Type::kArray) type_error("array", type_);
+  array_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: return format_number(number_);
+    case Type::kString: return '"' + escape(string_) + '"';
+    case Type::kArray: {
+      std::string out = "[";
+      for (std::size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += array_[i].dump();
+      }
+      return out + ']';
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (std::size_t i = 0; i < object_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"' + escape(object_[i].first) + "\":" + object_[i].second.dump();
+      }
+      return out + '}';
+    }
+  }
+  return "null";  // unreachable
+}
+
+Json Json::parse(const std::string& text) { return Parser(text).run(); }
+
+}  // namespace pima::service

@@ -1,0 +1,148 @@
+#include "service/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace pima::service {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw IoError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+void ScopedFd::close_fd() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+ScopedFd listen_unix(const std::string& path, int backlog) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw IoError("unix socket path too long (" + std::to_string(path.size()) +
+                  " bytes, limit " + std::to_string(sizeof(addr.sun_path) - 1) +
+                  "): " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  // A SIGKILLed daemon leaves its socket file behind; rebinding requires
+  // removing it. A *live* daemon is protected by the per-daemon state dir
+  // convention, not by this call.
+  ::unlink(path.c_str());
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("bind(" + path + ")");
+  if (::listen(fd.get(), backlog) != 0) throw_errno("listen(" + path + ")");
+  return fd;
+}
+
+ScopedFd listen_tcp(std::uint16_t port, int backlog) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0)
+    throw_errno("bind(127.0.0.1:" + std::to_string(port) + ")");
+  if (::listen(fd.get(), backlog) != 0)
+    throw_errno("listen(tcp:" + std::to_string(port) + ")");
+  return fd;
+}
+
+ScopedFd connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path))
+    throw IoError("unix socket path too long: " + path);
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  ScopedFd fd(::socket(AF_UNIX, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_UNIX)");
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw_errno("connect(" + path + ")");
+  return fd;
+}
+
+ScopedFd connect_tcp(std::uint16_t port) {
+  ScopedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) throw_errno("socket(AF_INET)");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0)
+    throw_errno("connect(127.0.0.1:" + std::to_string(port) + ")");
+  return fd;
+}
+
+ScopedFd accept_connection(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) return ScopedFd(fd);
+    if (errno == EINTR) continue;
+    // The daemon shuts its listener down (shutdown()/close()) to break the
+    // accept loop; every resulting errno means "stop accepting".
+    return ScopedFd();
+  }
+}
+
+bool LineChannel::read_line(std::string& line) {
+  for (;;) {
+    const auto nl = buffer_.find('\n', scan_from_);
+    if (nl != std::string::npos) {
+      line.assign(buffer_, 0, nl);
+      buffer_.erase(0, nl + 1);
+      scan_from_ = 0;
+      return true;
+    }
+    scan_from_ = buffer_.size();
+    if (buffer_.size() > kMaxLineBytes)
+      throw IoError("wire line exceeds " + std::to_string(kMaxLineBytes) +
+                    " bytes");
+    char chunk[4096];
+    ssize_t n;
+    do {
+      n = ::read(fd_, chunk, sizeof chunk);
+    } while (n < 0 && errno == EINTR);
+    if (n < 0) throw_errno("read");
+    if (n == 0) return false;  // EOF; any partial line is dropped
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void LineChannel::write_line(const std::string& line) {
+  std::string framed = line;
+  framed += '\n';
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    ssize_t n;
+    do {
+      // MSG_NOSIGNAL: a vanished peer surfaces as EPIPE → IoError instead
+      // of SIGPIPE killing the daemon.
+      n = ::send(fd_, framed.data() + off, framed.size() - off, MSG_NOSIGNAL);
+    } while (n < 0 && errno == EINTR);
+    if (n <= 0) throw_errno("send");
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace pima::service

@@ -1,0 +1,92 @@
+// Thin POSIX socket layer for the service wire protocol.
+//
+// The daemon listens on a unix-domain stream socket (the default: local,
+// permission-guarded by the filesystem) and optionally on a loopback TCP
+// port. Both carry the same newline-delimited JSON protocol, so the
+// client code is transport-agnostic once connected.
+//
+// Everything here throws IoError on OS failures (mapping to the
+// documented I/O exit code) and retries EINTR, so callers never see
+// partial reads/writes or signal-induced short counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pima::service {
+
+/// Owning file descriptor (move-only). -1 = empty.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { close_fd(); }
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) {
+      close_fd();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+  void close_fd();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Binds and listens on a unix stream socket. An existing socket file at
+/// `path` is unlinked first (a daemon SIGKILLed mid-run leaves one
+/// behind); a live daemon on the same path would lose its listener, so
+/// callers use distinct state dirs per daemon. Throws IoError if the path
+/// exceeds sockaddr_un limits or any syscall fails.
+ScopedFd listen_unix(const std::string& path, int backlog = 16);
+
+/// Binds and listens on loopback (127.0.0.1) TCP with SO_REUSEADDR.
+ScopedFd listen_tcp(std::uint16_t port, int backlog = 16);
+
+/// Connects to a unix socket / loopback TCP port. Throws IoError.
+ScopedFd connect_unix(const std::string& path);
+ScopedFd connect_tcp(std::uint16_t port);
+
+/// Accepts one connection; retries EINTR. Returns an empty fd when the
+/// listener has been closed/shut down (daemon shutdown path).
+ScopedFd accept_connection(int listener_fd);
+
+/// Buffered line-framed I/O over a connected socket. One LineChannel per
+/// connection, single-threaded use.
+class LineChannel {
+ public:
+  explicit LineChannel(int fd) : fd_(fd) {}
+
+  /// Reads up to and including the next '\n'; the returned line excludes
+  /// it. Returns false on clean EOF with no buffered partial line. A
+  /// closed-by-peer mid-line counts as EOF (the partial line is dropped —
+  /// NDJSON frames are only valid once terminated). Lines beyond
+  /// kMaxLineBytes throw IoError (protocol abuse guard).
+  bool read_line(std::string& line);
+
+  /// Writes `line` plus '\n', looping over partial writes. Throws IoError
+  /// on any socket error (including EPIPE when the peer vanished).
+  void write_line(const std::string& line);
+
+  static constexpr std::size_t kMaxLineBytes = 64u << 20;  // 64 MiB
+
+ private:
+  int fd_;
+  std::string buffer_;
+  std::size_t scan_from_ = 0;
+};
+
+}  // namespace pima::service

@@ -149,13 +149,20 @@ struct MetricsRegistry::Metric {
 MetricsRegistry::MetricsRegistry() = default;
 MetricsRegistry::~MetricsRegistry() = default;
 
+void MetricsRegistry::set_default_labels(Labels labels) {
+  std::lock_guard lock(mutex_);
+  default_labels_ = std::move(labels);
+}
+
 MetricsRegistry::Metric& MetricsRegistry::find_or_create(
-    const std::string& name, const std::string& help, const Labels& labels,
+    const std::string& name, const std::string& help, const Labels& given,
     MetricClass cls, int kind, const std::vector<double>* bounds) {
+  std::lock_guard lock(mutex_);
+  Labels labels = given;
+  for (const auto& d : default_labels_) labels.push_back(d);
   // '\x1f' cannot occur in names/labels, so the key sorts by family name
   // first and keeps a family's instances contiguous in export order.
   const std::string key = name + '\x1f' + render_labels(labels);
-  std::lock_guard lock(mutex_);
   auto it = metrics_.find(key);
   if (it == metrics_.end()) {
     auto m = std::make_unique<Metric>();

@@ -144,6 +144,12 @@ class MetricsRegistry {
   /// for reproducible results (reduce_parallel discipline).
   void merge_from(const MetricsRegistry& other);
 
+  /// Labels appended to every metric registered from now on (multi-tenant
+  /// hosts: a per-job registry tags everything with {job="<id>"}, so
+  /// merge_from into a daemon-wide registry keeps jobs' series distinct).
+  /// Set before the first registration; does not relabel existing metrics.
+  void set_default_labels(Labels labels);
+
   std::size_t size() const;
   void clear();
 
@@ -154,6 +160,7 @@ class MetricsRegistry {
                          const std::vector<double>* bounds);
 
   mutable std::mutex mutex_;
+  Labels default_labels_;
   std::map<std::string, std::unique_ptr<Metric>> metrics_;
 };
 

@@ -68,12 +68,48 @@ class TelemetrySession {
 };
 
 inline Tracer& tracer() { return TelemetrySession::instance().tracer(); }
+
+namespace detail {
+/// Per-thread registry override (see ScopedMetricsRegistry). Nullptr means
+/// "use the process-wide session registry".
+inline thread_local MetricsRegistry* tls_metrics_override = nullptr;
+}  // namespace detail
+
+/// The calling thread's effective registry: the thread-local override when
+/// one is installed (a service job's private registry), otherwise the
+/// process-wide session registry. Every instrumentation site resolves
+/// through here, so a multi-tenant host can give each job its own metric
+/// namespace without touching the instrumented code.
 inline MetricsRegistry& metrics() {
-  return TelemetrySession::instance().metrics();
+  MetricsRegistry* o = detail::tls_metrics_override;
+  return o != nullptr ? *o : TelemetrySession::instance().metrics();
 }
 inline bool metrics_enabled() {
   return TelemetrySession::instance().metrics_enabled();
 }
+
+/// RAII: routes this thread's telemetry::metrics() to `registry` for the
+/// scope's lifetime (nullptr restores the process-wide registry). The
+/// runtime engine captures the submitting thread's override when it spawns
+/// channel workers and its watchdog, so a pipeline run started under a
+/// scoped registry records *all* of its metrics — controller, workers,
+/// recovery events — into that registry.
+class ScopedMetricsRegistry {
+ public:
+  explicit ScopedMetricsRegistry(MetricsRegistry* registry)
+      : previous_(detail::tls_metrics_override) {
+    detail::tls_metrics_override = registry;
+  }
+  ~ScopedMetricsRegistry() { detail::tls_metrics_override = previous_; }
+  ScopedMetricsRegistry(const ScopedMetricsRegistry&) = delete;
+  ScopedMetricsRegistry& operator=(const ScopedMetricsRegistry&) = delete;
+
+  /// The override active on the calling thread (nullptr = process-wide).
+  static MetricsRegistry* current() { return detail::tls_metrics_override; }
+
+ private:
+  MetricsRegistry* previous_;
+};
 
 /// RAII span: captures the start time on construction and records a
 /// complete event on destruction. Free when tracing is disabled (one

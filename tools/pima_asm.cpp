@@ -11,6 +11,9 @@
 // `pim-run` executes the bit-accurate PIM simulation and reports per-stage
 // command/energy statistics; `project` prints the full-scale chr14 cost
 // estimates for every platform.
+#include <atomic>
+#include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -33,7 +36,10 @@
 #include "dram/isa.hpp"
 #include "dna/genome.hpp"
 #include "platforms/presets.hpp"
+#include "runtime/cancel.hpp"
 #include "runtime/recovery.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
 #include "telemetry/session.hpp"
 
 namespace {
@@ -84,6 +90,64 @@ class Args {
  private:
   std::map<std::string, std::string> values_;
 };
+
+// Typed flag validation: unlike Args::get_size (stoull, which silently
+// wraps "-1" to 2^64-1), these parse strictly and reject out-of-range or
+// non-numeric values with InputFormatError → the documented "malformed
+// input" exit code, naming the flag and the accepted range.
+std::size_t get_bounded_size(const Args& args, const std::string& key,
+                             std::size_t fallback, std::size_t min,
+                             std::size_t max) {
+  const auto v = args.get(key);
+  if (!v) return fallback;
+  long long n = 0;
+  std::size_t pos = 0;
+  try {
+    n = std::stoll(*v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v->size() || n < 0 || static_cast<unsigned long long>(n) < min ||
+      static_cast<unsigned long long>(n) > max)
+    throw InputFormatError("--" + key + " must be an integer in [" +
+                           std::to_string(min) + ", " + std::to_string(max) +
+                           "], got '" + *v + "'");
+  return static_cast<std::size_t>(n);
+}
+
+double get_bounded_double(const Args& args, const std::string& key,
+                          double fallback, double min, double max) {
+  const auto v = args.get(key);
+  if (!v) return fallback;
+  double n = 0.0;
+  std::size_t pos = 0;
+  try {
+    n = std::stod(*v, &pos);
+  } catch (const std::exception&) {
+    pos = 0;
+  }
+  if (pos != v->size() || !std::isfinite(n) || n < min || n > max)
+    throw InputFormatError("--" + key + " must be a number in [" +
+                           std::to_string(min) + ", " + std::to_string(max) +
+                           "], got '" + *v + "'");
+  return n;
+}
+
+// SIGINT/SIGTERM turn into a cooperative cancel (pim-run) or a graceful
+// daemon shutdown (serve). Both request paths are async-signal-safe.
+runtime::CancelToken g_run_cancel;
+std::atomic<service::Daemon*> g_daemon{nullptr};
+
+extern "C" void handle_termination_signal(int) {
+  g_run_cancel.request("interrupted by signal");
+  if (service::Daemon* d = g_daemon.load(std::memory_order_acquire))
+    d->request_shutdown();
+}
+
+void install_termination_handlers() {
+  std::signal(SIGINT, handle_termination_signal);
+  std::signal(SIGTERM, handle_termination_signal);
+}
 
 std::vector<dna::Sequence> load_reads(const std::string& path) {
   const auto records = dna::read_fasta_file(path);
@@ -193,7 +257,7 @@ int cmd_pim_run(const Args& args) {
   opt.hash_shards = args.get_size("shards", 16);
   opt.euler_contigs = args.has("euler");
   // 0 = resolve to hardware concurrency inside the runtime engine.
-  opt.threads = args.get_size("threads", 0);
+  opt.threads = get_bounded_size(args, "threads", 0, 0, 1024);
 
   // Fault-aware execution flags. --fault-variation is the ±% process
   // variation from paper Table I (0.10 = ±10%); injection stays off at 0.
@@ -231,7 +295,8 @@ int cmd_pim_run(const Args& args) {
   opt.resume = args.has("resume");
   if (opt.resume && opt.checkpoint_dir.empty())
     Args::fail("--resume requires --checkpoint-dir");
-  opt.stall_timeout_ms = args.get_double("stall-timeout", 0.0);
+  opt.stall_timeout_ms =
+      get_bounded_double(args, "stall-timeout", 0.0, 0.0, 86'400'000.0);
   if (opt.resume &&
       !std::filesystem::exists(opt.checkpoint_dir + "/pipeline.ckpt"))
     std::printf("resume: no checkpoint in %s, starting fresh\n",
@@ -266,9 +331,38 @@ int cmd_pim_run(const Args& args) {
         opt.fault.retention_flip_per_op, opt.fault.weak_row_fraction,
         runtime::to_string(opt.recovery.mode));
 
+  // Ctrl-C / SIGTERM cancels cooperatively: the pipeline raises
+  // CancelledError at its next safe point, telemetry flushes below, and
+  // completed stage checkpoints stay valid for --resume.
+  install_termination_handlers();
+  opt.cancel = &g_run_cancel;
+
   const auto result = [&] {
     try {
       return core::run_pipeline(device, reads, opt);
+    } catch (const CancelledError&) {
+      if (trace_json || metrics_out) {
+        session.tracer().disable();
+        try {
+          session.flush();
+        } catch (...) {
+        }
+      }
+      if (!opt.checkpoint_dir.empty()) {
+        // Partial-run marker: records that this directory holds an
+        // interrupted (not failed) run. Removed by a later clean finish.
+        std::ofstream marker(opt.checkpoint_dir + "/partial.run");
+        marker << "interrupted by signal; resume with --resume\n";
+        std::fprintf(stderr,
+                     "pim-run: interrupted; checkpoints in %s remain valid "
+                     "— rerun with --resume\n",
+                     opt.checkpoint_dir.c_str());
+      } else {
+        std::fprintf(stderr,
+                     "pim-run: interrupted (no --checkpoint-dir; progress "
+                     "not recoverable)\n");
+      }
+      throw;
     } catch (...) {
       // Flush whatever telemetry the run recorded before the error (the
       // engine watchdog already flushed on a stall; this covers the rest).
@@ -282,6 +376,10 @@ int cmd_pim_run(const Args& args) {
       throw;
     }
   }();
+  if (!opt.checkpoint_dir.empty()) {
+    std::error_code marker_ec;
+    std::filesystem::remove(opt.checkpoint_dir + "/partial.run", marker_ec);
+  }
 
   TextTable table("PIM-Assembler simulated execution");
   table.set_header({"stage", "commands", "time (us)", "energy (nJ)",
@@ -376,6 +474,184 @@ int cmd_project(const Args& args) {
   return 0;
 }
 
+// ---- assembly service (DESIGN.md §12) ----
+
+int cmd_serve(const Args& args) {
+  service::DaemonOptions opt;
+  opt.state_dir = args.require("state-dir");
+  opt.socket_path =
+      args.get("socket").value_or(opt.state_dir + "/pima.sock");
+  opt.tcp_port = static_cast<std::uint16_t>(
+      get_bounded_size(args, "tcp", 0, 0, 65535));
+  opt.admission.max_jobs = get_bounded_size(args, "max-jobs", 2, 1, 64);
+  opt.admission.queue_depth =
+      get_bounded_size(args, "queue-depth", 8, 1, 4096);
+  opt.admission.channel_budget =
+      get_bounded_size(args, "channel-budget", 8, 1, 4096);
+  // Same default geometry as `pim-run`, so service jobs are bit-identical
+  // to standalone runs of the same spec.
+  opt.geometry.rows = get_bounded_size(args, "rows", 512, 16, 65536);
+  opt.geometry.columns = 256;
+  opt.geometry.subarrays_per_mat = 16;
+  opt.geometry.mats_per_bank = 4;
+  opt.geometry.banks = 2;
+
+  std::error_code ec;
+  std::filesystem::create_directories(opt.state_dir, ec);
+  if (ec)
+    throw IoError("cannot create state dir " + opt.state_dir + ": " +
+                  ec.message());
+
+  service::Daemon daemon(opt);
+  g_daemon.store(&daemon, std::memory_order_release);
+  install_termination_handlers();
+  std::printf("serve: listening on %s", opt.socket_path.c_str());
+  if (opt.tcp_port != 0) std::printf(" and 127.0.0.1:%u", opt.tcp_port);
+  std::printf(" (max-jobs %zu, queue-depth %zu, channel-budget %zu)\n",
+              opt.admission.max_jobs, opt.admission.queue_depth,
+              opt.admission.channel_budget);
+  std::fflush(stdout);
+  daemon.run();
+  g_daemon.store(nullptr, std::memory_order_release);
+  std::printf("serve: shut down cleanly\n");
+  return 0;
+}
+
+service::Client connect_client(const Args& args) {
+  const std::size_t port = get_bounded_size(args, "tcp", 0, 0, 65535);
+  if (port != 0)
+    return service::Client::connect_tcp_port(static_cast<std::uint16_t>(port));
+  return service::Client::connect_unix_socket(args.require("socket"));
+}
+
+/// Maps a daemon error response to the documented process exit codes, so
+/// `pima_asm submit` against a full queue exits 8 exactly like an
+/// in-process AdmissionRejectedError would.
+int response_exit_code(const service::Json& response) {
+  if (response.get_bool("ok", false)) return 0;
+  const std::string error = response.get_string("error");
+  if (error == "AdmissionRejectedError") return kExitAdmissionRejected;
+  if (error == "InputFormatError") return kExitInputFormat;
+  if (error == "IoError") return kExitIo;
+  if (error == "CancelledError") return kExitInterrupted;
+  if (error == "EngineStalledError") return kExitEngineStalled;
+  return 1;
+}
+
+int print_response(const service::Json& response) {
+  std::printf("%s\n", response.dump().c_str());
+  return response_exit_code(response);
+}
+
+int follow_job(service::Client& client, const std::string& job_id) {
+  service::Json req = service::Json::object();
+  req.set("verb", "status");
+  req.set("job", job_id);
+  req.set("follow", true);
+  const service::Json last = client.stream(req, [](const service::Json& line) {
+    std::printf("%s\n", line.dump().c_str());
+    std::fflush(stdout);
+    return true;
+  });
+  if (!last.get_bool("ok", false)) return response_exit_code(last);
+  const std::string state = last.get_string("state");
+  if (state == "done") return 0;
+  if (state == "cancelled") return kExitInterrupted;
+  return state == "failed" ? 1 : 0;
+}
+
+int cmd_submit(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "submit");
+  // The daemon opens the file itself (shared host): submit an absolute
+  // path so a daemon started from another directory resolves it.
+  req.set("reads",
+          std::filesystem::absolute(args.require("reads")).string());
+  req.set("k", get_bounded_size(args, "k", 17, 4, 64));
+  req.set("shards", get_bounded_size(args, "shards", 16, 1, 4096));
+  req.set("threads", get_bounded_size(args, "threads", 1, 1, 1024));
+  if (args.has("euler")) req.set("euler", true);
+  req.set("priority",
+          static_cast<std::int64_t>(args.get_double("priority", 0.0)));
+  req.set("stall_timeout_ms",
+          get_bounded_double(args, "stall-timeout", 0.0, 0.0, 86'400'000.0));
+
+  auto client = connect_client(args);
+  const service::Json response = client.request(req);
+  const int code = print_response(response);
+  if (code != 0 || !args.has("follow")) return code;
+  return follow_job(client, response.get_string("job"));
+}
+
+int cmd_status(const Args& args) {
+  auto client = connect_client(args);
+  if (args.has("follow")) return follow_job(client, args.require("job"));
+  service::Json req = service::Json::object();
+  req.set("verb", "status");
+  req.set("job", args.require("job"));
+  return print_response(client.request(req));
+}
+
+int cmd_result(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "result");
+  req.set("job", args.require("job"));
+  const auto out = args.get("out");
+  if (out) req.set("fetch", true);
+  auto client = connect_client(args);
+  service::Json response = client.request(req);
+  if (out && response.get_bool("ok", false)) {
+    std::ofstream f(*out, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError("cannot open " + *out);
+    f << response.get_string("fasta");
+    response.set("fasta", service::Json());  // don't echo the payload
+    response.set("saved_to", *out);
+  }
+  return print_response(response);
+}
+
+int cmd_cancel(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "cancel");
+  req.set("job", args.require("job"));
+  auto client = connect_client(args);
+  return print_response(client.request(req));
+}
+
+int cmd_list(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "list");
+  auto client = connect_client(args);
+  return print_response(client.request(req));
+}
+
+int cmd_drain(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "drain");
+  auto client = connect_client(args);
+  return print_response(client.request(req));
+}
+
+int cmd_metrics(const Args& args) {
+  service::Json req = service::Json::object();
+  req.set("verb", "metrics");
+  req.set("format", args.get("format").value_or("prometheus"));
+  auto client = connect_client(args);
+  const service::Json response = client.request(req);
+  if (!response.get_bool("ok", false)) return print_response(response);
+  const std::string body = response.get_string("body");
+  if (const auto out = args.get("out")) {
+    std::ofstream f(*out, std::ios::binary | std::ios::trunc);
+    if (!f) throw IoError("cannot open " + *out);
+    f << body;
+    std::printf("metrics: wrote %zu bytes to %s\n", body.size(),
+                out->c_str());
+  } else {
+    std::fputs(body.c_str(), stdout);
+  }
+  return 0;
+}
+
 void usage() {
   std::puts(
       "usage: pima_asm <command> [--flags]\n"
@@ -399,7 +675,20 @@ void usage() {
       "           [--metrics-out out.prom (Prometheus text + .json)]\n"
       "           [--progress [SECONDS] (periodic stderr status; default 1)]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
-      "  project  [--k K]");
+      "  project  [--k K]\n"
+      "  serve    --state-dir DIR [--socket PATH (default DIR/pima.sock)]\n"
+      "           [--tcp PORT] [--max-jobs N] [--queue-depth N]\n"
+      "           [--channel-budget N] [--rows N]\n"
+      "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
+      "           [--shards N] [--threads N] [--euler] [--priority P]\n"
+      "           [--stall-timeout MS] [--follow]\n"
+      "  status   --socket PATH|--tcp PORT --job ID [--follow]\n"
+      "  result   --socket PATH|--tcp PORT --job ID [--out contigs.fa]\n"
+      "  cancel   --socket PATH|--tcp PORT --job ID\n"
+      "  list     --socket PATH|--tcp PORT\n"
+      "  drain    --socket PATH|--tcp PORT\n"
+      "  metrics  --socket PATH|--tcp PORT [--format prometheus|json]\n"
+      "           [--out PATH]");
 }
 
 }  // namespace
@@ -417,6 +706,14 @@ int main(int argc, char** argv) {
     if (cmd == "pim-run") return cmd_pim_run(args);
     if (cmd == "spectrum") return cmd_spectrum(args);
     if (cmd == "project") return cmd_project(args);
+    if (cmd == "serve") return cmd_serve(args);
+    if (cmd == "submit") return cmd_submit(args);
+    if (cmd == "status") return cmd_status(args);
+    if (cmd == "result") return cmd_result(args);
+    if (cmd == "cancel") return cmd_cancel(args);
+    if (cmd == "list") return cmd_list(args);
+    if (cmd == "drain") return cmd_drain(args);
+    if (cmd == "metrics") return cmd_metrics(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pima_asm: %s\n", e.what());
     // Documented exit codes (see DESIGN.md §10): 3 = malformed input,
