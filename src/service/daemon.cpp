@@ -64,6 +64,8 @@ Daemon::Daemon(DaemonOptions options)
     throw InputFormatError("daemon: socket path must not be empty");
   if (options_.state_dir.empty())
     throw InputFormatError("daemon: state dir must not be empty");
+  if (options_.max_connections == 0)
+    throw InputFormatError("daemon: max connections must be positive");
   options_.geometry.validate();
 }
 
@@ -72,6 +74,13 @@ Daemon::~Daemon() {
   // unless run() was never called.
   for (auto& [id, entry] : jobs_)
     if (entry->runner.joinable()) entry->runner.join();
+  // The wake pipe outlives run(): the caller detaches its signal-handler
+  // pointer to this daemon after run() returns, and only then is closing
+  // the fd request_shutdown() writes to safe. Swap to -1 first so a
+  // handler that still fires observes an invalid fd, never a closed one.
+  const int wake_write = wake_write_.exchange(-1, std::memory_order_acq_rel);
+  if (wake_write >= 0) ::close(wake_write);
+  if (wake_read_ >= 0) ::close(wake_read_);
 }
 
 std::string Daemon::job_dir(const std::string& id) const {
@@ -353,21 +362,41 @@ Json Daemon::verb_status(const Json& request, LineChannel& channel,
   // terminal state (or the latest state if the daemon stops first), then
   // the connection closes — a client can `submit` + `status --follow` and
   // block until completion.
-  JobState last_state = it->second->record.state;
-  std::uint32_t last_stages = it->second->record.stages_done;
-  channel.write_line(status_json(*it->second).dump());
-  while (!is_terminal(it->second->record.state) && !stopping()) {
+  //
+  // Every write happens with mutex_ RELEASED: write_line blocks when the
+  // peer stops draining its socket, and a slow follow client must not be
+  // able to wedge the daemon-wide lock (every verb, job state transition,
+  // and graceful shutdown acquires it). The snapshot is taken under the
+  // lock, the bytes go out without it. A failed write means the client is
+  // gone; stop following. Entry pointers are stable (jobs_ never erases),
+  // so holding `entry` across the unlock window is safe.
+  JobEntry& entry = *it->second;
+  const auto send_unlocked = [&](const std::string& snapshot) {
+    lock.unlock();
+    bool sent = true;
+    try {
+      channel.write_line(snapshot);
+    } catch (const std::exception&) {
+      sent = false;
+    }
+    lock.lock();
+    return sent;
+  };
+  JobState last_state = entry.record.state;
+  std::uint32_t last_stages = entry.record.stages_done;
+  bool client_alive = send_unlocked(status_json(entry).dump());
+  while (client_alive && !is_terminal(entry.record.state) && !stopping()) {
     cv_.wait_for(lock, std::chrono::milliseconds(200));
-    if (it->second->record.state != last_state ||
-        it->second->record.stages_done != last_stages) {
-      last_state = it->second->record.state;
-      last_stages = it->second->record.stages_done;
-      channel.write_line(status_json(*it->second).dump());
+    if (entry.record.state != last_state ||
+        entry.record.stages_done != last_stages) {
+      last_state = entry.record.state;
+      last_stages = entry.record.stages_done;
+      client_alive = send_unlocked(status_json(entry).dump());
     }
   }
-  if (it->second->record.state != last_state ||
-      it->second->record.stages_done != last_stages)
-    channel.write_line(status_json(*it->second).dump());
+  if (client_alive && (entry.record.state != last_state ||
+                       entry.record.stages_done != last_stages))
+    send_unlocked(status_json(entry).dump());
   close = true;
   return Json();  // null sentinel: responses already streamed
 }
@@ -538,8 +567,8 @@ bool Daemon::dispatch_verb(const Json& request, LineChannel& channel) {
   return !close;
 }
 
-void Daemon::handle_connection(ScopedFd fd, std::size_t slot) {
-  LineChannel channel(fd.get());
+void Daemon::handle_connection(ConnSlot* slot) {
+  LineChannel channel(slot->fd.load(std::memory_order_acquire));
   std::string line;
   try {
     while (channel.read_line(line)) {
@@ -557,17 +586,48 @@ void Daemon::handle_connection(ScopedFd fd, std::size_t slot) {
   } catch (const std::exception&) {
     // Peer vanished mid-write or abused the protocol; drop the connection.
   }
+  // The slot owns the fd; retract it and close under conn_mutex_ so the
+  // shutdown sweep's ::shutdown() can never race this close and hit a
+  // recycled descriptor.
   std::lock_guard<std::mutex> lock(conn_mutex_);
-  connections_[slot]->fd.store(-1, std::memory_order_release);
+  const int fd = slot->fd.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+void Daemon::reap_connections() {
+  // Harvest slots whose connection thread is done (fd already retracted
+  // to -1 under conn_mutex_, so nothing but the thread's return remains);
+  // join outside the lock. Called from the accept loop, keeping the live
+  // slot count bounded by the actual number of open connections.
+  std::vector<std::unique_ptr<ConnSlot>> finished;
+  {
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    auto it = connections_.begin();
+    while (it != connections_.end()) {
+      if ((*it)->fd.load(std::memory_order_acquire) < 0) {
+        finished.push_back(std::move(*it));
+        it = connections_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& slot : finished)
+    if (slot->thread.joinable()) slot->thread.join();
 }
 
 void Daemon::request_shutdown() {
-  // Async-signal-safe: atomic store + pipe write, nothing else.
+  // Async-signal-safe: errno save/restore, atomic ops, write(2) — nothing
+  // else. wake_write_ stays valid until the destructor, after the caller
+  // has detached any signal-handler pointer to this daemon.
+  const int saved_errno = errno;
   shutdown_requested_.store(true, std::memory_order_release);
-  if (wake_pipe_[1] >= 0) {
+  const int fd = wake_write_.load(std::memory_order_acquire);
+  if (fd >= 0) {
     const char byte = 1;
-    [[maybe_unused]] const ssize_t n = ::write(wake_pipe_[1], &byte, 1);
+    [[maybe_unused]] const ssize_t n = ::write(fd, &byte, 1);
   }
+  errno = saved_errno;
 }
 
 void Daemon::run() {
@@ -577,8 +637,10 @@ void Daemon::run() {
   telemetry::TelemetrySession::instance().enable_metrics();
   recover_jobs();
 
-  if (::pipe(wake_pipe_) != 0) throw IoError("cannot create wake pipe");
-  ScopedFd wake_read(wake_pipe_[0]);
+  int wake_pipe[2] = {-1, -1};
+  if (::pipe(wake_pipe) != 0) throw IoError("cannot create wake pipe");
+  wake_read_ = wake_pipe[0];
+  wake_write_.store(wake_pipe[1], std::memory_order_release);
 
   ScopedFd unix_listener = listen_unix(options_.socket_path);
   ScopedFd tcp_listener;
@@ -592,7 +654,7 @@ void Daemon::run() {
 
   while (!stopping()) {
     struct pollfd fds[3];
-    fds[0] = {wake_read.get(), POLLIN, 0};
+    fds[0] = {wake_read_, POLLIN, 0};
     fds[1] = {unix_listener.get(), POLLIN, 0};
     nfds_t nfds = 2;
     if (tcp_listener.valid()) fds[nfds++] = {tcp_listener.get(), POLLIN, 0};
@@ -607,15 +669,33 @@ void Daemon::run() {
       if ((fds[i].revents & POLLIN) == 0) continue;
       ScopedFd conn = accept_connection(fds[i].fd);
       if (!conn.valid()) continue;
-      std::lock_guard<std::mutex> lock(conn_mutex_);
+      reap_connections();
+      bool at_cap = false;
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        at_cap = connections_.size() >= options_.max_connections;
+      }
+      if (at_cap) {
+        // Transport-level admission control: refuse with a typed error
+        // line (best effort — the peer may already be gone) and close.
+        try {
+          LineChannel refuse(conn.get());
+          refuse.write_line(
+              error_response("AdmissionRejectedError",
+                             "too many concurrent connections")
+                  .dump());
+        } catch (const std::exception&) {
+        }
+        continue;
+      }
       auto slot = std::make_unique<ConnSlot>();
-      slot->fd.store(conn.get(), std::memory_order_release);
-      const std::size_t index = connections_.size();
-      connections_.push_back(std::move(slot));
-      connections_[index]->thread =
-          std::thread([this, fd = std::move(conn), index]() mutable {
-            handle_connection(std::move(fd), index);
-          });
+      ConnSlot* raw = slot.get();
+      raw->fd.store(conn.release(), std::memory_order_release);
+      {
+        std::lock_guard<std::mutex> lock(conn_mutex_);
+        connections_.push_back(std::move(slot));
+      }
+      raw->thread = std::thread([this, raw] { handle_connection(raw); });
     }
   }
 
@@ -647,6 +727,8 @@ void Daemon::run() {
     if (entry->runner.joinable()) entry->runner.join();
 
   // 3. Unblock idle connections (blocked in read) and join their threads.
+  //    The shutdown() runs under conn_mutex_, the same lock each thread
+  //    closes its fd under — it can never hit a closed/recycled fd.
   {
     std::lock_guard<std::mutex> lock(conn_mutex_);
     for (auto& slot : connections_) {
@@ -657,12 +739,10 @@ void Daemon::run() {
   for (auto& slot : connections_)
     if (slot->thread.joinable()) slot->thread.join();
 
-  // Retract the write end from request_shutdown() before closing it;
-  // wake_read's ScopedFd closes the read end at scope exit.
-  const int wake_write = wake_pipe_[1];
-  wake_pipe_[1] = -1;
-  wake_pipe_[0] = -1;
-  ::close(wake_write);
+  // The wake pipe deliberately stays open (the destructor closes it): a
+  // signal handler may still call request_shutdown() until the caller
+  // detaches its pointer to this daemon, which only happens after run()
+  // returns.
   ::unlink(options_.socket_path.c_str());
 }
 

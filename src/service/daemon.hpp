@@ -53,6 +53,10 @@ struct DaemonOptions {
   std::uint16_t tcp_port = 0;     ///< loopback TCP, 0 = disabled
   std::string state_dir;          ///< job dirs + checkpoints (required)
   AdmissionPolicy admission;
+  /// Cap on concurrently open client connections; a connection past the
+  /// cap is refused with a typed error line. Admission control for the
+  /// transport, like AdmissionPolicy is for jobs.
+  std::size_t max_connections = 64;
   /// Simulated device geometry every job runs on. Part of each job's
   /// checkpoint fingerprint — restart the daemon with the same geometry
   /// or interrupted jobs will refuse to resume (typed, recorded failure).
@@ -103,7 +107,8 @@ class Daemon {
   Json status_json(const JobEntry& entry) const;
 
   // ---- protocol (called from connection threads) ----
-  void handle_connection(ScopedFd fd, std::size_t slot);
+  struct ConnSlot;
+  void handle_connection(ConnSlot* slot);
   /// Returns false when the connection should close after this response.
   bool dispatch_verb(const Json& request, LineChannel& channel);
   Json verb_submit(const Json& request);
@@ -133,17 +138,27 @@ class Daemon {
   telemetry::MetricsRegistry service_registry_;
 
   // Shutdown machinery: flag + self-pipe to break the poll/accept loop.
+  // The write end is atomic because request_shutdown() reads it from a
+  // signal handler; both ends stay open until the destructor (after the
+  // caller has detached its signal-handler pointer to this daemon), so a
+  // late signal can never write(2) into a closed or recycled fd.
   std::atomic<bool> shutdown_requested_{false};
-  int wake_pipe_[2] = {-1, -1};
+  std::atomic<int> wake_write_{-1};
+  int wake_read_ = -1;
 
   // Connection bookkeeping: fds are shutdown() on daemon stop so blocked
-  // readers unblock and their threads join.
+  // readers unblock and their threads join. A connection thread closes its
+  // own fd under conn_mutex_ (storing -1 first), so the shutdown sweep can
+  // never race the close and hit a recycled descriptor; the accept loop
+  // reaps finished slots so a long-lived daemon does not accumulate dead
+  // threads.
   std::mutex conn_mutex_;
   struct ConnSlot {
     std::thread thread;
     std::atomic<int> fd{-1};
   };
   std::vector<std::unique_ptr<ConnSlot>> connections_;
+  void reap_connections();
 };
 
 }  // namespace pima::service

@@ -118,15 +118,17 @@ JobRecord JobRecord::from_json(const Json& j) {
   if (r.id.empty()) throw InputFormatError("job record: missing id");
   r.spec = JobSpec::from_json(j.get("spec"));
   r.state = parse_job_state(j.get_string("state"));
-  r.seq = static_cast<std::uint64_t>(j.get_number("seq", 0));
-  r.stages_done = static_cast<std::uint32_t>(j.get_number("stages_done", 0));
+  // u64 counters use the exact integer accessor: total_length /
+  // distinct_kmers on large inputs can exceed 2^53, where the double view
+  // would silently round.
+  r.seq = j.get_uint64("seq", 0);
+  r.stages_done = static_cast<std::uint32_t>(j.get_uint64("stages_done", 0));
   r.error_type = j.get_string("error_type");
   r.error_message = j.get_string("error_message");
-  r.contigs = static_cast<std::uint64_t>(j.get_number("contigs", 0));
-  r.n50 = static_cast<std::uint64_t>(j.get_number("n50", 0));
-  r.total_length = static_cast<std::uint64_t>(j.get_number("total_length", 0));
-  r.distinct_kmers =
-      static_cast<std::uint64_t>(j.get_number("distinct_kmers", 0));
+  r.contigs = j.get_uint64("contigs", 0);
+  r.n50 = j.get_uint64("n50", 0);
+  r.total_length = j.get_uint64("total_length", 0);
+  r.distinct_kmers = j.get_uint64("distinct_kmers", 0);
   return r;
 }
 

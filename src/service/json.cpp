@@ -1,5 +1,6 @@
 #include "service/json.hpp"
 
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 
@@ -233,6 +234,17 @@ class Parser {
             text_[pos_] == '-'))
       ++pos_;
     const std::string token = text_.substr(start, pos_ - start);
+    // A plain non-negative integer parses into the exact u64 view first,
+    // so counters above 2^53 survive a round trip byte-for-byte. Anything
+    // else (sign, fraction, exponent, > 2^64-1) falls through to double.
+    if (!token.empty() && token[0] != '-' &&
+        token.find_first_of(".eE") == std::string::npos) {
+      std::uint64_t u = 0;
+      const auto [ptr, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), u);
+      if (ec == std::errc() && ptr == token.data() + token.size())
+        return Json(u);
+    }
     double v = 0.0;
     int consumed = 0;
     if (token.empty() ||
@@ -258,6 +270,15 @@ bool Json::as_bool() const {
 double Json::as_number() const {
   if (type_ != Type::kNumber) type_error("number", type_);
   return number_;
+}
+
+std::uint64_t Json::as_uint64() const {
+  if (type_ != Type::kNumber) type_error("number", type_);
+  if (uint_exact_) return uint_;
+  if (!(number_ >= 0.0) || number_ >= 18446744073709551616.0 ||
+      number_ != std::floor(number_))
+    throw InputFormatError("json: number is not an unsigned 64-bit integer");
+  return static_cast<std::uint64_t>(number_);
 }
 
 const std::string& Json::as_string() const {
@@ -294,6 +315,12 @@ std::string Json::get_string(const std::string& key,
 double Json::get_number(const std::string& key, double fallback) const {
   const Json* v = find(key);
   return v != nullptr ? v->as_number() : fallback;
+}
+
+std::uint64_t Json::get_uint64(const std::string& key,
+                               std::uint64_t fallback) const {
+  const Json* v = find(key);
+  return v != nullptr ? v->as_uint64() : fallback;
 }
 
 bool Json::get_bool(const std::string& key, bool fallback) const {
@@ -351,7 +378,15 @@ std::string Json::dump() const {
   switch (type_) {
     case Type::kNull: return "null";
     case Type::kBool: return bool_ ? "true" : "false";
-    case Type::kNumber: return format_number(number_);
+    case Type::kNumber: {
+      if (uint_exact_) {
+        char buf[24];
+        std::snprintf(buf, sizeof buf, "%llu",
+                      static_cast<unsigned long long>(uint_));
+        return buf;
+      }
+      return format_number(number_);
+    }
     case Type::kString: return '"' + escape(string_) + '"';
     case Type::kArray: {
       std::string out = "[";

@@ -2,10 +2,13 @@
 //
 // The daemon speaks newline-delimited JSON: one request object per line,
 // one or more response objects per line. This is the complete value model
-// that protocol needs — null, bool, number (double), string, array, object
-// — with a recursive-descent parser and a deterministic writer (object
-// keys serialize in insertion order; numbers use the shortest
-// round-trip-exact rendering, so equal values always produce equal bytes).
+// that protocol needs — null, bool, number, string, array, object — with
+// a recursive-descent parser and a deterministic writer (object keys
+// serialize in insertion order; numbers use the shortest round-trip-exact
+// rendering, so equal values always produce equal bytes). Numbers carry a
+// double view plus, for non-negative integers, an exact unsigned 64-bit
+// view: u64 counters (sequence numbers, base counts, k-mer counts) round
+// trip losslessly above 2^53, where the double alone would round.
 //
 // Parse errors throw InputFormatError with byte-offset context — a
 // malformed request maps to the documented "malformed input" exit/error
@@ -28,9 +31,18 @@ class Json {
   Json() = default;  // null
   Json(bool b) : type_(Type::kBool), bool_(b) {}
   Json(double n) : type_(Type::kNumber), number_(n) {}
-  Json(int n) : Json(static_cast<double>(n)) {}
-  Json(std::int64_t n) : Json(static_cast<double>(n)) {}
-  Json(std::uint64_t n) : Json(static_cast<double>(n)) {}  // covers size_t
+  Json(int n) : Json(static_cast<std::int64_t>(n)) {}
+  Json(std::int64_t n) : type_(Type::kNumber), number_(static_cast<double>(n)) {
+    if (n >= 0) {
+      uint_ = static_cast<std::uint64_t>(n);
+      uint_exact_ = true;
+    }
+  }
+  Json(std::uint64_t n)  // covers size_t
+      : type_(Type::kNumber),
+        number_(static_cast<double>(n)),
+        uint_(n),
+        uint_exact_(true) {}
   Json(const char* s) : type_(Type::kString), string_(s) {}
   Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}
 
@@ -58,6 +70,12 @@ class Json {
   /// malformed input.
   bool as_bool() const;
   double as_number() const;
+  /// Exact unsigned 64-bit view of a number. Lossless for any value that
+  /// was constructed from (or parsed as) a non-negative integer, even
+  /// above 2^53; for other numbers falls back to a checked cast of the
+  /// double and throws InputFormatError on negative, fractional, or
+  /// out-of-range values.
+  std::uint64_t as_uint64() const;
   const std::string& as_string() const;
   const std::vector<Json>& items() const;
 
@@ -70,6 +88,8 @@ class Json {
   std::string get_string(const std::string& key,
                          const std::string& fallback = {}) const;
   double get_number(const std::string& key, double fallback = 0.0) const;
+  std::uint64_t get_uint64(const std::string& key,
+                           std::uint64_t fallback = 0) const;
   bool get_bool(const std::string& key, bool fallback = false) const;
 
   /// Object/array builders (object keys keep insertion order for
@@ -92,6 +112,10 @@ class Json {
   Type type_ = Type::kNull;
   bool bool_ = false;
   double number_ = 0.0;
+  // Exact integer view alongside the double: set whenever the value was
+  // constructed from or parsed as a non-negative integer.
+  std::uint64_t uint_ = 0;
+  bool uint_exact_ = false;
   std::string string_;
   std::vector<Json> array_;
   // Insertion-ordered object storage: (key, value) pairs plus an index for

@@ -63,6 +63,22 @@ TEST(ServiceJson, EscapesAndUnicode) {
   EXPECT_EQ(Json::parse("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
 }
 
+TEST(ServiceJson, Uint64CountersExactAboveDoublePrecision) {
+  // 2^53 + 1 is the first integer a double cannot represent; the exact
+  // integer view must carry it (and everything up to 2^64 - 1) untouched.
+  const std::uint64_t big = (1ULL << 53) + 1;
+  EXPECT_EQ(Json(big).dump(), "9007199254740993");
+  EXPECT_EQ(Json::parse(Json(big).dump()).as_uint64(), big);
+  EXPECT_EQ(Json::parse("18446744073709551615").as_uint64(),
+            ~std::uint64_t{0});
+  // Small integers agree between the double and exact views.
+  EXPECT_EQ(Json::parse("42").as_uint64(), 42u);
+  EXPECT_EQ(Json::parse("42").as_number(), 42.0);
+  // Fractional and negative numbers have no exact u64 view.
+  EXPECT_THROW((void)Json(0.5).as_uint64(), InputFormatError);
+  EXPECT_THROW((void)Json::parse("-4").as_uint64(), InputFormatError);
+}
+
 TEST(ServiceJson, MalformedInputThrowsTyped) {
   EXPECT_THROW((void)Json::parse("{"), InputFormatError);
   EXPECT_THROW((void)Json::parse("{\"a\":1} trailing"), InputFormatError);
@@ -121,6 +137,31 @@ TEST(ServiceJob, RecordPersistsAtomically) {
   EXPECT_EQ(loaded.stages_done, rec.stages_done);
   EXPECT_EQ(loaded.error_type, rec.error_type);
   EXPECT_EQ(loaded.error_message, rec.error_message);
+  fs::remove_all(dir);
+}
+
+TEST(ServiceJob, RecordU64CountersSurviveAboveDoublePrecision) {
+  // total_length / distinct_kmers on large inputs can exceed 2^53; the
+  // persisted record must not round them through a double.
+  const fs::path dir = fs::temp_directory_path() / "pima_svc_record_u64";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  JobRecord rec;
+  rec.id = "j9000";
+  rec.spec.reads_path = "/data/reads.fa";
+  rec.state = JobState::kDone;
+  rec.seq = (1ULL << 60) + 7;
+  rec.stages_done = 3;
+  rec.contigs = 12;
+  rec.n50 = (1ULL << 53) + 1;
+  rec.total_length = (1ULL << 53) + 3;
+  rec.distinct_kmers = (1ULL << 62) + 9;
+  save_job_record(dir.string(), rec);
+  const JobRecord loaded = load_job_record(dir.string());
+  EXPECT_EQ(loaded.seq, rec.seq);
+  EXPECT_EQ(loaded.n50, rec.n50);
+  EXPECT_EQ(loaded.total_length, rec.total_length);
+  EXPECT_EQ(loaded.distinct_kmers, rec.distinct_kmers);
   fs::remove_all(dir);
 }
 
@@ -277,7 +318,8 @@ std::string golden_fasta(const std::string& reads_path, const JobSpec& spec) {
 // dir. stop() is idempotent; the destructor always joins.
 class DaemonHarness {
  public:
-  explicit DaemonHarness(const std::string& name, AdmissionPolicy admission) {
+  explicit DaemonHarness(const std::string& name, AdmissionPolicy admission,
+                         std::size_t max_connections = 64) {
     state_dir_ = (fs::temp_directory_path() / ("pima_svc_" + name)).string();
     fs::remove_all(state_dir_);
     fs::create_directories(state_dir_);
@@ -285,6 +327,7 @@ class DaemonHarness {
     opt.state_dir = state_dir_;
     opt.socket_path = state_dir_ + "/pima.sock";
     opt.admission = admission;
+    opt.max_connections = max_connections;
     opt.geometry = service_geometry();
     daemon_ = std::make_unique<Daemon>(std::move(opt));
     thread_ = std::thread([this] { daemon_->run(); });
@@ -465,6 +508,107 @@ TEST(ServiceDaemon, DrainRunsQueueDryThenStops) {
     const JobRecord rec = load_job_record(h.state_dir() + "/jobs/" + id);
     EXPECT_EQ(rec.state, JobState::kDone);
     EXPECT_TRUE(fs::exists(h.state_dir() + "/jobs/" + id + "/contigs.fa"));
+  }
+}
+
+TEST(ServiceDaemon, FollowStreamsChangesAndSurvivesEarlyHangup) {
+  DaemonHarness h("follow", policy(8, 1, 2));
+  const std::string reads = h.state_dir() + "/reads.fa";
+  write_small_reads(reads);
+
+  // A follower that hangs up after the first line must not wedge the
+  // daemon: status writes happen with the daemon lock released, and a
+  // failed write ends the follow loop.
+  const std::string id = h.submit(reads, 15, 8, 1);
+  {
+    Json req = Json::object();
+    req.set("verb", "status").set("job", id).set("follow", true);
+    Client quitter = h.connect();
+    (void)quitter.stream(req, [](const Json&) { return false; });
+  }
+  EXPECT_TRUE(h.status(id).get_bool("ok"));  // daemon still answering
+
+  // A patient follower streams every observed change through to the
+  // terminal state, then the daemon closes the stream.
+  const std::string id2 = h.submit(reads, 15, 8, 1);
+  Json req = Json::object();
+  req.set("verb", "status").set("job", id2).set("follow", true);
+  std::vector<std::string> states;
+  const Json last = h.connect().stream(req, [&](const Json& line) {
+    states.push_back(line.get_string("state"));
+    return true;
+  });
+  EXPECT_EQ(last.get_string("state"), "done") << last.dump();
+  EXPECT_EQ(last.get_number("stages_done"), 3.0);
+  ASSERT_FALSE(states.empty());
+  EXPECT_EQ(states.back(), "done");
+}
+
+TEST(ServiceDaemon, ConnectionCapRefusesThenReapsClosedSlots) {
+  DaemonHarness h("conncap", policy(8, 1, 2), /*max_connections=*/2);
+  Json ping = Json::object();
+  ping.set("verb", "ping");
+  {
+    // Two live connections fill the cap (a completed request proves each
+    // handler thread is registered, not just queued in the backlog).
+    // Earlier short-lived connections — the harness's own startup ping —
+    // may not be reaped yet, so retry until both clients hold slots
+    // simultaneously.
+    std::optional<Client> a;
+    std::optional<Client> b;
+    const auto setup_deadline = std::chrono::steady_clock::now() + 10s;
+    for (;;) {
+      try {
+        a.emplace(h.connect());
+        b.emplace(h.connect());
+        if (a->request(ping).get_bool("ok") &&
+            b->request(ping).get_bool("ok"))
+          break;
+      } catch (const IoError&) {
+      }
+      a.reset();
+      b.reset();
+      ASSERT_LT(std::chrono::steady_clock::now(), setup_deadline)
+          << "could not occupy both connection slots";
+      std::this_thread::sleep_for(5ms);
+    }
+    // The third is refused with the typed transport-admission error —
+    // written unprompted, so read it without sending a request.
+    ScopedFd raw = connect_unix(h.socket());
+    LineChannel refused_channel(raw.get());
+    std::string line;
+    ASSERT_TRUE(refused_channel.read_line(line));
+    const Json refused = Json::parse(line);
+    EXPECT_FALSE(refused.get_bool("ok"));
+    EXPECT_EQ(refused.get_string("error"), "AdmissionRejectedError");
+  }
+  // Both slots hung up; the accept loop reaps them (the daemon may not
+  // have observed the EOFs yet, so allow a grace window) and then a
+  // sequential churn of connections through the 2-slot cap all succeed —
+  // slots are reclaimed, not accumulated.
+  const auto deadline = std::chrono::steady_clock::now() + 10s;
+  for (;;) {
+    try {
+      if (h.request(ping).get_bool("ok")) break;
+    } catch (const IoError&) {
+    }
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "daemon never reclaimed closed connection slots";
+    std::this_thread::sleep_for(5ms);
+  }
+  for (int i = 0; i < 10; ++i) {
+    const auto retry_deadline = std::chrono::steady_clock::now() + 10s;
+    for (;;) {
+      bool ok = false;
+      try {
+        ok = h.request(ping).get_bool("ok");
+      } catch (const IoError&) {
+      }
+      if (ok) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), retry_deadline)
+          << "connection churn iteration " << i << " starved out";
+      std::this_thread::sleep_for(5ms);
+    }
   }
 }
 

@@ -488,6 +488,7 @@ int cmd_serve(const Args& args) {
       get_bounded_size(args, "queue-depth", 8, 1, 4096);
   opt.admission.channel_budget =
       get_bounded_size(args, "channel-budget", 8, 1, 4096);
+  opt.max_connections = get_bounded_size(args, "max-conns", 64, 1, 4096);
   // Same default geometry as `pim-run`, so service jobs are bit-identical
   // to standalone runs of the same spec.
   opt.geometry.rows = get_bounded_size(args, "rows", 512, 16, 65536);
@@ -511,7 +512,14 @@ int cmd_serve(const Args& args) {
               opt.admission.max_jobs, opt.admission.queue_depth,
               opt.admission.channel_budget);
   std::fflush(stdout);
-  daemon.run();
+  try {
+    daemon.run();
+  } catch (...) {
+    // Detach the signal handler's pointer before the daemon destructs,
+    // even on the error path.
+    g_daemon.store(nullptr, std::memory_order_release);
+    throw;
+  }
   g_daemon.store(nullptr, std::memory_order_release);
   std::printf("serve: shut down cleanly\n");
   return 0;
@@ -678,7 +686,7 @@ void usage() {
       "  project  [--k K]\n"
       "  serve    --state-dir DIR [--socket PATH (default DIR/pima.sock)]\n"
       "           [--tcp PORT] [--max-jobs N] [--queue-depth N]\n"
-      "           [--channel-budget N] [--rows N]\n"
+      "           [--channel-budget N] [--max-conns N] [--rows N]\n"
       "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
       "           [--shards N] [--threads N] [--euler] [--priority P]\n"
       "           [--stall-timeout MS] [--follow]\n"
