@@ -65,6 +65,16 @@ class CancelledError : public std::runtime_error {
   using std::runtime_error::runtime_error;
 };
 
+/// Thrown by the service client when a connect or a wait for a response
+/// line exceeds the caller's --timeout budget. Distinct from IoError: the
+/// daemon may be healthy but slow (or wedged); the caller chose to stop
+/// waiting. Maps to exit code 9 so scripts can tell "deadline expired"
+/// from "transport broke".
+class DeadlineExceededError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 /// Thrown by the service admission controller when a job cannot be accepted
 /// — the bounded queue is full, or the daemon is draining. The submitter
 /// should back off and retry; nothing about the job was recorded.
@@ -122,6 +132,7 @@ enum ExitCode : int {
   kExitEngineStalled = 6,     ///< watchdog converted a hang into a failure
   kExitInterrupted = 7,       ///< cancelled (signal / cancel verb); resumable
   kExitAdmissionRejected = 8, ///< service refused the job (queue full/draining)
+  kExitDeadlineExceeded = 9,  ///< client --timeout expired before a response
 };
 
 /// Maps an exception to its documented exit code. Most-derived types are
@@ -138,6 +149,8 @@ inline int exit_code_for(const std::exception& e) {
     return kExitInterrupted;
   if (dynamic_cast<const AdmissionRejectedError*>(&e) != nullptr)
     return kExitAdmissionRejected;
+  if (dynamic_cast<const DeadlineExceededError*>(&e) != nullptr)
+    return kExitDeadlineExceeded;
   return kExitFailure;
 }
 

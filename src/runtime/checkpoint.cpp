@@ -10,6 +10,7 @@
 #include <fstream>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace pima::runtime {
@@ -270,11 +271,13 @@ PipelineSnapshot deserialize_payload(const std::string& payload,
   return snap;
 }
 
-// POSIX write-the-whole-buffer with IoError on failure.
+// POSIX write-the-whole-buffer with IoError on failure. Routed through
+// the fsio shim so chaos tests can inject ENOSPC/short writes/torn-write
+// crash points into checkpoint persistence (site "checkpoint").
 void write_all(int fd, const char* data, std::size_t size,
                const std::string& path) {
   while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
+    const ssize_t n = fsio::write(fd, data, size, "checkpoint");
     if (n < 0) {
       if (errno == EINTR) continue;
       throw IoError("write failed for " + path + ": " +
@@ -352,36 +355,30 @@ void save_checkpoint(const std::string& path, const PipelineSnapshot& snap) {
   header.u32(crc32(payload.data(), payload.size()));
 
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  const int fd =
+      fsio::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644, "checkpoint");
   if (fd < 0)
     throw IoError("cannot create " + tmp + ": " + std::strerror(errno));
   try {
     write_all(fd, header.str().data(), header.str().size(), tmp);
     write_all(fd, payload.data(), payload.size(), tmp);
-    if (::fsync(fd) != 0)
+    if (fsio::fsync(fd, "checkpoint") != 0)
       throw IoError("fsync failed for " + tmp + ": " + std::strerror(errno));
   } catch (...) {
     ::close(fd);
-    ::unlink(tmp.c_str());
+    fsio::unlink(tmp.c_str(), "checkpoint");
     throw;
   }
   ::close(fd);
-  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+  if (fsio::rename(tmp.c_str(), path.c_str(), "checkpoint") != 0) {
     const int err = errno;
-    ::unlink(tmp.c_str());
+    fsio::unlink(tmp.c_str(), "checkpoint");
     throw IoError("cannot rename " + tmp + " to " + path + ": " +
                   std::strerror(err));
   }
-  // Durability of the rename itself: fsync the containing directory.
-  const auto slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (dfd >= 0) {
-    ::fsync(dfd);  // best effort: some filesystems reject directory fsync
-    ::close(dfd);
-  }
+  // Durability of the rename itself: fsync the containing directory. A
+  // failure is survivable but counted + logged once (fsio satellite).
+  fsio::fsync_parent_dir(path, "checkpoint");
 }
 
 PipelineSnapshot load_checkpoint(const std::string& path) {

@@ -228,6 +228,25 @@ void Engine::watchdog_loop() {
           ch.failure = std::make_exception_ptr(EngineStalledError(
               c, subarray, retired, options_.stall_timeout_ms));
       }
+      // Last words FIRST: mark the wedged channel's track and push
+      // everything recorded so far to the configured sinks. This must
+      // complete before the queues close below — closing them wakes
+      // drain(), which rethrows the stall, and the trace file must
+      // already be durable (the flush is an atomic tmp+fsync+rename) by
+      // the time the caller can observe the failure. Sink failures are
+      // swallowed — the stall diagnosis must still reach the caller.
+      PIMA_TEL_INSTANT_ON(channel_track(c), "stall");
+#if PIMA_TELEMETRY
+      telemetry::metrics()
+          .counter("pima_engine_stalls_total",
+                   "channels declared stalled by the watchdog", {},
+                   telemetry::MetricClass::kHost)
+          .increment();
+      try {
+        telemetry::TelemetrySession::instance().flush();
+      } catch (...) {
+      }
+#endif
       // Cooperative cancellation: healthy channels drop their remaining
       // queues instead of finishing work the caller will discard. Closing
       // the queues also unblocks any producer stuck in a backpressured
@@ -241,23 +260,6 @@ void Engine::watchdog_loop() {
         other->queue.close();
         other->idle.notify_all();
       }
-      // Last words: mark the wedged channel's track and push everything
-      // recorded so far to the configured sinks, so the run leaves a
-      // readable trace even though drain() is about to throw and the
-      // process is likely going down. Sink failures are swallowed — the
-      // stall diagnosis must still reach the caller.
-      PIMA_TEL_INSTANT_ON(channel_track(c), "stall");
-#if PIMA_TELEMETRY
-      telemetry::metrics()
-          .counter("pima_engine_stalls_total",
-                   "channels declared stalled by the watchdog", {},
-                   telemetry::MetricClass::kHost)
-          .increment();
-      try {
-        telemetry::TelemetrySession::instance().flush();
-      } catch (...) {
-      }
-#endif
       return;  // one stall poisons the engine; nothing further to watch
     }
   }

@@ -4,12 +4,13 @@
 
 namespace pima::service {
 
-Client Client::connect_unix_socket(const std::string& path) {
-  return Client(connect_unix(path));
+Client Client::connect_unix_socket(const std::string& path,
+                                   double timeout_s) {
+  return Client(connect_unix(path, timeout_s), timeout_s);
 }
 
-Client Client::connect_tcp_port(std::uint16_t port) {
-  return Client(connect_tcp(port));
+Client Client::connect_tcp_port(std::uint16_t port, double timeout_s) {
+  return Client(connect_tcp(port, timeout_s), timeout_s);
 }
 
 Json Client::request(const Json& req) {

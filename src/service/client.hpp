@@ -16,8 +16,12 @@ namespace pima::service {
 
 class Client {
  public:
-  static Client connect_unix_socket(const std::string& path);
-  static Client connect_tcp_port(std::uint16_t port);
+  /// `timeout_s` > 0 bounds the connect AND every subsequent wait for a
+  /// response line; expiry throws DeadlineExceededError (exit code 9).
+  /// 0 (the default) waits forever — the pre-deadline behaviour.
+  static Client connect_unix_socket(const std::string& path,
+                                    double timeout_s = 0.0);
+  static Client connect_tcp_port(std::uint16_t port, double timeout_s = 0.0);
 
   /// One request, one response line. Throws IoError if the daemon hangs
   /// up before responding.
@@ -29,7 +33,10 @@ class Client {
   Json stream(const Json& req, const std::function<bool(const Json&)>& on_line);
 
  private:
-  explicit Client(ScopedFd fd) : fd_(std::move(fd)), channel_(fd_.get()) {}
+  Client(ScopedFd fd, double timeout_s)
+      : fd_(std::move(fd)), channel_(fd_.get()) {
+    channel_.set_deadline(timeout_s);
+  }
 
   ScopedFd fd_;
   LineChannel channel_;

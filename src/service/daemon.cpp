@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 #include "core/pipeline.hpp"
 #include "dna/fasta.hpp"
 #include "dram/device.hpp"
@@ -45,7 +46,24 @@ const char* error_type_name(const std::exception& e) {
     return "AdmissionRejectedError";
   if (dynamic_cast<const CancelledError*>(&e) != nullptr)
     return "CancelledError";
+  if (dynamic_cast<const DeadlineExceededError*>(&e) != nullptr)
+    return "DeadlineExceededError";
   return "RuntimeError";
+}
+
+/// Idempotency keys travel in JSON and become part of job.json; keep them
+/// to a safe charset and a sane length so a hostile key cannot smuggle
+/// structure into logs or filenames.
+void validate_idempotency_key(const std::string& key) {
+  if (key.size() > 128)
+    throw InputFormatError("idempotency_key exceeds 128 bytes");
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_' || c == '.';
+    if (!ok)
+      throw InputFormatError(
+          "idempotency_key may only contain [A-Za-z0-9._-]");
+  }
 }
 
 Json error_response(const char* type, const std::string& message) {
@@ -147,6 +165,10 @@ void Daemon::recover_jobs() {
       }
       persist(*entry);
     }
+    // Rebuild the idempotency index from the persisted records (emplace
+    // keeps the first — lowest-id — job if a key somehow appears twice).
+    if (!entry->record.idempotency_key.empty())
+      idem_index_.emplace(entry->record.idempotency_key, id);
     jobs_.emplace(id, std::move(entry));
   }
   update_service_gauges();
@@ -300,11 +322,30 @@ Json Daemon::status_json(const JobEntry& entry) const {
 
 Json Daemon::verb_submit(const Json& request) {
   const JobSpec spec = JobSpec::from_json(request);  // validates
+  const std::string idem_key = request.get_string("idempotency_key");
+  validate_idempotency_key(idem_key);
   std::lock_guard<std::mutex> lock(mutex_);
   service_registry_
       .counter("pima_service_jobs_submitted_total", "submit verbs received",
                {}, telemetry::MetricClass::kHost)
       .increment();
+  if (!idem_key.empty()) {
+    // Idempotent submit: a key the daemon has already accepted (this
+    // incarnation or a recovered one) returns the original job instead of
+    // creating a duplicate — even while draining, since the work was
+    // already admitted. The client's retry loop relies on this.
+    const auto hit = idem_index_.find(idem_key);
+    if (hit != idem_index_.end()) {
+      service_registry_
+          .counter("pima_service_submits_deduped_total",
+                   "submits answered by an existing job via idempotency_key",
+                   {}, telemetry::MetricClass::kHost)
+          .increment();
+      Json response = status_json(*jobs_.at(hit->second));
+      response.set("deduped", true);
+      return response;
+    }
+  }
   const auto reject = [this](const std::string& message) {
     service_registry_
         .counter("pima_service_jobs_rejected_total",
@@ -333,6 +374,7 @@ Json Daemon::verb_submit(const Json& request) {
   entry->record.spec = spec;
   entry->record.state = JobState::kQueued;
   entry->record.seq = seq;
+  entry->record.idempotency_key = idem_key;
   entry->registry.set_default_labels({{"job", id}});
 
   std::error_code ec;
@@ -341,7 +383,8 @@ Json Daemon::verb_submit(const Json& request) {
     queue_.remove(id);
     throw IoError("cannot create job dir " + job_dir(id));
   }
-  persist(*entry);
+  persist(*entry);  // key lands in job.json BEFORE the index — crash-safe
+  if (!idem_key.empty()) idem_index_.emplace(idem_key, id);
   Json response = status_json(*entry);
   jobs_.emplace(id, std::move(entry));
   maybe_dispatch();
@@ -474,6 +517,33 @@ std::string Daemon::aggregate_metrics(bool as_json) {
   std::lock_guard<std::mutex> lock(mutex_);
   aggregate.merge_from(service_registry_);
   for (const auto& [id, entry] : jobs_) aggregate.merge_from(entry->registry);
+  // Fold the fsio shim's process-wide injection counters. common/ sits
+  // below telemetry/, so fsio keeps plain atomics; publishing absolute
+  // snapshots into this per-call fresh registry preserves counter
+  // semantics. dirsync_failed also counts REAL failures (filesystems that
+  // reject directory fsync), plan or no plan — satellite 3.
+  const fsio::Counters io = fsio::counters();
+  const auto fold = [&](const char* name, const char* help,
+                        std::uint64_t value) {
+    aggregate
+        .counter(name, help, {}, telemetry::MetricClass::kHost)
+        .add(static_cast<double>(value));
+  };
+  fold("pima_io_fault_injected_total",
+       "syscall faults injected by the fsio shim (all kinds)",
+       io.injected_total);
+  fold("pima_io_fault_errno_total", "injected hard errno failures",
+       io.errno_injected);
+  fold("pima_io_fault_eintr_total", "injected EINTR interruptions",
+       io.eintr_injected);
+  fold("pima_io_fault_short_total", "injected short reads/writes",
+       io.short_injected);
+  fold("pima_io_fault_crash_points_total",
+       "torn-write crash points taken (counted just before _exit)",
+       io.crash_points);
+  fold("pima_io_fault_dirsync_failed_total",
+       "directory fsyncs that failed after a rename (real or injected)",
+       io.dirsync_failed);
   return as_json ? aggregate.json_snapshot() : aggregate.prometheus_text();
 }
 

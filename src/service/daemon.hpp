@@ -128,6 +128,9 @@ class Daemon {
   mutable std::mutex mutex_;
   std::condition_variable cv_;  ///< job state changes; drain/follow wake
   std::map<std::string, std::unique_ptr<JobEntry>> jobs_;  // never erased
+  /// idempotency_key → job id. Rebuilt from job.json records on restart,
+  /// so a client retrying a submit across a daemon crash still dedupes.
+  std::map<std::string, std::string> idem_index_;
   AdmissionQueue queue_;
   std::size_t running_jobs_ = 0;
   std::size_t used_channels_ = 0;

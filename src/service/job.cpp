@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 
 namespace pima::service {
 
@@ -99,6 +100,7 @@ Json JobRecord::to_json() const {
   j.set("state", to_string(state));
   j.set("seq", seq);
   j.set("stages_done", static_cast<std::uint64_t>(stages_done));
+  if (!idempotency_key.empty()) j.set("idempotency_key", idempotency_key);
   if (state == JobState::kFailed) {
     j.set("error_type", error_type);
     j.set("error_message", error_message);
@@ -123,6 +125,7 @@ JobRecord JobRecord::from_json(const Json& j) {
   // would silently round.
   r.seq = j.get_uint64("seq", 0);
   r.stages_done = static_cast<std::uint32_t>(j.get_uint64("stages_done", 0));
+  r.idempotency_key = j.get_string("idempotency_key");
   r.error_type = j.get_string("error_type");
   r.error_message = j.get_string("error_message");
   r.contigs = j.get_uint64("contigs", 0);
@@ -133,17 +136,10 @@ JobRecord JobRecord::from_json(const Json& j) {
 }
 
 void save_job_record(const std::string& dir, const JobRecord& record) {
-  const std::string path = dir + "/job.json";
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw IoError("cannot open " + tmp);
-    out << record.to_json().dump() << '\n';
-    out.flush();
-    if (!out) throw IoError("failed writing " + tmp);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw IoError("cannot rename " + tmp + " -> " + path);
+  // Torn-write-safe (tmp + fsync + rename + dir fsync) and fault-injectable:
+  // chaos tests target the "job.json" site to tear state transitions.
+  fsio::atomic_write_file(dir + "/job.json", record.to_json().dump() + "\n",
+                          "job.json");
 }
 
 JobRecord load_job_record(const std::string& dir) {

@@ -73,6 +73,10 @@ struct JobRecord {
   JobState state = JobState::kQueued;
   std::uint64_t seq = 0;          ///< submission order (FIFO tie-break)
   std::uint32_t stages_done = 0;  ///< durable stage checkpoints (0..3)
+  /// Client-chosen dedupe token (may be empty). A resubmit carrying the
+  /// same key returns this job instead of creating a new one; persisted
+  /// so the dedupe table survives daemon restarts.
+  std::string idempotency_key;
 
   // Failure context (state == kFailed).
   std::string error_type;     ///< exception class name

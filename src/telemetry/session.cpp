@@ -1,8 +1,7 @@
 #include "telemetry/session.hpp"
 
-#include <fstream>
-
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 
 namespace pima::telemetry {
 
@@ -26,12 +25,10 @@ void TelemetrySession::set_metrics_path(const std::string& path) {
 
 namespace {
 
+// Torn-write-safe: a monitoring scraper reading the previous trace or
+// metrics file never observes a truncated one (fsio site "telemetry").
 void write_file(const std::string& path, const std::string& content) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw IoError("cannot open telemetry output: " + path);
-  out << content;
-  out.flush();
-  if (!out) throw IoError("failed writing telemetry output: " + path);
+  fsio::atomic_write_file(path, content, "telemetry");
 }
 
 }  // namespace

@@ -11,7 +11,9 @@
 // `pim-run` executes the bit-accurate PIM simulation and reports per-stage
 // command/energy statistics; `project` prints the full-scale chr14 cost
 // estimates for every platform.
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -20,10 +22,13 @@
 #include <fstream>
 #include <map>
 #include <optional>
+#include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
+#include "common/fsio.hpp"
 
 #include "assembly/assembler.hpp"
 #include "assembly/gfa.hpp"
@@ -411,9 +416,7 @@ int cmd_pim_run(const Args& args) {
               result.contig_stats.n50);
   if (dump_trace) {
     const auto program = dram::captured_program(device);
-    std::ofstream out(*dump_trace);
-    if (!out) Args::fail("cannot write trace: " + *dump_trace);
-    out << dram::to_text(program);
+    fsio::atomic_write_file(*dump_trace, dram::to_text(program), "artifact");
     std::printf("trace: %zu commands -> %s\n", program.size(),
                 dump_trace->c_str());
   }
@@ -525,11 +528,62 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+/// Client-side deadline: bounds the connect AND every wait for a response
+/// line. 0 (the default) preserves wait-forever; expiry raises
+/// DeadlineExceededError → exit code 9.
+double client_timeout(const Args& args) {
+  return get_bounded_double(args, "timeout", 0.0, 0.0, 86'400.0);
+}
+
 service::Client connect_client(const Args& args) {
+  const double timeout_s = client_timeout(args);
   const std::size_t port = get_bounded_size(args, "tcp", 0, 0, 65535);
   if (port != 0)
-    return service::Client::connect_tcp_port(static_cast<std::uint16_t>(port));
-  return service::Client::connect_unix_socket(args.require("socket"));
+    return service::Client::connect_tcp_port(static_cast<std::uint16_t>(port),
+                                             timeout_s);
+  return service::Client::connect_unix_socket(args.require("socket"),
+                                              timeout_s);
+}
+
+/// One request over a fresh connection, retried up to `--retries` times on
+/// IoError (transport broke: daemon restarting, connection refused, peer
+/// hung up) with exponential backoff + jitter. Only IoError retries:
+/// DeadlineExceededError means the caller's budget is spent (exit 9 now),
+/// and daemon-side errors arrive as ok=false responses, not exceptions.
+/// Callers must only route idempotent requests here — submits carry an
+/// idempotency_key, so a retry after an ambiguous failure cannot double-run.
+service::Json request_with_retries(const Args& args, const service::Json& req) {
+  const std::size_t retries = get_bounded_size(args, "retries", 0, 0, 100);
+  std::mt19937_64 rng{std::random_device{}()};
+  for (std::size_t attempt = 0;; ++attempt) {
+    try {
+      auto client = connect_client(args);
+      return client.request(req);
+    } catch (const IoError& e) {
+      if (attempt >= retries) throw;
+      // Exponential backoff, 100 ms * 2^attempt capped at 2 s, with
+      // uniform jitter in [0.5, 1.5) to de-synchronise retry herds.
+      const double base_ms = std::min(100.0 * std::pow(2.0, double(attempt)),
+                                      2000.0);
+      const double jitter =
+          0.5 + std::uniform_real_distribution<double>(0.0, 1.0)(rng);
+      std::fprintf(stderr,
+                   "pima_asm: %s — retrying (%zu/%zu left) in %.0f ms\n",
+                   e.what(), retries - attempt, retries, base_ms * jitter);
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(base_ms * jitter));
+    }
+  }
+}
+
+/// Client-generated random dedupe token for submit retries (16 hex bytes).
+std::string generate_idempotency_key() {
+  std::random_device rd;
+  std::mt19937_64 rng{(std::uint64_t(rd()) << 32) | rd()};
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string key = "ck-";
+  for (int i = 0; i < 32; ++i) key += kHex[rng() & 0xf];
+  return key;
 }
 
 /// Maps a daemon error response to the documented process exit codes, so
@@ -543,6 +597,7 @@ int response_exit_code(const service::Json& response) {
   if (error == "IoError") return kExitIo;
   if (error == "CancelledError") return kExitInterrupted;
   if (error == "EngineStalledError") return kExitEngineStalled;
+  if (error == "DeadlineExceededError") return kExitDeadlineExceeded;
   return 1;
 }
 
@@ -583,21 +638,28 @@ int cmd_submit(const Args& args) {
           static_cast<std::int64_t>(args.get_double("priority", 0.0)));
   req.set("stall_timeout_ms",
           get_bounded_double(args, "stall-timeout", 0.0, 0.0, 86'400'000.0));
+  // Every submit carries a dedupe token, so a retried submit (here or by a
+  // wrapping script) lands on the SAME job — the daemon answers duplicates
+  // with the original job's status plus "deduped": true.
+  req.set("idempotency_key",
+          args.get("idempotency-key").value_or(generate_idempotency_key()));
 
-  auto client = connect_client(args);
-  const service::Json response = client.request(req);
+  const service::Json response = request_with_retries(args, req);
   const int code = print_response(response);
   if (code != 0 || !args.has("follow")) return code;
+  auto client = connect_client(args);
   return follow_job(client, response.get_string("job"));
 }
 
 int cmd_status(const Args& args) {
-  auto client = connect_client(args);
-  if (args.has("follow")) return follow_job(client, args.require("job"));
+  if (args.has("follow")) {
+    auto client = connect_client(args);
+    return follow_job(client, args.require("job"));
+  }
   service::Json req = service::Json::object();
   req.set("verb", "status");
   req.set("job", args.require("job"));
-  return print_response(client.request(req));
+  return print_response(request_with_retries(args, req));
 }
 
 int cmd_result(const Args& args) {
@@ -606,12 +668,11 @@ int cmd_result(const Args& args) {
   req.set("job", args.require("job"));
   const auto out = args.get("out");
   if (out) req.set("fetch", true);
-  auto client = connect_client(args);
-  service::Json response = client.request(req);
+  service::Json response = request_with_retries(args, req);
   if (out && response.get_bool("ok", false)) {
-    std::ofstream f(*out, std::ios::binary | std::ios::trunc);
-    if (!f) throw IoError("cannot open " + *out);
-    f << response.get_string("fasta");
+    // Atomic: a crash (or injected fault) mid-save never leaves a
+    // truncated contigs file where a previous good one stood.
+    fsio::atomic_write_file(*out, response.get_string("fasta"), "artifact");
     response.set("fasta", service::Json());  // don't echo the payload
     response.set("saved_to", *out);
   }
@@ -622,18 +683,20 @@ int cmd_cancel(const Args& args) {
   service::Json req = service::Json::object();
   req.set("verb", "cancel");
   req.set("job", args.require("job"));
-  auto client = connect_client(args);
-  return print_response(client.request(req));
+  // Cancel is idempotent (cancelling a terminal job is a no-op status
+  // echo), so it may retry like the read-only verbs.
+  return print_response(request_with_retries(args, req));
 }
 
 int cmd_list(const Args& args) {
   service::Json req = service::Json::object();
   req.set("verb", "list");
-  auto client = connect_client(args);
-  return print_response(client.request(req));
+  return print_response(request_with_retries(args, req));
 }
 
 int cmd_drain(const Args& args) {
+  // NOT retried: drain initiates daemon shutdown — a retry after an
+  // ambiguous failure would race the daemon it just stopped.
   service::Json req = service::Json::object();
   req.set("verb", "drain");
   auto client = connect_client(args);
@@ -644,14 +707,11 @@ int cmd_metrics(const Args& args) {
   service::Json req = service::Json::object();
   req.set("verb", "metrics");
   req.set("format", args.get("format").value_or("prometheus"));
-  auto client = connect_client(args);
-  const service::Json response = client.request(req);
+  const service::Json response = request_with_retries(args, req);
   if (!response.get_bool("ok", false)) return print_response(response);
   const std::string body = response.get_string("body");
   if (const auto out = args.get("out")) {
-    std::ofstream f(*out, std::ios::binary | std::ios::trunc);
-    if (!f) throw IoError("cannot open " + *out);
-    f << body;
+    fsio::atomic_write_file(*out, body, "artifact");
     std::printf("metrics: wrote %zu bytes to %s\n", body.size(),
                 out->c_str());
   } else {
@@ -690,13 +750,18 @@ void usage() {
       "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
       "           [--shards N] [--threads N] [--euler] [--priority P]\n"
       "           [--stall-timeout MS] [--follow]\n"
+      "           [--idempotency-key KEY (dedupe token; default: random)]\n"
       "  status   --socket PATH|--tcp PORT --job ID [--follow]\n"
       "  result   --socket PATH|--tcp PORT --job ID [--out contigs.fa]\n"
       "  cancel   --socket PATH|--tcp PORT --job ID\n"
       "  list     --socket PATH|--tcp PORT\n"
       "  drain    --socket PATH|--tcp PORT\n"
       "  metrics  --socket PATH|--tcp PORT [--format prometheus|json]\n"
-      "           [--out PATH]");
+      "           [--out PATH]\n"
+      "client verbs also accept:\n"
+      "  --timeout S   bound connect + each response wait (exit 9 on expiry)\n"
+      "  --retries N   retry transport failures with backoff + jitter\n"
+      "                (all verbs except drain; submits dedupe via the key)");
 }
 
 }  // namespace
@@ -708,6 +773,10 @@ int main(int argc, char** argv) {
   }
   const std::string cmd = argv[1];
   try {
+    // Force the PIMA_IOFAULT parse now: a malformed spec surfaces as a
+    // typed InputFormatError (exit 3) before any work starts, instead of
+    // aborting mid-run inside the first wrapped syscall.
+    pima::fsio::load_env_plan();
     const Args args(argc, argv, 2);
     if (cmd == "generate") return cmd_generate(args);
     if (cmd == "assemble") return cmd_assemble(args);

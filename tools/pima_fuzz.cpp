@@ -20,14 +20,30 @@
 // resulting divergence, and that the shrinker reduces the random program
 // around it to a minimal repro. Exits 0 iff the flip was caught and the
 // repro is minimal.
+//
+// --service fuzzes the daemon's NDJSON request parser instead of the DRAM
+// models: it starts an in-process daemon on a throwaway state dir, fires a
+// seeded corpus of malformed/mutated request lines at it, and asserts the
+// protocol invariant — every non-empty request line gets exactly one
+// parseable JSON response line (or a clean hangup), and the daemon still
+// answers ping afterwards. Exit code = number of violated inputs.
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <optional>
+#include <random>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "common/error.hpp"
 #include "dram/isa.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
 #include "verify/fuzz.hpp"
 
 namespace {
@@ -44,6 +60,11 @@ void usage() {
       "usage: pima_fuzz [--seeds N] [--ops N] [--seed S] [--subarrays N]\n"
       "       pima_fuzz --replay trace.aap [--rows N] [--columns N]\n"
       "       pima_fuzz --inject-latch-flip [--ops N] [--seed S]\n"
+      "       pima_fuzz --service [--seeds N] [--seed S]\n"
+      "--service fuzzes the daemon's NDJSON request parser (in-process\n"
+      "daemon on a temp dir); exits with the number of protocol-invariant\n"
+      "violations (every request line -> one parseable response, daemon\n"
+      "stays healthy).\n"
       "--rows/--columns must match the geometry the trace was captured\n"
       "under (pima_asm pim-run --rows/--columns); a mismatch is reported\n"
       "as a rejection divergence, not silently accepted.");
@@ -118,6 +139,165 @@ int run_inject_demo(verify::FuzzOptions opts) {
   return 0;
 }
 
+// ---- service protocol fuzzing ---------------------------------------------
+
+/// Seed corpus for the daemon's NDJSON parser: valid requests, truncations,
+/// wrong-typed fields, unknown verbs, duplicate keys, non-UTF8 bytes, junk.
+std::vector<std::string> service_corpus() {
+  return {
+      R"({"verb":"ping"})",
+      R"({"verb":"list"})",
+      R"({"verb":"metrics","format":"json"})",
+      R"({"verb":"metrics","format":"yaml"})",
+      R"({"verb":"status","job":"j0001"})",
+      R"({"verb":"result","job":"nope","fetch":true})",
+      R"({"verb":"cancel","job":""})",
+      R"({"verb":"submit","reads":"/no/such.fa","k":17})",
+      R"({"verb":"submit","reads":"/no/such.fa","k":-3})",
+      R"({"verb":"submit","reads":"","k":17})",
+      R"({"verb":"submit","reads":"/r.fa","k":"seventeen"})",
+      R"({"verb":"submit","reads":"/r.fa","idempotency_key":"bad key!"})",
+      // Truncated / structurally broken JSON.
+      R"({"verb":"ping")",
+      R"({"verb":)",
+      R"({)",
+      R"(])",
+      R"("just a string")",
+      R"(42)",
+      R"(null)",
+      R"({"verb":"ping"}trailing)",
+      // Missing / wrong-typed verb.
+      R"({})",
+      R"({"verb":42})",
+      R"({"verb":null})",
+      R"({"verb":["ping"]})",
+      R"({"job":"j0001"})",
+      // Unknown verbs.
+      R"({"verb":"frobnicate"})",
+      R"({"verb":""})",
+      R"({"verb":"PING"})",
+      // Duplicate keys (last-wins vs reject — either way: one response).
+      R"({"verb":"ping","verb":"list"})",
+      R"({"verb":"status","job":"a","job":"b"})",
+      // Non-UTF8 bytes inside and outside strings.
+      std::string("{\"verb\":\"\x80\x81\xfe\"}"),
+      std::string("{\"verb\":\"ping\"\xff}"),
+      // Deep nesting and a long-but-bounded string.
+      R"({"verb":"status","job":{"a":{"b":{"c":[[[[1]]]]}}}})",
+      "{\"verb\":\"status\",\"job\":\"" + std::string(100'000, 'x') + "\"}",
+  };
+}
+
+/// Deterministic byte-level mutation. Newlines are masked to spaces so a
+/// mutant stays one protocol line.
+std::string mutate_line(std::string s, std::mt19937_64& rng) {
+  if (s.empty()) s = "{}";
+  const auto pick = [&](std::size_t n) { return std::size_t(rng() % n); };
+  switch (pick(4)) {
+    case 0:  // flip a byte
+      s[pick(s.size())] = static_cast<char>(rng() & 0xff);
+      break;
+    case 1:  // truncate
+      s.resize(pick(s.size()) + 1);
+      break;
+    case 2: {  // duplicate a slice into a random spot
+      const std::size_t a = pick(s.size()), b = pick(s.size());
+      const auto slice = s.substr(std::min(a, b), std::max(a, b) - std::min(a, b) + 1);
+      s.insert(pick(s.size()), slice);
+      break;
+    }
+    default: {  // splice random bytes (often non-UTF8)
+      std::string junk;
+      for (std::size_t i = 0, n = pick(8) + 1; i < n; ++i)
+        junk += static_cast<char>(rng() & 0xff);
+      s.insert(pick(s.size()), junk);
+      break;
+    }
+  }
+  for (char& c : s)
+    if (c == '\n' || c == '\r' || c == '\0') c = ' ';
+  return s;
+}
+
+int run_service_fuzz(std::size_t seeds, std::uint64_t seed) {
+  char dir_template[] = "/tmp/pima_fuzz_svc_XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) fail("mkdtemp failed");
+  const std::string state_dir = dir_template;
+
+  service::DaemonOptions opt;
+  opt.state_dir = state_dir;
+  opt.socket_path = state_dir + "/fuzz.sock";
+  opt.admission.max_jobs = 1;
+  opt.admission.queue_depth = 4096;  // junk submits may legitimately queue
+  opt.admission.channel_budget = 4;
+  opt.geometry.rows = 512;
+  opt.geometry.columns = 256;
+  opt.geometry.subarrays_per_mat = 16;
+  opt.geometry.mats_per_bank = 4;
+  opt.geometry.banks = 2;
+  service::Daemon daemon(opt);
+  std::thread server([&] { daemon.run(); });
+
+  const auto ping_ok = [&]() -> bool {
+    try {
+      auto c = service::Client::connect_unix_socket(opt.socket_path, 10.0);
+      return c.request(service::Json::parse(R"({"verb":"ping"})"))
+          .get_bool("ok", false);
+    } catch (const std::exception&) {
+      return false;
+    }
+  };
+  for (int i = 0; i < 100 && !ping_ok(); ++i)
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto corpus = service_corpus();
+  std::mt19937_64 rng{seed};
+  int violations = 0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    std::string input = corpus[s % corpus.size()];
+    if (s >= corpus.size()) input = mutate_line(input, rng);
+    // A mutant that spells a shutdown verb would stop the daemon mid-run;
+    // those paths have their own tests.
+    if (input.find("drain") != std::string::npos ||
+        input.find("shutdown") != std::string::npos)
+      continue;
+    bool ok = true;
+    try {
+      service::ScopedFd fd =
+          service::connect_unix(opt.socket_path, 10.0);
+      service::LineChannel channel(fd.get());
+      channel.set_deadline(10.0);
+      channel.write_line(input);
+      std::string line;
+      if (channel.read_line(line)) {
+        service::Json response = service::Json::parse(line);  // must parse
+        if (response.type() != service::Json::Type::kObject) ok = false;
+      }
+      // EOF without a response = clean hangup; acceptable for abuse lines.
+    } catch (const std::exception& e) {
+      std::printf("input %zu: transport error: %s\n", s, e.what());
+      ok = false;
+    }
+    if (ok && !ping_ok()) {
+      std::printf("input %zu: daemon unhealthy afterwards\n", s);
+      ok = false;
+    }
+    if (!ok) {
+      ++violations;
+      std::printf("VIOLATION on input %zu: %.120s\n", s, input.c_str());
+    }
+  }
+
+  daemon.request_shutdown();
+  server.join();
+  std::error_code ec;
+  std::filesystem::remove_all(state_dir, ec);
+  if (violations == 0)
+    std::printf("service fuzz: %zu input(s), protocol invariant held\n",
+                seeds);
+  return violations;
+}
+
 int run_fuzz(std::size_t seeds, const verify::FuzzOptions& base) {
   int diverging = 0;
   for (std::size_t i = 0; i < seeds; ++i) {
@@ -147,6 +327,7 @@ int main(int argc, char** argv) {
   opts.ops = 500;
   std::optional<std::string> replay;
   bool inject = false;
+  bool service = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -170,6 +351,8 @@ int main(int argc, char** argv) {
       replay = value();
     else if (arg == "--inject-latch-flip")
       inject = true;
+    else if (arg == "--service")
+      service = true;
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -181,6 +364,7 @@ int main(int argc, char** argv) {
   try {
     if (replay) return run_replay(*replay, opts);
     if (inject) return run_inject_demo(opts);
+    if (service) return run_service_fuzz(seeds, opts.seed);
     return run_fuzz(seeds, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pima_fuzz: %s\n", e.what());
