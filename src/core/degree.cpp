@@ -1,8 +1,10 @@
 #include "core/degree.hpp"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.hpp"
+#include "runtime/shard.hpp"
 
 namespace pima::core {
 namespace {
@@ -164,12 +166,19 @@ std::vector<std::uint32_t> pim_column_sums(
   return sums;
 }
 
-DegreeResult pim_degrees(dram::Device& device,
-                         const assembly::DeBruijnGraph& g,
-                         const GraphPartition& partition,
-                         runtime::Engine* engine) {
-  const auto width = device.geometry().columns;
-  const auto total = device.geometry().total_subarrays();
+namespace {
+
+// Shared body of the device- and pool-backed entry points: `resolve` maps
+// a logical flat index to its sub-array, `dispatch` routes a block kernel
+// to the owner (or runs it inline), `barrier` drains the runtime.
+DegreeResult pim_degrees_impl(
+    const dram::Geometry& geometry, const assembly::DeBruijnGraph& g,
+    const GraphPartition& partition,
+    const std::function<dram::Subarray&(std::size_t)>& resolve,
+    const std::function<void(std::size_t, runtime::Task)>& dispatch,
+    const std::function<void()>& barrier) {
+  const auto width = geometry.columns;
+  const auto total = geometry.total_subarrays();
   DegreeResult result;
   result.in_degree.assign(g.node_count(), 0);
   result.out_degree.assign(g.node_count(), 0);
@@ -182,13 +191,6 @@ DegreeResult pim_degrees(dram::Device& device,
       static_cast<std::size_t>(m) * m);
   std::vector<std::vector<std::uint32_t>> out_sums(
       static_cast<std::size_t>(m) * m);
-
-  auto dispatch = [&](std::size_t subarray_flat, runtime::Task task) {
-    if (engine)
-      engine->submit_to_subarray(subarray_flat, std::move(task));
-    else
-      task();
-  };
 
   for (std::uint32_t i = 0; i < m; ++i) {
     for (std::uint32_t j = 0; j < m; ++j) {
@@ -205,11 +207,11 @@ DegreeResult pim_degrees(dram::Device& device,
       // In-degrees: column sums of the block's adjacency rows.
       {
         const std::size_t flat = runtime::block_subarray(total, i, j, m);
-        dispatch(flat, [&device, &block, &src_vertices, flat, width,
+        dispatch(flat, [&resolve, &block, &src_vertices, flat, width,
                         sums = &in_sums[block_index]] {
           const auto rows =
               block_adjacency_rows(block, src_vertices.size(), width);
-          *sums = pim_column_sums(device.subarray(flat), rows);
+          *sums = pim_column_sums(resolve(flat), rows);
         });
       }
 
@@ -217,7 +219,7 @@ DegreeResult pim_degrees(dram::Device& device,
       {
         const std::size_t flat = runtime::block_subarray(
             total, j, i, m, static_cast<std::size_t>(m) * m);
-        dispatch(flat, [&device, &block, i, j, &dst_vertices, flat, width,
+        dispatch(flat, [&resolve, &block, i, j, &dst_vertices, flat, width,
                         sums = &out_sums[block_index]] {
           EdgeBlock transposed;
           transposed.source_interval = j;
@@ -227,12 +229,12 @@ DegreeResult pim_degrees(dram::Device& device,
             transposed.edges.push_back({e.to, e.from, e.multiplicity});
           const auto rows =
               block_adjacency_rows(transposed, dst_vertices.size(), width);
-          *sums = pim_column_sums(device.subarray(flat), rows);
+          *sums = pim_column_sums(resolve(flat), rows);
         });
       }
     }
   }
-  if (engine) engine->drain();
+  barrier();
 
   for (std::uint32_t i = 0; i < m; ++i) {
     for (std::uint32_t j = 0; j < m; ++j) {
@@ -252,6 +254,48 @@ DegreeResult pim_degrees(dram::Device& device,
     }
   }
   return result;
+}
+
+}  // namespace
+
+DegreeResult pim_degrees(dram::Device& device,
+                         const assembly::DeBruijnGraph& g,
+                         const GraphPartition& partition,
+                         runtime::Engine* engine) {
+  return pim_degrees_impl(
+      device.geometry(), g, partition,
+      [&device](std::size_t flat) -> dram::Subarray& {
+        return device.subarray(flat);
+      },
+      [&](std::size_t flat, runtime::Task task) {
+        if (engine)
+          engine->submit_to_subarray(flat, std::move(task));
+        else
+          task();
+      },
+      [&] {
+        if (engine) engine->drain();
+      });
+}
+
+DegreeResult pim_degrees(runtime::DevicePool& pool,
+                         const assembly::DeBruijnGraph& g,
+                         const GraphPartition& partition,
+                         runtime::PoolRunner* runner) {
+  return pim_degrees_impl(
+      pool.geometry(), g, partition,
+      [&pool](std::size_t flat) -> dram::Subarray& {
+        return pool.subarray(flat);
+      },
+      [&](std::size_t flat, runtime::Task task) {
+        if (runner)
+          runner->submit_to_subarray(flat, std::move(task));
+        else
+          task();
+      },
+      [&] {
+        if (runner) runner->drain();
+      });
 }
 
 }  // namespace pima::core

@@ -18,6 +18,11 @@
 #include "dram/subarray.hpp"
 #include "runtime/engine.hpp"
 
+namespace pima::runtime {
+class DevicePool;   // runtime/shard.hpp
+class PoolRunner;
+}  // namespace pima::runtime
+
 namespace pima::core {
 
 /// Column sums of `rows` (each a 1-bit-per-column adjacency row) computed
@@ -45,5 +50,14 @@ DegreeResult pim_degrees(dram::Device& device,
                          const assembly::DeBruijnGraph& g,
                          const GraphPartition& partition,
                          runtime::Engine* engine = nullptr);
+
+/// Pool-backed variant: block sub-arrays resolve through the pool's owner
+/// routing and kernels dispatch through the pool runner (one engine per
+/// device), so the M² edge blocks spread over every device. Accumulation
+/// stays in block order — results are bit-identical for any device count.
+DegreeResult pim_degrees(runtime::DevicePool& pool,
+                         const assembly::DeBruijnGraph& g,
+                         const GraphPartition& partition,
+                         runtime::PoolRunner* runner = nullptr);
 
 }  // namespace pima::core

@@ -55,6 +55,15 @@ class PimHashTable {
                std::size_t first_subarray = 0,
                MappingPolicy policy = MappingPolicy::kCorrelated);
 
+  /// Pool-backed table (runtime/shard.hpp): shard s still lives at flat
+  /// index first_subarray + s, but the sub-array is resolved through the
+  /// pool's owner routing — shard_for(kmer) % devices is then exactly the
+  /// paper-style owner = hash(canonical_kmer) % N k-mer distribution.
+  /// Everything else (layout, probe path, extract order) is unchanged.
+  PimHashTable(runtime::DevicePool& pool, std::size_t shards,
+               std::size_t first_subarray = 0,
+               MappingPolicy policy = MappingPolicy::kCorrelated);
+
   /// Inserts the k-mer or increments its counter. Returns new frequency.
   ///
   /// Thread compatibility: with the correlated mapping and the key length
@@ -96,6 +105,12 @@ class PimHashTable {
   /// deterministic (shard, slot) order. Costed as row reads.
   std::vector<std::pair<assembly::Kmer, std::uint32_t>> extract();
 
+  /// One shard's entries in slot order — the per-owner stream the sharded
+  /// pipeline feeds through its stage-boundary Exchange (k-mer count
+  /// shuffle). extract() is exactly the shard-order concatenation.
+  std::vector<std::pair<assembly::Kmer, std::uint32_t>> extract_shard(
+      std::size_t shard);
+
   /// Decodes slot contents straight from row bits without cost (tests).
   std::optional<std::pair<assembly::Kmer, std::uint32_t>> peek_slot(
       std::size_t shard, std::size_t slot) const;
@@ -106,6 +121,13 @@ class PimHashTable {
     std::vector<bool> occupied;          ///< controller-side slot bitmap
     std::size_t entries = 0;
   };
+
+  void init(std::size_t shards, std::size_t first_subarray,
+            MappingPolicy policy);
+  const dram::Geometry& geometry() const;
+  /// Sub-array behind a logical flat index (device- or pool-backed).
+  dram::Subarray& backing_subarray(std::size_t flat);
+  const dram::Subarray* backing_subarray_if(std::size_t flat) const;
 
   dram::Subarray& shard_subarray(const Shard& s);
   /// Sub-array holding this shard's counters (shard itself when
@@ -124,7 +146,8 @@ class PimHashTable {
   void write_counter(std::size_t shard_index, std::size_t slot,
                      std::uint32_t v);
 
-  dram::Device& device_;
+  dram::Device* device_ = nullptr;  ///< exactly one of device_/pool_ set
+  runtime::DevicePool* pool_ = nullptr;
   ShardLayout layout_;
   MappingPolicy policy_;
   runtime::RecoveryManager* recovery_ = nullptr;

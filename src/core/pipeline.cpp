@@ -9,6 +9,7 @@
 #include "core/degree.hpp"
 #include "core/graph_map.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/shard.hpp"
 #include "runtime/stats.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/session.hpp"
@@ -47,22 +48,29 @@ GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
 }
 
 // Batched k-mer submission: the controller routes every k-mer of the read
-// stream to the channel owning its hash shard and flushes per-channel
-// batches through the bounded queues (backpressure throttles the
+// stream to the (device, channel) owning its hash shard and flushes
+// per-slot batches through the bounded queues (backpressure throttles the
 // controller when the channel executors fall behind). Per-shard insert
-// order equals read-stream order for any channel count.
-void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
+// order equals read-stream order for any device and channel count — this
+// is the sharded pipeline's k-mer count shuffle, done at submission time.
+void submit_kmer_stream(runtime::PoolRunner& runner, PimHashTable& table,
                         const std::vector<dna::Sequence>& reads,
                         std::size_t k, const runtime::CancelToken* cancel) {
   constexpr std::size_t kKmerBatch = 128;
-  std::vector<std::vector<assembly::Kmer>> pending(engine.channels());
-  auto flush = [&](std::size_t channel) {
-    if (pending[channel].empty()) return;
-    engine.submit(channel, [&table, batch = std::move(pending[channel])] {
-      for (const auto& km : batch) table.insert_or_increment(km);
-    });
-    pending[channel] = {};
-    pending[channel].reserve(kKmerBatch);
+  // One pending batch per (device, channel) slot, devices-major.
+  std::vector<std::size_t> slot_base(runner.devices() + 1, 0);
+  for (std::size_t d = 0; d < runner.devices(); ++d)
+    slot_base[d + 1] = slot_base[d] + runner.engine(d).channels();
+  std::vector<std::vector<assembly::Kmer>> pending(slot_base.back());
+  auto flush = [&](std::size_t device, std::size_t channel) {
+    auto& batch = pending[slot_base[device] + channel];
+    if (batch.empty()) return;
+    runner.engine(device).submit(
+        channel, [&table, batch = std::move(batch)] {
+          for (const auto& km : batch) table.insert_or_increment(km);
+        });
+    batch = {};
+    batch.reserve(kKmerBatch);
   };
 
   // Live progress counters: bumped on the controller thread only, once per
@@ -86,10 +94,13 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
     }
     assembly::Kmer window = assembly::Kmer::from_sequence(read, 0, k);
     for (std::size_t i = 0;; ++i) {
-      const std::size_t channel = engine.channel_of(
-          table.shard_subarray_flat(table.shard_for(window)));
-      pending[channel].push_back(window);
-      if (pending[channel].size() >= kKmerBatch) flush(channel);
+      const std::size_t flat =
+          table.shard_subarray_flat(table.shard_for(window));
+      const std::size_t device = runner.owner_of(flat);
+      const std::size_t channel = runner.engine(device).channel_of(flat);
+      auto& batch = pending[slot_base[device] + channel];
+      batch.push_back(window);
+      if (batch.size() >= kKmerBatch) flush(device, channel);
       if (i + k >= read.size()) break;
       window = window.rolled(read.at(i + k));
     }
@@ -98,8 +109,9 @@ void submit_kmer_stream(runtime::Engine& engine, PimHashTable& table,
       kmers_ctr->add(static_cast<double>(read.size() - k + 1));
     }
   }
-  for (std::size_t c = 0; c < pending.size(); ++c) flush(c);
-  engine.drain();
+  for (std::size_t d = 0; d < runner.devices(); ++d)
+    for (std::size_t c = 0; c < runner.engine(d).channels(); ++c) flush(d, c);
+  runner.drain();
 }
 
 // The run configuration the remaining stages' command streams depend on —
@@ -109,6 +121,7 @@ runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
   runtime::CheckpointFingerprint fp;
   fp.k = o.k;
   fp.hash_shards = o.hash_shards;
+  fp.devices = o.devices;
   fp.graph_intervals = o.graph_intervals;
   fp.use_multiplicity = o.use_multiplicity;
   fp.euler_contigs = o.euler_contigs;
@@ -132,8 +145,13 @@ runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
 PipelineResult run_pipeline(dram::Device& device,
                             const std::vector<dna::Sequence>& reads,
                             const PipelineOptions& options) {
+  PIMA_CHECK(options.devices >= 1, "need at least one device");
   PipelineResult result;
-  device.clear_stats();
+  // Shard plan: the caller's device is shard 0; the pool owns the rest for
+  // the duration of the run. With devices == 1 every pool call collapses
+  // to the classic single-device path (same folds, same engine).
+  runtime::DevicePool pool(device, options.devices);
+  pool.clear_stats();
 
   PIMA_TEL_NAME_TRACK(runtime::Engine::kMainTrack, "main");
   PIMA_TEL_SET_THREAD_TRACK(runtime::Engine::kMainTrack);
@@ -183,18 +201,19 @@ PipelineResult run_pipeline(dram::Device& device,
   engine_options.queue_capacity = options.queue_capacity;
   engine_options.capture_trace = options.capture_trace;
   engine_options.stall_timeout_ms = options.stall_timeout_ms;
-  runtime::Engine engine(device, engine_options);
+  runtime::PoolRunner runner(pool, engine_options);
 
   // Fault-aware execution: attach the Table-I-calibrated fault model to
-  // the device and route the table's critical probes through the recovery
-  // layer. When faults are off and recovery is kOff (the default), nothing
-  // here runs and the pipeline is bit-identical to the unfaulted build.
-  device.enable_faults(options.fault);
+  // every pool device and route the table's critical probes through the
+  // recovery layer. When faults are off and recovery is kOff (the
+  // default), nothing here runs and the pipeline is bit-identical to the
+  // unfaulted build.
+  pool.enable_faults(options.fault);
   std::unique_ptr<runtime::RecoveryManager> recovery;
   if (options.fault.enabled() ||
       options.recovery.mode != runtime::RecoveryMode::kOff)
     recovery =
-        std::make_unique<runtime::RecoveryManager>(device, options.recovery);
+        std::make_unique<runtime::RecoveryManager>(pool, options.recovery);
 
   // ---- Checkpoint/resume plumbing ----
   const runtime::CheckpointFingerprint fingerprint =
@@ -248,29 +267,45 @@ PipelineResult run_pipeline(dram::Device& device,
   } else {
     PIMA_TEL_SPAN("stage:hashmap");
     if (options.cancel != nullptr) options.cancel->throw_if_requested();
-    PimHashTable table(device, options.hash_shards);
+    PimHashTable table(pool, options.hash_shards);
     table.bind_key_length(options.k);
     table.attach_recovery(recovery.get());
     try {
-      submit_kmer_stream(engine, table, reads, options.k, options.cancel);
-      entries = table.extract();
+      submit_kmer_stream(runner, table, reads, options.k, options.cancel);
+      if (pool.plan().sharded()) {
+        // K-mer count shuffle: each owner streams its shards to the
+        // controller through the stage-boundary exchange, merged by shard
+        // index — the same (shard, slot) order extract() produces on one
+        // device.
+        runtime::Exchange<std::pair<assembly::Kmer, std::uint32_t>>
+            shuffle(pool.size());
+        for (std::size_t s = 0; s < table.shard_count(); ++s) {
+          const std::size_t owner =
+              pool.owner_of(table.shard_subarray_flat(s));
+          for (auto& entry : table.extract_shard(s))
+            shuffle.push(owner, 0, s, std::move(entry));
+        }
+        entries = shuffle.gather(0);
+      } else {
+        entries = table.extract();
+      }
     } catch (const SimulationError&) {
       // In-flight insert tasks reference `table`; stop the channels before
       // the unwind destroys it (a failed shard otherwise races workers
       // against the destructor — use-after-free). Then drain to surface
       // the root task failure (e.g. "hash shard full") instead of the
       // fail-fast submit refusal that unwound us here.
-      engine.quiesce();
-      engine.drain();
+      runner.quiesce();
+      runner.drain();
       throw;
     } catch (...) {
-      engine.quiesce();  // same race on the cancel path
+      runner.quiesce();  // same race on the cancel path
       throw;
     }
     result.distinct_kmers = table.distinct_kmers();
-    result.hashmap = {device.roll_up(), "hashmap"};
-    export_stage("hashmap", result.hashmap.device, device.command_roll_up());
-    device.clear_stats();
+    result.hashmap = {pool.roll_up(), "hashmap"};
+    export_stage("hashmap", result.hashmap.device, pool.command_roll_up());
+    pool.clear_stats();
     snap.distinct_kmers = result.distinct_kmers;
     snap.kmer_entries = entries;
     snap.hashmap = result.hashmap.device;
@@ -300,9 +335,9 @@ PipelineResult run_pipeline(dram::Device& device,
     const std::size_t graph_base = options.hash_shards;
     const std::size_t graph_arrays = std::max<std::size_t>(
         1, std::min(options.hash_shards,
-                    device.geometry().total_subarrays() - graph_base));
-    const std::size_t data_rows = device.geometry().data_rows();
-    const BitVector row_image(device.geometry().columns);
+                    pool.total_subarrays() - graph_base));
+    const std::size_t data_rows = pool.geometry().data_rows();
+    const BitVector row_image(pool.geometry().columns);
     // Submitted in bounded slices: in-flight memory stays constant and the
     // queues' backpressure paces the controller.
     constexpr std::size_t kProgramSlice = 8192;
@@ -319,7 +354,7 @@ PipelineResult run_pipeline(dram::Device& device,
       inserts.push_back(std::move(inst));
       if (inserts.size() >= kProgramSlice) {
         if (options.cancel != nullptr) options.cancel->throw_if_requested();
-        engine.submit_program(std::move(inserts));
+        runner.submit_program(std::move(inserts));
         inserts = {};
         inserts.reserve(kProgramSlice);
       }
@@ -329,11 +364,11 @@ PipelineResult run_pipeline(dram::Device& device,
       mem_insert();  // node 2 (suffix) insert
       mem_insert();  // edge-list insert
     }
-    engine.submit_program(std::move(inserts));
-    engine.drain();
-    result.debruijn = {device.roll_up(), "debruijn"};
-    export_stage("debruijn", result.debruijn.device, device.command_roll_up());
-    device.clear_stats();
+    runner.submit_program(std::move(inserts));
+    runner.drain();
+    result.debruijn = {pool.roll_up(), "debruijn"};
+    export_stage("debruijn", result.debruijn.device, pool.command_roll_up());
+    pool.clear_stats();
     snap.graph_edges.clear();
     snap.graph_edges.reserve(graph.edge_count());
     for (const auto& e : graph.edges())
@@ -353,18 +388,32 @@ PipelineResult run_pipeline(dram::Device& device,
     PIMA_TEL_SPAN("stage:traverse");
     if (options.cancel != nullptr) options.cancel->throw_if_requested();
     const GraphPartition partition =
-        partition_fitting(graph, device.geometry(), options.graph_intervals);
-    const DegreeResult degrees = pim_degrees(device, graph, partition, &engine);
+        partition_fitting(graph, pool.geometry(), options.graph_intervals);
+    const DegreeResult degrees = pim_degrees(pool, graph, partition, &runner);
     // The controller uses the PIM-computed degrees to pick Euler start
     // vertices; the walk itself streams edge lookups (one row read each),
     // batched into per-channel ROW_READ programs.
     (void)degrees;
-    result.contigs =
+    std::vector<dna::Sequence> walks =
         options.euler_contigs
             ? assembly::contigs_from_euler(graph, options.traversal)
             : assembly::contigs_from_unitigs(graph);
     const std::size_t arrays = std::max<std::size_t>(1, options.hash_shards);
-    const std::size_t data_rows = device.geometry().data_rows();
+    if (pool.plan().sharded()) {
+      // Contig hand-off: each walk is attributed to the device owning its
+      // start shard and handed back through the stage-boundary exchange
+      // keyed by walk index, so the final contig order is walk order for
+      // any device count.
+      runtime::Exchange<dna::Sequence> handoff(pool.size());
+      for (std::size_t w = 0; w < walks.size(); ++w) {
+        const std::size_t owner = pool.owner_of(w % arrays);
+        handoff.push(owner, 0, w, std::move(walks[w]));
+      }
+      result.contigs = handoff.gather(0);
+    } else {
+      result.contigs = std::move(walks);
+    }
+    const std::size_t data_rows = pool.geometry().data_rows();
     constexpr std::size_t kProgramSlice = 8192;
     dram::Program lookups;
     lookups.reserve(kProgramSlice);
@@ -377,16 +426,16 @@ PipelineResult run_pipeline(dram::Device& device,
       lookups.push_back(std::move(inst));
       if (lookups.size() >= kProgramSlice) {
         if (options.cancel != nullptr) options.cancel->throw_if_requested();
-        engine.submit_program(std::move(lookups));
+        runner.submit_program(std::move(lookups));
         lookups = {};
         lookups.reserve(kProgramSlice);
       }
     }
-    engine.submit_program(std::move(lookups));
-    engine.drain();
-    result.traverse = {device.roll_up(), "traverse"};
-    export_stage("traverse", result.traverse.device, device.command_roll_up());
-    device.clear_stats();
+    runner.submit_program(std::move(lookups));
+    runner.drain();
+    result.traverse = {pool.roll_up(), "traverse"};
+    export_stage("traverse", result.traverse.device, pool.command_roll_up());
+    pool.clear_stats();
     snap.contigs = result.contigs;
     snap.traverse = result.traverse.device;
     write_checkpoint(3);
@@ -394,9 +443,10 @@ PipelineResult run_pipeline(dram::Device& device,
 
   result.contig_stats = assembly::compute_stats(result.contigs);
   result.fault_stats = fault_now();
+  if (options.capture_trace) result.trace = pool.captured_program();
   if (telemetry::metrics_enabled()) {
     auto& registry = telemetry::metrics();
-    engine.export_metrics(registry);
+    runner.export_metrics(registry);
     if (recovery) recovery->export_metrics(registry);
     registry
         .gauge("pima_pipeline_distinct_kmers", "distinct k-mers counted")

@@ -36,6 +36,7 @@
 #include "core/pim_hash_table.hpp"
 #include "dram/device.hpp"
 #include "dram/fault.hpp"
+#include "dram/isa.hpp"
 #include "runtime/cancel.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/recovery.hpp"
@@ -50,10 +51,21 @@ struct PipelineOptions {
   bool euler_contigs = true;       ///< Euler walks vs unitigs
   assembly::TraversalAlgorithm traversal =
       assembly::TraversalAlgorithm::kHierholzer;
-  /// Runtime channel executors. 1 = single-threaded fallback (tasks run
-  /// inline on the caller, the pre-runtime behaviour); 0 = one channel per
-  /// hardware thread.
+  /// Runtime channel executors per device. 1 = single-threaded fallback
+  /// (tasks run inline on the caller, the pre-runtime behaviour); 0 = one
+  /// channel per hardware thread. With devices > 1 every device gets its
+  /// own engine with this many channels (total workers = devices ×
+  /// threads).
   std::size_t threads = 1;
+  /// Simulated devices the run is sharded over (runtime/shard.hpp). The
+  /// caller's device is shard 0; the pipeline owns the rest for the run.
+  /// Sub-arrays are partitioned owner = flat % devices — for the hash
+  /// table that is owner = hash(canonical_kmer) % devices — and every
+  /// output (contigs, per-stage DeviceStats, model-class metrics,
+  /// checkpoints) is bit-identical for any value. Unlike threads, the
+  /// device count IS part of the checkpoint fingerprint: a resume must use
+  /// the device count the snapshot was cut under.
+  std::size_t devices = 1;
   /// Per-channel command-queue capacity (backpressure bound).
   std::size_t queue_capacity = 64;
   /// Stochastic fault injection (Table I calibrated). Defaults to
@@ -120,6 +132,11 @@ struct PipelineResult {
   /// recovery off). `injected` counts raw bit flips the fault model
   /// applied; the rest count the recovery layer's responses.
   runtime::FaultStats fault_stats;
+  /// With capture_trace: the replayable AAP program, merged across the
+  /// device pool in logical flat order — identical for every device count
+  /// (the extra pool devices die with the run, so their traces are
+  /// harvested here). Empty when capture_trace is off.
+  dram::Program trace;
 
   dram::DeviceStats total() const;
 };

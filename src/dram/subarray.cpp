@@ -1,5 +1,7 @@
 #include "dram/subarray.hpp"
 
+#include <utility>
+
 namespace pima::dram {
 
 Subarray::Subarray(const Geometry& geometry, const circuit::Technology& tech)
@@ -107,9 +109,11 @@ void Subarray::aap_xnor(RowAddr xa, RowAddr xb, RowAddr dst) {
   if (fault_ != nullptr)
     fault_->corrupt_activation(CommandKind::kAapTwoRow, {xa, xb}, result);
   // Charge sharing destroys both operands; the SA restores the result.
+  // dst may alias an operand row — move into it only when it is distinct,
+  // or the dst store would read the just-overwritten operand.
   rows_[xa] = result;
   rows_[xb] = result;
-  rows_[dst] = result;
+  if (dst != xa && dst != xb) rows_[dst] = std::move(result);
 }
 
 void Subarray::aap_xor(RowAddr xa, RowAddr xb, RowAddr dst) {
@@ -123,7 +127,7 @@ void Subarray::aap_xor(RowAddr xa, RowAddr xb, RowAddr dst) {
     fault_->corrupt_activation(CommandKind::kAapTwoRow, {xa, xb}, result);
   rows_[xa] = result;
   rows_[xb] = result;
-  rows_[dst] = result;
+  if (dst != xa && dst != xb) rows_[dst] = std::move(result);
 }
 
 void Subarray::aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst) {
@@ -140,8 +144,10 @@ void Subarray::aap_tra_carry(RowAddr xa, RowAddr xb, RowAddr xc, RowAddr dst) {
   rows_[xa] = maj;
   rows_[xb] = maj;
   rows_[xc] = maj;
-  rows_[dst] = maj;
-  latch_ = maj;
+  // add_vertical issues TRA with dst == xc, so the alias case is routine
+  // production traffic, not a controller error.
+  if (dst != xa && dst != xb && dst != xc) rows_[dst] = maj;
+  latch_ = std::move(maj);
 }
 
 void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
@@ -156,7 +162,7 @@ void Subarray::sum_cycle(RowAddr xa, RowAddr xb, RowAddr dst) {
     fault_->corrupt_activation(CommandKind::kSumCycle, {xa, xb}, sum);
   rows_[xa] = sum;
   rows_[xb] = sum;
-  rows_[dst] = sum;
+  if (dst != xa && dst != xb) rows_[dst] = std::move(sum);
 }
 
 void Subarray::reset_latch() {

@@ -102,6 +102,7 @@ class Reader {
 void put_fingerprint(Writer& w, const CheckpointFingerprint& f) {
   w.u64(f.k);
   w.u64(f.hash_shards);
+  w.u64(f.devices);
   w.u32(f.graph_intervals);
   w.u8(f.use_multiplicity ? 1 : 0);
   w.u8(f.euler_contigs ? 1 : 0);
@@ -123,6 +124,7 @@ CheckpointFingerprint get_fingerprint(Reader& r) {
   CheckpointFingerprint f;
   f.k = r.u64();
   f.hash_shards = r.u64();
+  f.devices = r.u64();
   f.graph_intervals = r.u32();
   f.use_multiplicity = r.u8() != 0;
   f.euler_contigs = r.u8() != 0;
@@ -312,6 +314,7 @@ std::string CheckpointFingerprint::diff(
     const CheckpointFingerprint& o) const {
   if (k != o.k) return "k";
   if (hash_shards != o.hash_shards) return "hash_shards";
+  if (devices != o.devices) return "devices";
   if (graph_intervals != o.graph_intervals) return "graph_intervals";
   if (use_multiplicity != o.use_multiplicity) return "use_multiplicity";
   if (euler_contigs != o.euler_contigs) return "euler_contigs";

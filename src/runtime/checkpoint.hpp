@@ -51,7 +51,10 @@
 
 namespace pima::runtime {
 
-inline constexpr std::uint32_t kCheckpointVersion = 1;
+// Version 2 added the `devices` fingerprint field (multi-device sharding,
+// DESIGN.md §14). Older snapshots are rejected as corrupt rather than
+// silently resumed under a possibly different shard layout.
+inline constexpr std::uint32_t kCheckpointVersion = 2;
 
 /// Run configuration pinned by a snapshot. A resume whose live
 /// configuration differs in any field is rejected with
@@ -61,6 +64,10 @@ struct CheckpointFingerprint {
   // Pipeline shape.
   std::uint64_t k = 0;
   std::uint64_t hash_shards = 0;
+  /// Simulated device count (ShardPlan). Pinned — unlike --threads —
+  /// because the shard fingerprint is part of the run's identity: stage
+  /// snapshots were cut under a specific owner = flat % devices layout.
+  std::uint64_t devices = 1;
   std::uint32_t graph_intervals = 0;
   bool use_multiplicity = false;
   bool euler_contigs = false;

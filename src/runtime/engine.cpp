@@ -67,7 +67,9 @@ Engine::Engine(dram::Device& device, EngineOptions options)
   PIMA_CHECK(options_.stall_timeout_ms >= 0.0,
              "stall timeout must be non-negative");
   if (options_.capture_trace) device_.enable_tracing();
-  if (channels() == 1) return;  // inline fallback: no workers, no queues
+  // Inline fallback: no workers, no queues. force_worker opts out so a
+  // device pool's single-channel per-device engines still run concurrently.
+  if (channels() == 1 && !options_.force_worker) return;
   channels_.reserve(channels());
   for (std::size_t c = 0; c < channels(); ++c) {
     channels_.push_back(std::make_unique<Channel>(options_.queue_capacity));

@@ -70,6 +70,13 @@ struct EngineOptions {
   /// 0 disables supervision. Ignored in the inline (channels == 1)
   /// fallback, where tasks run synchronously on the caller.
   double stall_timeout_ms = 0.0;
+  /// Spawns a real worker thread even for channels == 1 instead of the
+  /// inline fallback. The device-pool runner (runtime/shard.hpp) sets this
+  /// so N single-channel per-device engines execute concurrently — without
+  /// it, a pool at --threads 1 would serialize every device on the
+  /// controller thread. Model results are unaffected either way (the
+  /// determinism contract above covers channels == 1 with a worker too).
+  bool force_worker = false;
 };
 
 class Engine {

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "runtime/shard.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -208,8 +209,27 @@ void RecoveryExecutor::tra_majority(dram::RowAddr a, dram::RowAddr b,
 
 RecoveryManager::RecoveryManager(dram::Device& device,
                                  const RecoveryOptions& options)
-    : device_(device), options_(options) {
+    : device_(&device), options_(options) {
   executors_.resize(device.geometry().total_subarrays());
+}
+
+RecoveryManager::RecoveryManager(DevicePool& pool,
+                                 const RecoveryOptions& options)
+    : pool_(&pool), options_(options) {
+  executors_.resize(pool.total_subarrays());
+}
+
+dram::Subarray& RecoveryManager::resolve_subarray(std::size_t flat) {
+  return pool_ ? pool_->subarray(flat) : device_->subarray(flat);
+}
+
+const dram::Subarray* RecoveryManager::resolve_subarray_if(
+    std::size_t flat) const {
+  return pool_ ? pool_->subarray_if(flat) : device_->subarray_if(flat);
+}
+
+dram::InjectionCounters RecoveryManager::injection_total() const {
+  return pool_ ? pool_->injection_roll_up() : device_->injection_roll_up();
 }
 
 RecoveryExecutor& RecoveryManager::executor_for(std::size_t subarray_flat) {
@@ -217,7 +237,7 @@ RecoveryExecutor& RecoveryManager::executor_for(std::size_t subarray_flat) {
              "sub-array index out of device");
   if (!executors_[subarray_flat])
     executors_[subarray_flat] = std::make_unique<RecoveryExecutor>(
-        device_.subarray(subarray_flat), options_);
+        resolve_subarray(subarray_flat), options_);
   return *executors_[subarray_flat];
 }
 
@@ -234,7 +254,7 @@ std::vector<FaultStats> RecoveryManager::per_channel_stats(
   for (std::size_t flat = 0; flat < executors_.size(); ++flat) {
     FaultStats& s = out[scheduler.channel_of(flat)];
     if (executors_[flat]) s += executors_[flat]->stats();
-    const dram::Subarray* sa = device_.subarray_if(flat);
+    const dram::Subarray* sa = resolve_subarray_if(flat);
     if (sa != nullptr && sa->fault_injector() != nullptr)
       s.injected += sa->fault_injector()->counters().total_flips();
   }
@@ -245,7 +265,7 @@ FaultStats RecoveryManager::roll_up() const {
   FaultStats total;
   for (const auto& ex : executors_)
     if (ex) total += ex->stats();
-  total.injected = device_.injection_roll_up().total_flips();
+  total.injected = injection_total().total_flips();
   return total;
 }
 
@@ -282,7 +302,7 @@ void RecoveryManager::export_metrics(
   registry
       .counter("pima_fault_injected_total",
                "corrupted columns injected (ground truth)")
-      .add(static_cast<double>(device_.injection_roll_up().total_flips()));
+      .add(static_cast<double>(injection_total().total_flips()));
 }
 
 }  // namespace pima::runtime

@@ -50,6 +50,8 @@
 
 namespace pima::runtime {
 
+class DevicePool;  // runtime/shard.hpp — recovery spans a sharded pool too
+
 enum class RecoveryMode {
   kOff,    ///< execute unverified (faults land in the results)
   kRetry,  ///< verify-after-op + bounded re-execution
@@ -176,8 +178,12 @@ class RecoveryExecutor {
 class RecoveryManager {
  public:
   RecoveryManager(dram::Device& device, const RecoveryOptions& options);
+  /// Pool-backed manager: executors resolve sub-arrays through the pool's
+  /// owner routing, so one manager covers every shard. The determinism
+  /// story is unchanged — executors are per logical flat, and FaultStats
+  /// counters are integral, so folds commute exactly.
+  RecoveryManager(DevicePool& pool, const RecoveryOptions& options);
 
-  dram::Device& device() { return device_; }
   const RecoveryOptions& options() const { return options_; }
 
   RecoveryExecutor& executor_for(std::size_t subarray_flat);
@@ -199,7 +205,12 @@ class RecoveryManager {
   void export_metrics(telemetry::MetricsRegistry& registry) const;
 
  private:
-  dram::Device& device_;
+  dram::Subarray& resolve_subarray(std::size_t flat);
+  const dram::Subarray* resolve_subarray_if(std::size_t flat) const;
+  dram::InjectionCounters injection_total() const;
+
+  dram::Device* device_ = nullptr;  ///< exactly one of device_/pool_ is set
+  DevicePool* pool_ = nullptr;
   RecoveryOptions options_;
   std::vector<std::unique_ptr<RecoveryExecutor>> executors_;
 };

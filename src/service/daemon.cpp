@@ -29,6 +29,13 @@ namespace {
 
 constexpr const char* kContigsFile = "contigs.fa";
 
+/// What a job charges against the daemon's --channel-budget: a sharded job
+/// runs `devices` engines of `channels` workers each, so it occupies the
+/// full product while running.
+std::size_t channel_cost(const JobSpec& spec) {
+  return spec.devices * spec.channels;
+}
+
 /// Exception class name recorded in JobRecord::error_type — the same
 /// taxonomy exit_code_for maps to process exit codes, here as a string so
 /// a client can branch on it.
@@ -149,7 +156,7 @@ void Daemon::recover_jobs() {
       // resume path continues from the last snapshot.
       try {
         queue_.restore(id, entry->record.spec.priority, entry->record.seq,
-                       entry->record.spec.channels);
+                       channel_cost(entry->record.spec));
         entry->record.state = JobState::kQueued;
         service_registry_
             .counter("pima_service_jobs_recovered_total",
@@ -201,7 +208,7 @@ void Daemon::maybe_dispatch() {
     entry.record.state = JobState::kAdmitted;
     persist(entry);
     ++running_jobs_;
-    used_channels_ += entry.record.spec.channels;
+    used_channels_ += channel_cost(entry.record.spec);
     if (entry.runner.joinable()) entry.runner.join();  // prior incarnation
     entry.runner = std::thread([this, &entry] { run_job(entry); });
   }
@@ -240,6 +247,7 @@ void Daemon::run_job(JobEntry& entry) {
     opt.hash_shards = spec.hash_shards;
     opt.euler_contigs = spec.euler;
     opt.threads = spec.channels;
+    opt.devices = spec.devices;
     opt.stall_timeout_ms = spec.stall_timeout_ms;
     opt.checkpoint_dir = dir;
     opt.resume = true;  // continue from any durable stage snapshot
@@ -295,7 +303,7 @@ void Daemon::run_job(JobEntry& entry) {
                telemetry::MetricClass::kHost)
       .increment();
   --running_jobs_;
-  used_channels_ -= entry.record.spec.channels;
+  used_channels_ -= channel_cost(entry.record.spec);
   maybe_dispatch();  // a finished job may unblock the queue head
 }
 
@@ -362,7 +370,7 @@ Json Daemon::verb_submit(const Json& request) {
   const std::string id = id_buf;
   const std::uint64_t seq = next_seq_;
   try {
-    queue_.push(id, spec.priority, seq, spec.channels);
+    queue_.push(id, spec.priority, seq, channel_cost(spec));
   } catch (const AdmissionRejectedError& e) {
     reject(e.what());
   }

@@ -50,7 +50,11 @@ struct JobSpec {
   std::string reads_path;          ///< FASTA/FASTQ the daemon reads
   std::size_t k = 17;              ///< k-mer length (4..64)
   std::size_t hash_shards = 16;    ///< hash-table sub-arrays (1..4096)
-  std::size_t channels = 1;        ///< per-job channel quota (1..1024)
+  std::size_t channels = 1;        ///< per-device channel quota (1..1024)
+  std::size_t devices = 1;         ///< simulated devices the job shards
+                                   ///< over (1..64); admission charges
+                                   ///< devices × channels against the
+                                   ///< daemon's --channel-budget
   bool euler = false;              ///< Euler walks vs unitigs
   int priority = 0;                ///< higher runs first; FIFO within equal
   double stall_timeout_ms = 0.0;   ///< per-job watchdog budget (0 = off)

@@ -52,6 +52,16 @@ expect_exit(0 ${CLI} pim-run --reads ${WORK}/r.fa --k 15 --threads 1
 expect_exit(5 ${CLI} pim-run --reads ${WORK}/r.fa --k 17
             --checkpoint-dir ${WORK}/ckpt --resume)
 
+# Sharded checkpointed run, resumed at a different thread count -> 0; the
+# device count is pinned by the fingerprint, so resuming under a
+# different --devices -> 5 (incompatible checkpoint).
+expect_exit(0 ${CLI} pim-run --reads ${WORK}/r.fa --k 15 --threads 2
+            --devices 4 --checkpoint-dir ${WORK}/ckpt_dev)
+expect_exit(0 ${CLI} pim-run --reads ${WORK}/r.fa --k 15 --threads 1
+            --devices 4 --checkpoint-dir ${WORK}/ckpt_dev --resume)
+expect_exit(5 ${CLI} pim-run --reads ${WORK}/r.fa --k 15
+            --checkpoint-dir ${WORK}/ckpt_dev --resume)
+
 # Damaged checkpoint -> 5. Trailing garbage breaks the header's payload
 # size; overwriting breaks the magic. (Exhaustive single-byte-flip coverage
 # lives in test_checkpoint.cpp.)

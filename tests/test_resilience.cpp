@@ -79,23 +79,29 @@ void expect_bit_identical(const PipelineResult& a, const PipelineResult& b) {
 // the hardest crash there is: no stack unwinding, no flushes. Then
 // resumes in-process and compares against the golden uninterrupted run.
 void kill_and_resume(std::size_t kill_threads, std::size_t resume_threads,
-                     std::uint32_t kill_after_stage) {
+                     std::uint32_t kill_after_stage,
+                     std::size_t devices = 1) {
   const auto reads = workload_reads();
   const std::string dir =
       fresh_dir("kill_s" + std::to_string(kill_after_stage) + "_t" +
                 std::to_string(kill_threads) + "_" +
-                std::to_string(resume_threads));
+                std::to_string(resume_threads) + "_d" +
+                std::to_string(devices));
 
-  // Golden: uninterrupted, no checkpointing at all.
+  // Golden: uninterrupted, no checkpointing at all. The fingerprint pins
+  // the device count (sharding changes what a snapshot means), so the
+  // golden run shards the same way.
+  PipelineOptions golden_opt = base_options(resume_threads);
+  golden_opt.devices = devices;
   dram::Device golden_dev(pipeline_geometry());
-  const auto golden =
-      run_pipeline(golden_dev, reads, base_options(resume_threads));
+  const auto golden = run_pipeline(golden_dev, reads, golden_opt);
 
   const pid_t pid = fork();
   ASSERT_GE(pid, 0) << "fork failed";
   if (pid == 0) {
     // Child: die the moment the target stage's checkpoint hits disk.
     PipelineOptions opt = base_options(kill_threads);
+    opt.devices = devices;
     opt.checkpoint_dir = dir;
     opt.on_checkpoint = [&](std::uint32_t stage, const std::string&) {
       if (stage == kill_after_stage) raise(SIGKILL);
@@ -115,6 +121,7 @@ void kill_and_resume(std::size_t kill_threads, std::size_t resume_threads,
   // Resume — possibly at a different thread count than the killed run; the
   // runtime's determinism contract makes that legal.
   PipelineOptions opt = base_options(resume_threads);
+  opt.devices = devices;
   opt.checkpoint_dir = dir;
   opt.resume = true;
   dram::Device dev(pipeline_geometry());
@@ -135,6 +142,37 @@ TEST(Resilience, KillAfterStage2ResumesAcrossThreadCounts) {
   // Checkpointed at 4 channels, resumed at 1 — the fingerprint
   // deliberately excludes the channel count.
   kill_and_resume(/*kill_threads=*/4, /*resume_threads=*/1, 2);
+}
+
+TEST(Resilience, KillShardedRunResumesAcrossThreadCounts) {
+  // A 4-device sharded run killed after stage 1 and resumed at a
+  // different per-device channel count: devices are pinned by the
+  // fingerprint, threads are not, and the resumed output must still be
+  // bit-identical to the uninterrupted sharded run.
+  kill_and_resume(/*kill_threads=*/2, /*resume_threads=*/1, 1,
+                  /*devices=*/4);
+}
+
+TEST(Resilience, ResumeWithMismatchedDevicesRejected) {
+  // The device count changes snapshot meaning (owner_of partitions the
+  // flat space), so resuming a 4-device checkpoint on 1 device must be
+  // refused as corrupt configuration, not silently re-sharded.
+  const auto reads = workload_reads();
+  const std::string dir = fresh_dir("mismatch_devices");
+  {
+    PipelineOptions opt = base_options(1);
+    opt.devices = 4;
+    opt.checkpoint_dir = dir;
+    dram::Device dev(pipeline_geometry());
+    (void)run_pipeline(dev, reads, opt);
+  }
+  PipelineOptions other = base_options(1);
+  other.devices = 1;  // not the checkpointed run's device count
+  other.checkpoint_dir = dir;
+  other.resume = true;
+  dram::Device dev(pipeline_geometry());
+  EXPECT_THROW((void)run_pipeline(dev, reads, other), CorruptCheckpointError);
+  fs::remove_all(dir);
 }
 
 TEST(Resilience, ResumeFromEveryStageBoundaryMatchesGolden) {

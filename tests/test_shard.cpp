@@ -1,0 +1,311 @@
+// Cross-shard determinism battery (ctest -L shard, DESIGN.md §14).
+//
+// The multi-device contract: a run sharded over any number of simulated
+// devices is indistinguishable — bit for bit — from the single-device run.
+// The battery pins every observable surface: contigs, per-stage DeviceStats
+// roll-ups, the model-class Prometheus snapshot, the merged command trace,
+// and the per-device command sub-streams replayed through the golden model.
+// Plus the algebra the device-indexed reductions rely on: DeviceStats /
+// FaultStats fold properties and the Exchange merge discipline.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/bitvector.hpp"
+#include "core/pipeline.hpp"
+#include "dna/genome.hpp"
+#include "dram/device.hpp"
+#include "dram/isa.hpp"
+#include "runtime/recovery.hpp"
+#include "runtime/shard.hpp"
+#include "telemetry/session.hpp"
+#include "verify/fuzz.hpp"
+
+namespace pima {
+namespace {
+
+dram::Geometry pipeline_geometry() {
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 16;
+  g.mats_per_bank = 4;
+  g.banks = 2;
+  return g;
+}
+
+std::vector<dna::Sequence> workload_reads(std::uint64_t seed) {
+  dna::GenomeParams gp;
+  gp.length = 700;
+  gp.repeat_count = 0;
+  gp.seed = seed;
+  dna::ReadSamplerParams rp;
+  rp.coverage = 6.0;
+  rp.read_length = 70;
+  rp.seed = seed + 1;
+  return dna::sample_reads(dna::generate_genome(gp), rp);
+}
+
+struct RunOutput {
+  core::PipelineResult result;
+  std::string model_snapshot;  ///< json_snapshot(model_only) — byte oracle
+};
+
+RunOutput run_config(const std::vector<dna::Sequence>& reads,
+                     std::size_t devices, std::size_t threads,
+                     bool capture = false) {
+  auto& session = telemetry::TelemetrySession::instance();
+  session.reset();
+  session.enable_metrics();
+  dram::Device device(pipeline_geometry());
+  core::PipelineOptions opt;
+  opt.k = 15;
+  opt.hash_shards = 8;
+  opt.devices = devices;
+  opt.threads = threads;
+  opt.capture_trace = capture;
+  RunOutput out;
+  out.result = core::run_pipeline(device, reads, opt);
+  out.model_snapshot = session.metrics().json_snapshot(/*model_only=*/true);
+  session.reset();
+  return out;
+}
+
+void expect_bit_identical(const core::PipelineResult& a,
+                          const core::PipelineResult& b) {
+  EXPECT_EQ(a.contigs, b.contigs);
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  EXPECT_EQ(a.graph_nodes, b.graph_nodes);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.hashmap.device, b.hashmap.device);
+  EXPECT_EQ(a.debruijn.device, b.debruijn.device);
+  EXPECT_EQ(a.traverse.device, b.traverse.device);
+  EXPECT_EQ(a.fault_stats, b.fault_stats);
+}
+
+// ---- the battery: devices × threads × seeds --------------------------------
+
+TEST(ShardBattery, OutputsBitIdenticalAcrossDeviceAndThreadCounts) {
+  for (const std::uint64_t seed : {std::uint64_t{101}, std::uint64_t{202}}) {
+    const auto reads = workload_reads(seed);
+    const auto baseline = run_config(reads, 1, 1);
+    ASSERT_FALSE(baseline.result.contigs.empty());
+    ASSERT_FALSE(baseline.model_snapshot.empty());
+    for (const std::size_t devices : {1u, 2u, 4u, 16u}) {
+      for (const std::size_t threads : {1u, 4u}) {
+        if (devices == 1 && threads == 1) continue;
+        const auto run = run_config(reads, devices, threads);
+        SCOPED_TRACE("seed=" + std::to_string(seed) +
+                     " devices=" + std::to_string(devices) +
+                     " threads=" + std::to_string(threads));
+        expect_bit_identical(run.result, baseline.result);
+        // The model-class metrics snapshot derives only from simulated
+        // state — equal bytes for every (devices, threads) combination.
+        EXPECT_EQ(run.model_snapshot, baseline.model_snapshot);
+      }
+    }
+  }
+}
+
+// ---- per-device differential: captured sub-streams vs golden model ---------
+
+TEST(ShardDifferential, PerDeviceTraceReplaysThroughGoldenModel) {
+  const auto reads = workload_reads(303);
+  const auto single = run_config(reads, 1, 1, /*capture=*/true);
+  const auto sharded = run_config(reads, 4, 1, /*capture=*/true);
+  // The merged capture is itself a determinism oracle: logical flat order,
+  // so equal streams for any device count.
+  ASSERT_FALSE(sharded.result.trace.empty());
+  EXPECT_EQ(sharded.result.trace, single.result.trace);
+
+  verify::FuzzOptions opts;
+  opts.geometry = pipeline_geometry();
+  // Every captured command already executed once on the production pool,
+  // so a rejection during replay is a divergence, not an agreement.
+  opts.diff.accept_symmetric_rejection = false;
+  for (std::size_t d = 0; d < 4; ++d) {
+    dram::Program part;
+    for (const auto& inst : sharded.result.trace)
+      if (inst.subarray % 4 == d) part.push_back(inst);
+    ASSERT_FALSE(part.empty()) << "device " << d << " ran nothing";
+    const auto divergence = verify::run_candidate(part, opts);
+    EXPECT_FALSE(divergence.has_value())
+        << "device " << d << ": " << divergence->report();
+  }
+}
+
+// ---- DevicePool folds vs a single device -----------------------------------
+
+dram::Geometry tiny_geometry() {
+  dram::Geometry g;
+  g.rows = 64;
+  g.compute_rows = 8;
+  g.columns = 64;
+  g.subarrays_per_mat = 4;
+  g.mats_per_bank = 2;
+  g.banks = 1;
+  return g;
+}
+
+// The same command sequence issued through a 3-device pool and through one
+// bare device must produce identical roll-ups (identical doubles — the
+// pool folds in logical flat order, not device order).
+TEST(DevicePoolFolds, MatchSingleDeviceBitForBit) {
+  const auto geom = tiny_geometry();
+  dram::Device single(geom);
+  dram::Device primary(geom);
+  runtime::DevicePool pool(primary, 3);
+
+  const auto issue = [&](auto&& subarray_of) {
+    for (const std::size_t flat : {0u, 1u, 2u, 5u, 7u}) {
+      auto& sa = subarray_of(flat);
+      sa.write_row(0, BitVector(geom.columns));
+      sa.write_row(1, BitVector(geom.columns));
+      sa.aap_copy(0, sa.compute_row(0));
+      sa.aap_copy(1, sa.compute_row(1));
+      sa.aap_xor(sa.compute_row(0), sa.compute_row(1), 2);
+    }
+  };
+  issue([&](std::size_t flat) -> dram::Subarray& {
+    return single.subarray(flat);
+  });
+  issue([&](std::size_t flat) -> dram::Subarray& {
+    return pool.subarray(flat);
+  });
+
+  EXPECT_EQ(pool.roll_up(), single.roll_up());
+  EXPECT_EQ(pool.instantiated_count(), single.instantiated_count());
+  const auto pc = pool.command_roll_up();
+  const auto sc = single.command_roll_up();
+  EXPECT_EQ(pc.total_commands(), sc.total_commands());
+  EXPECT_EQ(pc.busy_ns, sc.busy_ns);
+  EXPECT_EQ(pc.energy_pj, sc.energy_pj);
+  for (std::size_t k = 0; k < dram::kCommandKindCount; ++k)
+    EXPECT_EQ(pc.counts[k], sc.counts[k]) << "command kind " << k;
+
+  // The device axis: per-device partials recombine to the pool totals.
+  const auto parts = pool.per_device_roll_up();
+  ASSERT_EQ(parts.size(), 3u);
+  const auto reduced = runtime::reduce_devices(parts);
+  const auto total = pool.roll_up();
+  EXPECT_EQ(reduced.commands, total.commands);
+  EXPECT_EQ(reduced.subarrays_used, total.subarrays_used);
+  EXPECT_EQ(reduced.time_ns, total.time_ns);  // max over disjoint shards
+}
+
+// ---- fold algebra -----------------------------------------------------------
+
+// Integer-valued doubles below 2^40 add exactly, so the associativity of
+// the device-indexed reduction is testable bit-for-bit (the production
+// folds sidestep rounding entirely by folding in a fixed logical order).
+dram::DeviceStats random_stats(std::mt19937_64& rng) {
+  dram::DeviceStats s;
+  s.time_ns = static_cast<double>(rng() % (1u << 20));
+  s.serial_ns = static_cast<double>(rng() % (1u << 20));
+  s.energy_pj = static_cast<double>(rng() % (1u << 20));
+  s.commands = rng() % 1000;
+  s.subarrays_used = rng() % 64;
+  return s;
+}
+
+runtime::FaultStats random_fault_stats(std::mt19937_64& rng) {
+  runtime::FaultStats f;
+  f.injected = rng() % 1000;
+  f.detected = rng() % 1000;
+  f.retried = rng() % 1000;
+  f.remapped = rng() % 1000;
+  f.escaped = rng() % 1000;
+  f.vote_corrections = rng() % 1000;
+  f.host_fallbacks = rng() % 1000;
+  f.degraded_subarrays = rng() % 1000;
+  return f;
+}
+
+TEST(FoldAlgebra, DeviceStatsAssociativeCommutativeWithIdentity) {
+  std::mt19937_64 rng{7};
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_stats(rng), b = random_stats(rng),
+               c = random_stats(rng);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a + dram::DeviceStats{}, a);
+    EXPECT_EQ(dram::DeviceStats{} + a, a);
+  }
+}
+
+TEST(FoldAlgebra, FaultStatsAssociativeCommutativeWithIdentity) {
+  std::mt19937_64 rng{8};
+  for (int i = 0; i < 100; ++i) {
+    const auto a = random_fault_stats(rng), b = random_fault_stats(rng),
+               c = random_fault_stats(rng);
+    EXPECT_EQ((a + b) + c, a + (b + c));
+    EXPECT_EQ(a + b, b + a);
+    EXPECT_EQ(a + runtime::FaultStats{}, a);
+    EXPECT_EQ(runtime::FaultStats{} + a, a);
+  }
+}
+
+TEST(FoldAlgebra, ReduceDevicesTakesMaxTimeAndAddsTheRest) {
+  dram::DeviceStats a, b;
+  a.time_ns = 10.0;
+  a.serial_ns = 10.0;
+  a.energy_pj = 1.0;
+  a.commands = 3;
+  a.subarrays_used = 2;
+  b.time_ns = 25.0;
+  b.serial_ns = 25.0;
+  b.energy_pj = 2.0;
+  b.commands = 4;
+  b.subarrays_used = 1;
+  const auto r = runtime::reduce_devices({a, b});
+  EXPECT_EQ(r.time_ns, 25.0);    // devices run concurrently
+  EXPECT_EQ(r.serial_ns, 35.0);  // 1-sub-array equivalent adds
+  EXPECT_EQ(r.energy_pj, 3.0);
+  EXPECT_EQ(r.commands, 7u);
+  EXPECT_EQ(r.subarrays_used, 3u);  // disjoint shards
+}
+
+// ---- Exchange merge discipline ---------------------------------------------
+
+TEST(ShardExchange, MergesByKeyThenSrcThenPushOrder) {
+  runtime::Exchange<int> ex(3);
+  ex.push(2, 0, 5, 20);
+  ex.push(0, 0, 5, 10);  // same key: lower src first
+  ex.push(1, 0, 1, 30);  // lowest key first
+  ex.push(0, 0, 5, 11);  // same (key, src): push order
+  EXPECT_EQ(ex.gather(0), (std::vector<int>{30, 10, 11, 20}));
+  EXPECT_TRUE(ex.gather(0).empty());  // gather consumes
+}
+
+TEST(ShardExchange, MergedOrderInvariantUnderDeviceCount) {
+  // The pipeline's usage pattern: item i is produced by its owner and
+  // keyed by a global sequence number. The gathered stream must be the
+  // same ascending-key stream for every device count.
+  const std::vector<int> expected = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9};
+  for (const std::size_t devices : {1u, 2u, 4u, 7u}) {
+    runtime::Exchange<int> ex(devices);
+    // Push in per-owner bursts (the order a real sharded run produces).
+    for (std::size_t owner = 0; owner < devices; ++owner)
+      for (int i = 0; i < 10; ++i)
+        if (static_cast<std::size_t>(i) % devices == owner)
+          ex.push(owner, 0, static_cast<std::uint64_t>(i), i);
+    EXPECT_EQ(ex.gather(0), expected) << devices << " devices";
+  }
+}
+
+TEST(ShardPlanBasics, OwnerPartitionsFlatSpace) {
+  runtime::ShardPlan one;
+  EXPECT_FALSE(one.sharded());
+  EXPECT_EQ(one.owner_of(17), 0u);
+  runtime::ShardPlan four{4};
+  EXPECT_TRUE(four.sharded());
+  for (std::size_t flat = 0; flat < 32; ++flat)
+    EXPECT_EQ(four.owner_of(flat), flat % 4);
+}
+
+}  // namespace
+}  // namespace pima

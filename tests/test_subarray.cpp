@@ -122,6 +122,55 @@ TEST_F(SubarrayTest, TraMajorityAndLatch) {
   EXPECT_EQ(sa_.peek_row(x3), maj);
 }
 
+// dst may alias one of the activated rows (add_vertical issues TRA with
+// dst == xc); the result must land regardless of which store is elided.
+TEST_F(SubarrayTest, TwoRowOpsAllowDstAliasingAnOperand) {
+  Rng rng(21);
+  const auto a = random_row(rng, 64);
+  const auto b = random_row(rng, 64);
+  const auto x1 = sa_.compute_row(0), x2 = sa_.compute_row(1);
+
+  sa_.write_row(x1, a);
+  sa_.write_row(x2, b);
+  sa_.aap_xnor(x1, x2, x1);  // dst == first operand
+  const auto xnor = BitVector::bit_xnor(a, b);
+  EXPECT_EQ(sa_.peek_row(x1), xnor);
+  EXPECT_EQ(sa_.peek_row(x2), xnor);
+
+  sa_.write_row(x1, a);
+  sa_.write_row(x2, b);
+  sa_.aap_xor(x1, x2, x2);  // dst == second operand
+  const auto xorr = BitVector::bit_xor(a, b);
+  EXPECT_EQ(sa_.peek_row(x1), xorr);
+  EXPECT_EQ(sa_.peek_row(x2), xorr);
+
+  sa_.reset_latch();  // zero carry → sum cycle degenerates to XOR
+  sa_.write_row(x1, a);
+  sa_.write_row(x2, b);
+  sa_.sum_cycle(x1, x2, x2);  // dst == second operand
+  EXPECT_EQ(sa_.peek_row(x1), xorr);
+  EXPECT_EQ(sa_.peek_row(x2), xorr);
+}
+
+TEST_F(SubarrayTest, TraCarryAllowsDstAliasingThirdOperand) {
+  // The add_vertical production pattern: aap_tra_carry(x1, x2, x3, x3).
+  Rng rng(22);
+  const auto a = random_row(rng, 64);
+  const auto b = random_row(rng, 64);
+  const auto c = random_row(rng, 64);
+  const auto x1 = sa_.compute_row(0), x2 = sa_.compute_row(1),
+             x3 = sa_.compute_row(2);
+  sa_.write_row(x1, a);
+  sa_.write_row(x2, b);
+  sa_.write_row(x3, c);
+  sa_.aap_tra_carry(x1, x2, x3, x3);
+  const auto maj = BitVector::bit_maj3(a, b, c);
+  EXPECT_EQ(sa_.peek_row(x1), maj);
+  EXPECT_EQ(sa_.peek_row(x2), maj);
+  EXPECT_EQ(sa_.peek_row(x3), maj);
+  EXPECT_EQ(sa_.peek_latch(), maj);
+}
+
 TEST_F(SubarrayTest, SumCycleCombinesLatch) {
   Rng rng(6);
   const auto a = random_row(rng, 64);

@@ -263,6 +263,10 @@ int cmd_pim_run(const Args& args) {
   opt.euler_contigs = args.has("euler");
   // 0 = resolve to hardware concurrency inside the runtime engine.
   opt.threads = get_bounded_size(args, "threads", 0, 0, 1024);
+  // Simulated devices the run shards over (owner = flat % N). Contigs,
+  // stats and model metrics are bit-identical for every value; the device
+  // count is pinned in the checkpoint fingerprint, so --resume must match.
+  opt.devices = get_bounded_size(args, "devices", 1, 1, 64);
 
   // Fault-aware execution flags. --fault-variation is the ±% process
   // variation from paper Table I (0.10 = ±10%); injection stays off at 0.
@@ -415,9 +419,11 @@ int cmd_pim_run(const Args& args) {
   std::printf("contigs: %zu, N50 %zu bp\n", result.contig_stats.count,
               result.contig_stats.n50);
   if (dump_trace) {
-    const auto program = dram::captured_program(device);
-    fsio::atomic_write_file(*dump_trace, dram::to_text(program), "artifact");
-    std::printf("trace: %zu commands -> %s\n", program.size(),
+    // result.trace is the pool-merged capture (logical flat order) — for
+    // any --devices value it replays like a single-device run.
+    fsio::atomic_write_file(*dump_trace, dram::to_text(result.trace),
+                            "artifact");
+    std::printf("trace: %zu commands -> %s\n", result.trace.size(),
                 dump_trace->c_str());
   }
   if (trace_json || metrics_out) {
@@ -633,6 +639,7 @@ int cmd_submit(const Args& args) {
   req.set("k", get_bounded_size(args, "k", 17, 4, 64));
   req.set("shards", get_bounded_size(args, "shards", 16, 1, 4096));
   req.set("threads", get_bounded_size(args, "threads", 1, 1, 1024));
+  req.set("devices", get_bounded_size(args, "devices", 1, 1, 64));
   if (args.has("euler")) req.set("euler", true);
   req.set("priority",
           static_cast<std::int64_t>(args.get_double("priority", 0.0)));
@@ -730,6 +737,8 @@ void usage() {
       "           [--euler] [--out contigs.fa] [--reference genome.fa]\n"
       "  pim-run  --reads <in.fa> [--k K] [--shards N] [--euler]\n"
       "           [--threads N (default: hardware concurrency)]\n"
+      "           [--devices N (shard over N simulated devices;\n"
+      "            outputs bit-identical for any N)]\n"
       "           [--reference genome.fa]\n"
       "           [--fault-variation F (e.g. 0.10 = ±10% Table I)]\n"
       "           [--fault-seed N] [--fault-retention P]\n"
@@ -748,7 +757,8 @@ void usage() {
       "           [--tcp PORT] [--max-jobs N] [--queue-depth N]\n"
       "           [--channel-budget N] [--max-conns N] [--rows N]\n"
       "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
-      "           [--shards N] [--threads N] [--euler] [--priority P]\n"
+      "           [--shards N] [--threads N] [--devices N] [--euler]\n"
+      "           [--priority P]\n"
       "           [--stall-timeout MS] [--follow]\n"
       "           [--idempotency-key KEY (dedupe token; default: random)]\n"
       "  status   --socket PATH|--tcp PORT --job ID [--follow]\n"

@@ -41,6 +41,8 @@
 #include <vector>
 
 #include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "dna/sequence.hpp"
 #include "dram/isa.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
@@ -61,6 +63,11 @@ void usage() {
       "       pima_fuzz --replay trace.aap [--rows N] [--columns N]\n"
       "       pima_fuzz --inject-latch-flip [--ops N] [--seed S]\n"
       "       pima_fuzz --service [--seeds N] [--seed S]\n"
+      "       pima_fuzz --devices N [--seeds N] [--seed S]\n"
+      "--devices runs full pipelines sharded over N simulated devices\n"
+      "(random reads per seed), checks the capture is bit-identical to a\n"
+      "1-device run, and replays every device's command sub-stream through\n"
+      "the golden model; exits with the number of diverging devices.\n"
       "--service fuzzes the daemon's NDJSON request parser (in-process\n"
       "daemon on a temp dir); exits with the number of protocol-invariant\n"
       "violations (every request line -> one parseable response, daemon\n"
@@ -298,6 +305,102 @@ int run_service_fuzz(std::size_t seeds, std::uint64_t seed) {
   return violations;
 }
 
+// ---- sharded end-to-end differential ---------------------------------------
+
+/// Deterministic random reads: a fresh genome per seed, tiled with
+/// overlapping fixed-length windows (uniform ~4x coverage).
+std::vector<dna::Sequence> synth_reads(std::uint64_t seed) {
+  std::mt19937_64 rng{seed};
+  constexpr std::size_t kGenome = 400, kRead = 60, kStep = 15;
+  std::string genome;
+  genome.reserve(kGenome);
+  const char bases[] = "ACGT";
+  for (std::size_t i = 0; i < kGenome; ++i) genome += bases[rng() % 4];
+  std::vector<dna::Sequence> reads;
+  for (std::size_t pos = 0; pos + kRead <= genome.size(); pos += kStep)
+    reads.push_back(dna::Sequence::from_string(
+        std::string_view(genome).substr(pos, kRead)));
+  return reads;
+}
+
+/// End-to-end sharded differential: run the full pipeline sharded over
+/// `devices` simulated devices with trace capture on, then (a) check the
+/// merged capture is bit-identical to a single-device run of the same
+/// reads, and (b) replay each device's per-shard command sub-stream
+/// through the golden model. Exit code = number of diverging devices.
+int run_sharded_fuzz(std::size_t devices, std::size_t seeds,
+                     verify::FuzzOptions opts) {
+  dram::Geometry geom;  // pima_asm pim-run default geometry
+  geom.rows = 512;
+  geom.columns = 256;
+  geom.subarrays_per_mat = 16;
+  geom.mats_per_bank = 4;
+  geom.banks = 2;
+  opts.geometry = geom;
+  // Captured traces already executed once on the production pool — every
+  // command must execute in the replay too.
+  opts.diff.accept_symmetric_rejection = false;
+
+  int diverging = 0;
+  for (std::size_t s = 0; s < seeds; ++s) {
+    const std::uint64_t seed = opts.seed + s;
+    const auto reads = synth_reads(seed);
+
+    core::PipelineOptions popt;
+    popt.k = 17;
+    popt.hash_shards = 16;
+    popt.threads = 1;
+    popt.capture_trace = true;
+
+    popt.devices = devices;
+    dram::Device sharded_dev(geom);
+    const auto sharded = core::run_pipeline(sharded_dev, reads, popt);
+
+    popt.devices = 1;
+    dram::Device single_dev(geom);
+    const auto single = core::run_pipeline(single_dev, reads, popt);
+
+    if (sharded.trace != single.trace ||
+        sharded.contigs != single.contigs) {
+      std::printf(
+          "seed %llu: DIVERGENCE: %zu-device run differs from 1-device "
+          "(trace %zu vs %zu commands, %zu vs %zu contigs)\n",
+          static_cast<unsigned long long>(seed), devices,
+          sharded.trace.size(), single.trace.size(),
+          sharded.contigs.size(), single.contigs.size());
+      ++diverging;
+      continue;
+    }
+
+    // Per-device golden replay: owner d's sub-stream keeps per-sub-array
+    // order (owners partition the flat space), so each is a standalone
+    // replayable program.
+    std::size_t bad_devices = 0;
+    for (std::size_t d = 0; d < devices; ++d) {
+      dram::Program part;
+      for (const auto& inst : sharded.trace)
+        if (inst.subarray % devices == d) part.push_back(inst);
+      if (auto div = verify::run_candidate(part, opts)) {
+        std::printf("seed %llu device %zu (%zu commands): ",
+                    static_cast<unsigned long long>(seed), d, part.size());
+        print_divergence(*div);
+        ++bad_devices;
+      }
+    }
+    diverging += static_cast<int>(bad_devices);
+    if (bad_devices == 0)
+      std::printf("seed %llu: OK (%zu devices, %zu captured commands)\n",
+                  static_cast<unsigned long long>(seed), devices,
+                  sharded.trace.size());
+  }
+  if (diverging == 0)
+    std::printf(
+        "all %zu seed(s): sharded capture matches 1-device and the golden "
+        "model\n",
+        seeds);
+  return diverging;
+}
+
 int run_fuzz(std::size_t seeds, const verify::FuzzOptions& base) {
   int diverging = 0;
   for (std::size_t i = 0; i < seeds; ++i) {
@@ -328,6 +431,7 @@ int main(int argc, char** argv) {
   std::optional<std::string> replay;
   bool inject = false;
   bool service = false;
+  std::size_t devices = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -353,6 +457,10 @@ int main(int argc, char** argv) {
       inject = true;
     else if (arg == "--service")
       service = true;
+    else if (arg == "--devices") {
+      devices = std::stoull(value());
+      if (devices < 1 || devices > 64) fail("--devices must be in [1, 64]");
+    }
     else if (arg == "--help" || arg == "-h") {
       usage();
       return 0;
@@ -365,6 +473,7 @@ int main(int argc, char** argv) {
     if (replay) return run_replay(*replay, opts);
     if (inject) return run_inject_demo(opts);
     if (service) return run_service_fuzz(seeds, opts.seed);
+    if (devices > 0) return run_sharded_fuzz(devices, seeds, opts);
     return run_fuzz(seeds, opts);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "pima_fuzz: %s\n", e.what());
