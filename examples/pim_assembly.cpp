@@ -19,12 +19,15 @@
 int main(int argc, char** argv) {
   using namespace pima;
 
-  // Telemetry flags (`--trace-json=out.json`, `--metrics-out=out.prom`,
-  // `--progress[=seconds]`) are peeled off before the positional arguments
-  // below are interpreted, so they can appear anywhere on the line.
+  // Telemetry and sharding flags (`--trace-json=out.json`,
+  // `--metrics-out=out.prom`, `--progress[=seconds]`, `--devices=N`,
+  // `--isolate`) are peeled off before the positional arguments below are
+  // interpreted, so they can appear anywhere on the line.
   auto& session = telemetry::TelemetrySession::instance();
   std::string trace_json, metrics_out;
   double progress_interval_s = 0.0;
+  std::size_t devices = 1;
+  bool isolate = false;
   std::vector<char*> positional;
   for (int i = 0; i < argc; ++i) {
     const char* a = argv[i];
@@ -36,6 +39,10 @@ int main(int argc, char** argv) {
       progress_interval_s = std::strtod(a + 11, nullptr);
     } else if (std::strcmp(a, "--progress") == 0) {
       progress_interval_s = 1.0;
+    } else if (std::strncmp(a, "--devices=", 10) == 0) {
+      devices = static_cast<std::size_t>(std::strtoul(a + 10, nullptr, 10));
+    } else if (std::strcmp(a, "--isolate") == 0) {
+      isolate = true;
     } else {
       positional.push_back(argv[i]);
     }
@@ -100,6 +107,12 @@ int main(int argc, char** argv) {
   if (argc > 5) options.checkpoint_dir = argv[5];
   if (argc > 6) options.resume = std::strtoul(argv[6], nullptr, 10) != 0;
   options.progress_interval_s = progress_interval_s;
+  // `--devices=N` shards the run over N simulated devices; `--isolate`
+  // additionally moves each shard into its own pima_devd worker process
+  // under the crash-containing supervisor. Output is bit-identical either
+  // way (and for any N), so the flags compose with every positional knob.
+  options.devices = devices == 0 ? 1 : devices;
+  options.isolate = isolate;
   const auto result = core::run_pipeline(device, reads, options);
   if (!trace_json.empty() || !metrics_out.empty()) {
     session.tracer().disable();

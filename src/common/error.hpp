@@ -97,11 +97,13 @@ class EngineStalledError : public SimulationError {
       : SimulationError(format(channel, subarray, last_retired, timeout_ms)),
         channel_(channel),
         subarray_(subarray),
-        last_retired_(last_retired) {}
+        last_retired_(last_retired),
+        timeout_ms_(timeout_ms) {}
 
   std::size_t channel() const { return channel_; }
   std::size_t subarray() const { return subarray_; }
   std::uint64_t last_retired() const { return last_retired_; }
+  double timeout_ms() const { return timeout_ms_; }
 
  private:
   static std::string format(std::size_t channel, std::size_t subarray,
@@ -119,6 +121,31 @@ class EngineStalledError : public SimulationError {
   std::size_t channel_;
   std::size_t subarray_;
   std::uint64_t last_retired_;
+  double timeout_ms_;
+};
+
+/// Thrown by the process-pool supervisor (runtime/procpool.hpp) when a
+/// device worker keeps crashing past the restart budget and degrading to
+/// the in-process pool is disabled. Carries the device index and the
+/// typed exit classification of the final crash, so operators can tell a
+/// SIGKILLed worker from a torn protocol stream in the exit status alone.
+class WorkerCrashedError : public SimulationError {
+ public:
+  WorkerCrashedError(std::size_t device, const std::string& classification,
+                     const std::string& detail)
+      : SimulationError("device worker " + std::to_string(device) +
+                        " crashed (" + classification +
+                        ") and the restart budget is exhausted" +
+                        (detail.empty() ? "" : ": " + detail)),
+        device_(device),
+        classification_(classification) {}
+
+  std::size_t device() const { return device_; }
+  const std::string& classification() const { return classification_; }
+
+ private:
+  std::size_t device_;
+  std::string classification_;
 };
 
 /// Documented process exit codes of the CLI tools (DESIGN.md §10).
@@ -133,6 +160,7 @@ enum ExitCode : int {
   kExitInterrupted = 7,       ///< cancelled (signal / cancel verb); resumable
   kExitAdmissionRejected = 8, ///< service refused the job (queue full/draining)
   kExitDeadlineExceeded = 9,  ///< client --timeout expired before a response
+  kExitWorkerCrashed = 10,    ///< isolated device worker crashed past budget
 };
 
 /// Maps an exception to its documented exit code. Most-derived types are
@@ -145,6 +173,8 @@ inline int exit_code_for(const std::exception& e) {
     return kExitInputFormat;
   if (dynamic_cast<const EngineStalledError*>(&e) != nullptr)
     return kExitEngineStalled;
+  if (dynamic_cast<const WorkerCrashedError*>(&e) != nullptr)
+    return kExitWorkerCrashed;
   if (dynamic_cast<const CancelledError*>(&e) != nullptr)
     return kExitInterrupted;
   if (dynamic_cast<const AdmissionRejectedError*>(&e) != nullptr)

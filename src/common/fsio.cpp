@@ -1,6 +1,8 @@
 #include "common/fsio.hpp"
 
 #include <fcntl.h>
+#include <signal.h>
+#include <sys/wait.h>
 #include <unistd.h>
 
 #include <atomic>
@@ -69,10 +71,13 @@ Op parse_op(const std::string& name) {
   if (name == "send") return Op::kSend;
   if (name == "recv") return Op::kRecv;
   if (name == "connect") return Op::kConnect;
+  if (name == "socketpair") return Op::kSocketpair;
+  if (name == "waitpid") return Op::kWaitpid;
+  if (name == "kill") return Op::kKill;
   if (name == "*") return Op::kAny;
   bad_spec(name,
            "unknown op (open|read|write|fsync|rename|unlink|send|recv|"
-           "connect|*)");
+           "connect|socketpair|waitpid|kill|*)");
 }
 
 int parse_errno_name(const std::string& name) {
@@ -208,6 +213,9 @@ const char* to_string(Op op) {
     case Op::kSend: return "send";
     case Op::kRecv: return "recv";
     case Op::kConnect: return "connect";
+    case Op::kSocketpair: return "socketpair";
+    case Op::kWaitpid: return "waitpid";
+    case Op::kKill: return "kill";
     case Op::kAny: return "*";
   }
   return "?";
@@ -498,6 +506,37 @@ int connect(int fd, const struct sockaddr* addr, socklen_t len,
     return -1;
   }
   return ::connect(fd, addr, len);
+}
+
+int socketpair(int domain, int type, int protocol, int sv[2],
+               const char* site) {
+  std::size_t short_count = 0;
+  int err = 0;
+  if (intercept(Op::kSocketpair, site, 0, &short_count, &err) && err > 0) {
+    errno = err;
+    return -1;
+  }
+  return ::socketpair(domain, type, protocol, sv);
+}
+
+pid_t waitpid(pid_t pid, int* status, int options, const char* site) {
+  std::size_t short_count = 0;
+  int err = 0;
+  if (intercept(Op::kWaitpid, site, 0, &short_count, &err) && err > 0) {
+    errno = err;
+    return -1;
+  }
+  return ::waitpid(pid, status, options);
+}
+
+int kill(pid_t pid, int sig, const char* site) {
+  std::size_t short_count = 0;
+  int err = 0;
+  if (intercept(Op::kKill, site, 0, &short_count, &err) && err > 0) {
+    errno = err;
+    return -1;
+  }
+  return ::kill(pid, sig);
 }
 
 // ---- hardened helpers ------------------------------------------------------

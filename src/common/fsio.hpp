@@ -64,6 +64,9 @@ enum class Op : std::uint8_t {
   kSend,
   kRecv,
   kConnect,
+  kSocketpair,
+  kWaitpid,
+  kKill,
   kAny,  ///< `*` in a rule: matches every op
 };
 
@@ -159,6 +162,15 @@ ssize_t recv(int fd, void* buf, std::size_t count, int flags,
              const char* site);
 int connect(int fd, const struct sockaddr* addr, socklen_t len,
             const char* site);
+
+// Process-control wrappers for the process-pool supervisor: spawning
+// (socketpair), reaping (waitpid) and terminating (kill) device workers go
+// through the same fault shim, so chaos plans can starve the supervisor of
+// fds or make reaps/kills fail with typed errnos.
+int socketpair(int domain, int type, int protocol, int sv[2],
+               const char* site);
+pid_t waitpid(pid_t pid, int* status, int options, const char* site);
+int kill(pid_t pid, int sig, const char* site);
 
 // ---- hardened helpers ------------------------------------------------------
 

@@ -1,6 +1,7 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <memory>
 #include <utility>
@@ -8,7 +9,9 @@
 
 #include "core/degree.hpp"
 #include "core/graph_map.hpp"
+#include "core/pipeline_detail.hpp"
 #include "runtime/engine.hpp"
+#include "runtime/procpool.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stats.hpp"
 #include "telemetry/progress.hpp"
@@ -21,11 +24,8 @@ dram::DeviceStats PipelineResult::total() const {
   return hashmap.device + debruijn.device + traverse.device;
 }
 
-namespace {
+namespace detail {
 
-// Picks the number of vertex intervals so every interval fits the column
-// width of a sub-array row (hash distribution is near-uniform; retry with
-// more intervals if an outlier interval overflows).
 GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
                                  const dram::Geometry& geom,
                                  std::uint32_t requested) {
@@ -46,6 +46,37 @@ GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
                "requested interval count leaves an oversized interval");
   }
 }
+
+runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
+                                                const PipelineOptions& o) {
+  runtime::CheckpointFingerprint fp;
+  fp.k = o.k;
+  fp.hash_shards = o.hash_shards;
+  fp.devices = o.devices;
+  fp.graph_intervals = o.graph_intervals;
+  fp.use_multiplicity = o.use_multiplicity;
+  fp.euler_contigs = o.euler_contigs;
+  fp.traversal = static_cast<std::uint8_t>(o.traversal);
+  fp.rows = geom.rows;
+  fp.compute_rows = geom.compute_rows;
+  fp.columns = geom.columns;
+  fp.subarrays_per_mat = geom.subarrays_per_mat;
+  fp.mats_per_bank = geom.mats_per_bank;
+  fp.banks = geom.banks;
+  fp.fault_variation = o.fault.variation;
+  fp.fault_seed = o.fault.seed;
+  fp.fault_retention = o.fault.retention_flip_per_op;
+  fp.fault_weak_rows = o.fault.weak_row_fraction;
+  fp.recovery_mode = static_cast<std::uint8_t>(o.recovery.mode);
+  return fp;
+}
+
+}  // namespace detail
+
+namespace {
+
+using detail::make_fingerprint;
+using detail::partition_fitting;
 
 // Batched k-mer submission: the controller routes every k-mer of the read
 // stream to the (device, channel) owning its hash shard and flushes
@@ -114,38 +145,29 @@ void submit_kmer_stream(runtime::PoolRunner& runner, PimHashTable& table,
   runner.drain();
 }
 
-// The run configuration the remaining stages' command streams depend on —
-// what a snapshot pins and a resume must match.
-runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
-                                                const PipelineOptions& o) {
-  runtime::CheckpointFingerprint fp;
-  fp.k = o.k;
-  fp.hash_shards = o.hash_shards;
-  fp.devices = o.devices;
-  fp.graph_intervals = o.graph_intervals;
-  fp.use_multiplicity = o.use_multiplicity;
-  fp.euler_contigs = o.euler_contigs;
-  fp.traversal = static_cast<std::uint8_t>(o.traversal);
-  fp.rows = geom.rows;
-  fp.compute_rows = geom.compute_rows;
-  fp.columns = geom.columns;
-  fp.subarrays_per_mat = geom.subarrays_per_mat;
-  fp.mats_per_bank = geom.mats_per_bank;
-  fp.banks = geom.banks;
-  fp.fault_variation = o.fault.variation;
-  fp.fault_seed = o.fault.seed;
-  fp.fault_retention = o.fault.retention_flip_per_op;
-  fp.fault_weak_rows = o.fault.weak_row_fraction;
-  fp.recovery_mode = static_cast<std::uint8_t>(o.recovery.mode);
-  return fp;
-}
-
 }  // namespace
 
 PipelineResult run_pipeline(dram::Device& device,
                             const std::vector<dna::Sequence>& reads,
                             const PipelineOptions& options) {
   PIMA_CHECK(options.devices >= 1, "need at least one device");
+  if (options.isolate) {
+    try {
+      return detail::run_pipeline_isolated(device, reads, options);
+    } catch (const runtime::ProcPoolDegradedError& e) {
+      if (!options.isolate_opts.allow_degrade)
+        throw WorkerCrashedError(e.device(),
+                                 runtime::to_string(e.exit_class()),
+                                 e.detail());
+      // Typed, logged transition: same run, same outputs, one address
+      // space. The device is untouched so far — every isolated-run write
+      // happened inside the (now dead) workers.
+      std::fprintf(stderr,
+                   "pima: process isolation degraded — %s; rerunning on the "
+                   "in-process device pool\n",
+                   e.what());
+    }
+  }
   PipelineResult result;
   // Shard plan: the caller's device is shard 0; the pool owns the rest for
   // the duration of the run. With devices == 1 every pool call collapses

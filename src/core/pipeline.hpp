@@ -68,6 +68,34 @@ struct PipelineOptions {
   std::size_t devices = 1;
   /// Per-channel command-queue capacity (backpressure bound).
   std::size_t queue_capacity = 64;
+  /// Process isolation (runtime/procpool.hpp, DESIGN.md §15): run every
+  /// device shard in its own `pima_devd` child process under the
+  /// fault-tolerant supervisor. A crashed/wedged/chaos-killed worker is
+  /// restarted from its per-device shard checkpoint and journal-replayed,
+  /// so the outputs stay bit-identical to the in-process run — including
+  /// runs where workers died mid-stage. When the restart budget runs out
+  /// the pipeline degrades to the in-process DevicePool (isolate_opts
+  /// .allow_degrade) or fails typed (WorkerCrashedError, exit 10).
+  /// Incompatible with fault injection and recovery: those are simulated
+  /// per-device state the init request does not carry.
+  bool isolate = false;
+  struct IsolateOptions {
+    /// pima_devd binary; empty = $PIMA_DEVD_PATH, then alongside the
+    /// running executable.
+    std::string devd_path;
+    /// Total worker restarts allowed before degrading/failing.
+    std::size_t restart_budget = 3;
+    /// Base restart backoff; doubles per consecutive restart, capped 2 s.
+    double restart_backoff_ms = 50.0;
+    /// Liveness deadline on worker responses/heartbeats; 0 = wait forever.
+    double liveness_timeout_s = 0.0;
+    /// Exhausted budget: true reruns in-process (logged, typed
+    /// transition), false throws WorkerCrashedError.
+    bool allow_degrade = true;
+    /// PIMA_IOFAULT spec installed in the workers' environment (chaos
+    /// aimed at the process boundary); empty inherits the parent's.
+    std::string child_iofault;
+  } isolate_opts;
   /// Stochastic fault injection (Table I calibrated). Defaults to
   /// fault-free: every output stays bit-identical to the unfaulted build.
   dram::FaultConfig fault;

@@ -1,0 +1,37 @@
+// Shared internals of the two run_pipeline bodies (pipeline.cpp runs the
+// in-process DevicePool, pipeline_isolated.cpp drives pima_devd workers
+// through the process-pool supervisor). Both must agree on the checkpoint
+// fingerprint and the graph partition choice, or a resume could cross the
+// isolation boundary onto an incompatible run.
+#pragma once
+
+#include <vector>
+
+#include "core/graph_map.hpp"
+#include "core/pipeline.hpp"
+#include "runtime/checkpoint.hpp"
+
+namespace pima::core::detail {
+
+/// Picks the number of vertex intervals so every interval fits the column
+/// width of a sub-array row (hash distribution is near-uniform; retry with
+/// more intervals if an outlier interval overflows).
+GraphPartition partition_fitting(const assembly::DeBruijnGraph& g,
+                                 const dram::Geometry& geom,
+                                 std::uint32_t requested);
+
+/// The run configuration the stages' command streams depend on — what a
+/// snapshot pins and a resume must match. Identical for the in-process and
+/// the isolated path: isolation changes where commands execute, never
+/// which commands run.
+runtime::CheckpointFingerprint make_fingerprint(const dram::Geometry& geom,
+                                                const PipelineOptions& o);
+
+/// The isolated pipeline body: every device shard in its own pima_devd
+/// process. Throws runtime::ProcPoolDegradedError when the restart budget
+/// is exhausted — run_pipeline catches it and degrades (or fails typed).
+PipelineResult run_pipeline_isolated(dram::Device& device,
+                                     const std::vector<dna::Sequence>& reads,
+                                     const PipelineOptions& options);
+
+}  // namespace pima::core::detail

@@ -1,0 +1,589 @@
+// The process-isolated pipeline body (DESIGN.md §15): the same three
+// stages as pipeline.cpp, but every device shard lives in its own
+// pima_devd child under the runtime::ProcSupervisor. The controller logic
+// — k-mer routing, graph construction, partition choice, walks, every
+// stat/metric/trace fold — stays in the parent and is line-for-line the
+// in-process algorithm; only command *execution* crosses the process
+// boundary, as journaled NDJSON requests. That split is the determinism
+// argument: a worker's device state is a pure function of its request
+// journal, so a crash + replay lands on the exact pre-crash state, and a
+// run with K worker crashes produces bit-identical contigs, per-stage
+// DeviceStats and model-class metrics to a crash-free (or in-process) run.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/degree.hpp"
+#include "core/pipeline_detail.hpp"
+#include "core/shard_worker.hpp"
+#include "dram/isa.hpp"
+#include "dram/trace.hpp"
+#include "net/json.hpp"
+#include "runtime/engine.hpp"
+#include "runtime/procpool.hpp"
+#include "runtime/scheduler.hpp"
+#include "runtime/shard.hpp"
+#include "telemetry/progress.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace pima::core::detail {
+
+namespace {
+
+// Mirrors the engine's private resolution of channels == 0 so the parent
+// can route k-mer batches to the exact channel the worker's engine owns.
+std::size_t resolve_channels(std::size_t requested) {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+net::Json make_op(const char* name) {
+  net::Json j = net::Json::object();
+  j.set("op", name);
+  return j;
+}
+
+// Barrier over every worker, drained in device index order. Rethrows the
+// first typed failure after all workers drained — the PoolRunner::drain
+// discipline (lowest device wins). A degraded pool aborts immediately:
+// there is nothing left to drain.
+void drain_all(runtime::ProcSupervisor& sup) {
+  std::exception_ptr first;
+  for (std::size_t d = 0; d < sup.devices(); ++d) {
+    try {
+      sup.rpc(d, make_op("drain"));
+    } catch (const runtime::ProcPoolDegradedError&) {
+      throw;
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+struct FlatStats {
+  std::size_t flat = 0;
+  dram::CommandStats stats;
+};
+
+// One stats round-trip per worker. Workers emit their touched sub-arrays
+// in ascending flat order (shard_worker.cpp), which the folds below rely
+// on for their merge cursors.
+std::vector<std::vector<FlatStats>> collect_stats(
+    runtime::ProcSupervisor& sup) {
+  std::vector<std::vector<FlatStats>> per(sup.devices());
+  for (std::size_t d = 0; d < sup.devices(); ++d) {
+    const net::Json resp = sup.query(d, make_op("stats"));
+    for (const auto& entry : resp.get("subarrays").items()) {
+      FlatStats fs;
+      fs.flat = static_cast<std::size_t>(entry.get_uint64("flat"));
+      const auto& counts = entry.get("counts").items();
+      for (std::size_t i = 0;
+           i < dram::kCommandKindCount && i < counts.size(); ++i)
+        fs.stats.counts[i] = static_cast<std::size_t>(counts[i].as_uint64());
+      fs.stats.busy_ns = entry.get_number("busy_ns");
+      fs.stats.energy_pj = entry.get_number("energy_pj");
+      per[d].push_back(std::move(fs));
+    }
+  }
+  return per;
+}
+
+struct StageFold {
+  dram::DeviceStats device;
+  dram::CommandStats commands;
+};
+
+// The DevicePool::roll_up / command_roll_up folds, reproduced over the
+// wire stats: iterate *logical* flat order 0..total-1, resolve the owner,
+// fold — the identical double-precision operation sequence, so the
+// roll-ups are bitwise equal to the in-process run.
+StageFold fold_stage(runtime::ProcSupervisor& sup, const runtime::ShardPlan& plan,
+                     std::size_t total_subarrays) {
+  const auto per = collect_stats(sup);
+  std::vector<std::size_t> cursor(per.size(), 0);
+  StageFold fold;
+  for (std::size_t flat = 0; flat < total_subarrays; ++flat) {
+    const std::size_t d = plan.owner_of(flat);
+    auto& c = cursor[d];
+    while (c < per[d].size() && per[d][c].flat < flat) ++c;
+    if (c >= per[d].size() || per[d][c].flat != flat) continue;
+    const dram::CommandStats& st = per[d][c].stats;
+    // Workers already skip zero-command sub-arrays (fold identity).
+    ++fold.device.subarrays_used;
+    fold.device.time_ns = std::max(fold.device.time_ns, st.busy_ns);
+    fold.device.serial_ns += st.busy_ns;
+    fold.device.energy_pj += st.energy_pj;
+    fold.device.commands += st.total_commands();
+    fold.commands.merge_serial(st);
+  }
+  return fold;
+}
+
+void clear_all_stats(runtime::ProcSupervisor& sup) {
+  for (std::size_t d = 0; d < sup.devices(); ++d)
+    sup.rpc(d, make_op("clear_stats"));
+}
+
+// Splits a program slice by owning device in program order and ships each
+// non-empty sub-stream as one `program` request — exactly the sub-streams
+// PoolRunner::submit_program's sequence-keyed Exchange produces, so per
+// sub-array command order is the single-device order.
+void submit_program_sliced(runtime::ProcSupervisor& sup,
+                           const runtime::ShardPlan& plan,
+                           dram::Program program) {
+  std::vector<dram::Program> per(sup.devices());
+  for (auto& inst : program)
+    per[plan.owner_of(inst.subarray)].push_back(std::move(inst));
+  for (std::size_t d = 0; d < per.size(); ++d) {
+    if (per[d].empty()) continue;
+    net::Json req = make_op("program");
+    req.set("text", dram::to_text(per[d]));
+    sup.rpc(d, req);
+  }
+}
+
+// The isolated twin of submit_kmer_stream (pipeline.cpp): identical
+// routing — shard = hash(canonical) % shards, flat = shard, owner =
+// flat % devices, channel = flat % channels — and identical per-slot
+// batching, but a full batch becomes a `kmers` request instead of an
+// engine submit. Per-shard insert order is read-stream order either way.
+void submit_kmer_stream_isolated(runtime::ProcSupervisor& sup,
+                                 const runtime::ShardPlan& plan,
+                                 std::size_t channels, std::size_t hash_shards,
+                                 const std::vector<dna::Sequence>& reads,
+                                 std::size_t k,
+                                 const runtime::CancelToken* cancel) {
+  constexpr std::size_t kKmerBatch = 128;
+  std::vector<std::vector<std::uint64_t>> pending(sup.devices() * channels);
+  auto flush = [&](std::size_t device, std::size_t channel) {
+    auto& batch = pending[device * channels + channel];
+    if (batch.empty()) return;
+    net::Json req = make_op("kmers");
+    req.set("channel", static_cast<std::uint64_t>(channel));
+    net::Json arr = net::Json::array();
+    for (const std::uint64_t packed : batch) arr.push_back(net::Json(packed));
+    req.set("kmers", std::move(arr));
+    sup.rpc(device, req);
+    batch.clear();
+    batch.reserve(kKmerBatch);
+  };
+
+  telemetry::Counter* reads_ctr = nullptr;
+  telemetry::Counter* kmers_ctr = nullptr;
+  if (telemetry::metrics_enabled()) {
+    auto& registry = telemetry::metrics();
+    reads_ctr = &registry.counter(telemetry::kReadsTotal,
+                                  "reads streamed through k-mer analysis");
+    kmers_ctr =
+        &registry.counter(telemetry::kKmersTotal, "k-mer windows submitted");
+  }
+
+  for (const auto& read : reads) {
+    if (cancel != nullptr) cancel->throw_if_requested();
+    if (read.size() < k) {
+      if (reads_ctr != nullptr) reads_ctr->increment();
+      continue;
+    }
+    assembly::Kmer window = assembly::Kmer::from_sequence(read, 0, k);
+    for (std::size_t i = 0;; ++i) {
+      const std::size_t flat =
+          static_cast<std::size_t>(window.hash() % hash_shards);
+      const std::size_t device = plan.owner_of(flat);
+      const std::size_t channel = flat % channels;
+      auto& batch = pending[device * channels + channel];
+      batch.push_back(window.packed());
+      if (batch.size() >= kKmerBatch) flush(device, channel);
+      if (i + k >= read.size()) break;
+      window = window.rolled(read.at(i + k));
+    }
+    if (reads_ctr != nullptr) {
+      reads_ctr->increment();
+      kmers_ctr->add(static_cast<double>(read.size() - k + 1));
+    }
+  }
+  for (std::size_t d = 0; d < sup.devices(); ++d)
+    for (std::size_t c = 0; c < channels; ++c) flush(d, c);
+  drain_all(sup);
+}
+
+}  // namespace
+
+PipelineResult run_pipeline_isolated(dram::Device& device,
+                                     const std::vector<dna::Sequence>& reads,
+                                     const PipelineOptions& options) {
+  if (options.fault.enabled() ||
+      options.recovery.mode != runtime::RecoveryMode::kOff)
+    throw SimulationError(
+        "process isolation with fault injection or recovery is unsupported: "
+        "the fault model's per-sub-array RNG streams and the recovery "
+        "layer's probe routing are in-process state the worker init request "
+        "does not carry — run --isolate fault-free, or drop --isolate");
+
+  PipelineResult result;
+  const dram::Geometry& geometry = device.geometry();
+  const runtime::ShardPlan plan{options.devices};
+  const std::size_t total = geometry.total_subarrays();
+  const std::size_t channels = resolve_channels(options.threads);
+
+  PIMA_TEL_NAME_TRACK(runtime::Engine::kMainTrack, "main");
+  PIMA_TEL_SET_THREAD_TRACK(runtime::Engine::kMainTrack);
+  PIMA_TEL_SPAN("pipeline");
+  if (telemetry::metrics_enabled())
+    telemetry::metrics()
+        .counter(telemetry::kReadsExpected, "reads in the input stream")
+        .add(static_cast<double>(reads.size()));
+  const auto export_stage = [&](const char* stage,
+                                const dram::DeviceStats& st,
+                                const dram::CommandStats& cmds) {
+    if (!telemetry::metrics_enabled()) return;
+    auto& registry = telemetry::metrics();
+    const telemetry::Labels labels = {{"stage", stage}};
+    registry
+        .counter("pima_stage_commands_total", "DRAM commands per stage",
+                 labels)
+        .add(static_cast<double>(st.commands));
+    registry
+        .counter("pima_stage_time_ns_total",
+                 "simulated critical-path time per stage (ns)", labels)
+        .add(st.time_ns);
+    registry
+        .counter("pima_stage_energy_pj_total",
+                 "simulated energy per stage (pJ)", labels)
+        .add(st.energy_pj);
+    registry
+        .gauge("pima_stage_subarrays_used", "sub-arrays touched per stage",
+               labels)
+        .set(static_cast<double>(st.subarrays_used));
+    telemetry::add_breakdown_metrics(
+        registry, dram::breakdown_from_stats(cmds, geometry.columns,
+                                             device.technology()));
+  };
+  std::unique_ptr<telemetry::ProgressReporter> progress;
+  if (options.progress_interval_s > 0.0)
+    progress = std::make_unique<telemetry::ProgressReporter>(
+        telemetry::metrics(),
+        telemetry::ProgressReporter::Options{options.progress_interval_s,
+                                             nullptr});
+
+  // ---- Checkpoint/resume plumbing (shared format with pipeline.cpp: an
+  // isolated run resumes an in-process one and vice versa) ----
+  const runtime::CheckpointFingerprint fingerprint =
+      make_fingerprint(geometry, options);
+  const std::string ckpt_path = options.checkpoint_dir.empty()
+                                    ? std::string{}
+                                    : options.checkpoint_dir + "/pipeline.ckpt";
+  runtime::PipelineSnapshot snap;
+  snap.fingerprint = fingerprint;
+  std::uint32_t resume_stage = 0;
+  if (options.resume) {
+    PIMA_CHECK(!options.checkpoint_dir.empty(),
+               "resume requires checkpoint_dir");
+    if (std::ifstream probe(ckpt_path); probe.good()) {
+      snap = runtime::load_checkpoint(ckpt_path);
+      runtime::validate_compatible(snap, fingerprint);
+      resume_stage = snap.stages_done;
+    }
+  }
+  const runtime::FaultStats base_fault = snap.fault_stats;
+  const auto write_checkpoint = [&](std::uint32_t stage) {
+    if (ckpt_path.empty()) return;
+    snap.stages_done = stage;
+    snap.fault_stats = base_fault;
+    runtime::save_checkpoint(ckpt_path, snap);
+    if (options.on_checkpoint) options.on_checkpoint(stage, ckpt_path);
+  };
+  // A fresh run must not trip over shard checkpoints a previous run of a
+  // different configuration left in the directory — only a resumed run may
+  // inherit them (fingerprint-validated per worker on spawn).
+  if (resume_stage == 0 && !options.checkpoint_dir.empty()) {
+    for (std::size_t d = 0; d < options.devices; ++d) {
+      std::error_code ec;
+      std::filesystem::remove(options.checkpoint_dir + "/shard-" +
+                                  std::to_string(d) + ".ckpt",
+                              ec);
+    }
+  }
+
+  // ---- The worker pool ----
+  runtime::ProcPoolOptions pool_options;
+  pool_options.devices = options.devices;
+  pool_options.devd_path = options.isolate_opts.devd_path;
+  pool_options.liveness_timeout_s = options.isolate_opts.liveness_timeout_s;
+  pool_options.restart_budget = options.isolate_opts.restart_budget;
+  pool_options.restart_backoff_ms = options.isolate_opts.restart_backoff_ms;
+  // A traced run must keep the whole journal: a restarted worker rebuilds
+  // its trace sinks only by replaying every command since init.
+  pool_options.journal_truncation = !options.capture_trace;
+  pool_options.checkpoint_dir = options.checkpoint_dir;
+  pool_options.fingerprint = fingerprint;
+  pool_options.child_iofault = options.isolate_opts.child_iofault;
+  runtime::ProcSupervisor sup(
+      pool_options, [&](std::size_t d) {
+        WorkerInit init;
+        init.geometry = geometry;
+        init.technology = device.technology();
+        init.device = d;
+        init.devices = options.devices;
+        init.k = options.k;
+        init.hash_shards = options.hash_shards;
+        init.channels = channels;
+        init.queue_capacity = options.queue_capacity;
+        init.capture_trace = options.capture_trace;
+        init.stall_timeout_ms = options.stall_timeout_ms;
+        return worker_init_to_json(init);
+      });
+  sup.start();
+  if (resume_stage > 0) sup.mark_stage_done(resume_stage);
+
+  // ---- Stage 1: k-mer analysis (Hashmap(S, k)) ----
+  std::vector<std::pair<assembly::Kmer, std::uint32_t>> entries;
+  if (resume_stage >= 1) {
+    entries = snap.kmer_entries;
+    result.distinct_kmers = snap.distinct_kmers;
+    result.hashmap = {snap.hashmap, "hashmap"};
+  } else {
+    PIMA_TEL_SPAN("stage:hashmap");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
+    submit_kmer_stream_isolated(sup, plan, channels, options.hash_shards,
+                                reads, options.k, options.cancel);
+    // K-mer count shuffle: each owner streams its shards back through the
+    // stage-boundary exchange, merged by shard index — identical to
+    // PimHashTable::extract() order for every device count.
+    runtime::Exchange<std::pair<assembly::Kmer, std::uint32_t>> shuffle(
+        options.devices);
+    for (std::size_t s = 0; s < options.hash_shards; ++s) {
+      const std::size_t owner = plan.owner_of(s);
+      net::Json req = make_op("extract");
+      req.set("shard", static_cast<std::uint64_t>(s));
+      const net::Json resp = sup.query(owner, req);
+      for (const auto& pair : resp.get("entries").items())
+        shuffle.push(owner, 0, s,
+                     {assembly::Kmer(pair.items()[0].as_uint64(), options.k),
+                      static_cast<std::uint32_t>(pair.items()[1].as_uint64())});
+    }
+    entries = shuffle.gather(0);
+    result.distinct_kmers = 0;
+    for (std::size_t d = 0; d < sup.devices(); ++d)
+      result.distinct_kmers += static_cast<std::size_t>(
+          sup.query(d, make_op("distinct")).get_uint64("value"));
+    const StageFold fold = fold_stage(sup, plan, total);
+    result.hashmap = {fold.device, "hashmap"};
+    export_stage("hashmap", result.hashmap.device, fold.commands);
+    clear_all_stats(sup);
+    snap.distinct_kmers = result.distinct_kmers;
+    snap.kmer_entries = entries;
+    snap.hashmap = result.hashmap.device;
+    sup.mark_stage_done(1);
+    write_checkpoint(1);
+  }
+
+  // ---- Stage 2a: de Bruijn construction (DeBruijn(Hashmap, k)) ----
+  if (resume_stage >= 2) {
+    result.graph = assembly::DeBruijnGraph::from_edges(snap.graph_edges);
+    result.debruijn = {snap.debruijn, "debruijn"};
+  } else {
+    PIMA_TEL_SPAN("stage:debruijn");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
+    assembly::KmerCounter counter(entries.size());
+    for (const auto& [km, freq] : entries) counter.insert_with_count(km, freq);
+    result.graph = assembly::DeBruijnGraph::from_counter(
+        counter, options.use_multiplicity);
+    const auto& graph = result.graph;
+    const std::size_t graph_base = options.hash_shards;
+    const std::size_t graph_arrays = std::max<std::size_t>(
+        1, std::min(options.hash_shards, total - graph_base));
+    const std::size_t data_rows = geometry.data_rows();
+    const BitVector row_image(geometry.columns);
+    constexpr std::size_t kProgramSlice = 8192;
+    dram::Program inserts;
+    inserts.reserve(kProgramSlice);
+    std::size_t rr = 0;
+    auto mem_insert = [&] {
+      dram::Instruction inst;
+      inst.op = dram::Opcode::kRowWrite;
+      inst.subarray = graph_base + (rr++ % graph_arrays);
+      inst.src1 = (rr / graph_arrays) % data_rows;
+      inst.payload = row_image;
+      inserts.push_back(std::move(inst));
+      if (inserts.size() >= kProgramSlice) {
+        if (options.cancel != nullptr) options.cancel->throw_if_requested();
+        submit_program_sliced(sup, plan, std::move(inserts));
+        inserts = {};
+        inserts.reserve(kProgramSlice);
+      }
+    };
+    for (std::size_t e = 0; e < graph.edge_count(); ++e) {
+      mem_insert();  // node 1 (prefix) insert
+      mem_insert();  // node 2 (suffix) insert
+      mem_insert();  // edge-list insert
+    }
+    submit_program_sliced(sup, plan, std::move(inserts));
+    drain_all(sup);
+    const StageFold fold = fold_stage(sup, plan, total);
+    result.debruijn = {fold.device, "debruijn"};
+    export_stage("debruijn", result.debruijn.device, fold.commands);
+    clear_all_stats(sup);
+    snap.graph_edges.clear();
+    snap.graph_edges.reserve(graph.edge_count());
+    for (const auto& e : graph.edges())
+      snap.graph_edges.emplace_back(e.kmer, e.multiplicity);
+    snap.debruijn = result.debruijn.device;
+    sup.mark_stage_done(2);
+    write_checkpoint(2);
+  }
+  const auto& graph = result.graph;
+  result.graph_nodes = graph.node_count();
+  result.graph_edges = graph.edge_count();
+
+  // ---- Stage 2b: traversal (Traverse(G)) ----
+  if (resume_stage >= 3) {
+    result.contigs = snap.contigs;
+    result.traverse = {snap.traverse, "traverse"};
+  } else {
+    PIMA_TEL_SPAN("stage:traverse");
+    if (options.cancel != nullptr) options.cancel->throw_if_requested();
+    const GraphPartition partition =
+        partition_fitting(graph, geometry, options.graph_intervals);
+    // The pim_degrees block walk (degree.cpp), with each block's kernel
+    // shipped as a `degree_block` request to the sub-array's owner. The
+    // parent does not need the sums — the pipeline discards them — but
+    // the workers run the full carry-save reduction, so the device
+    // traffic matches the in-process run command for command.
+    {
+      const std::size_t width = geometry.columns;
+      const auto m = partition.intervals;
+      for (std::uint32_t i = 0; i < m; ++i) {
+        for (std::uint32_t j = 0; j < m; ++j) {
+          const EdgeBlock& block = partition.block(i, j);
+          if (block.edges.empty()) continue;
+          const auto& src_vertices = partition.interval_vertices[i];
+          const auto& dst_vertices = partition.interval_vertices[j];
+          PIMA_CHECK(dst_vertices.size() <= width,
+                     "interval too wide for one sub-array row — increase M");
+          PIMA_CHECK(src_vertices.size() <= width,
+                     "interval too wide for one sub-array row — increase M");
+          const auto ship = [&](std::size_t flat,
+                                const std::vector<BitVector>& rows) {
+            net::Json req = make_op("degree_block");
+            req.set("flat", static_cast<std::uint64_t>(flat));
+            net::Json arr = net::Json::array();
+            for (const auto& r : rows) arr.push_back(net::Json(r.to_string()));
+            req.set("rows", std::move(arr));
+            sup.rpc(plan.owner_of(flat), req);
+          };
+          // In-degrees: column sums of the block's adjacency rows.
+          ship(runtime::block_subarray(total, i, j, m),
+               block_adjacency_rows(block, src_vertices.size(), width));
+          // Out-degrees: column sums of the transposed block.
+          EdgeBlock transposed;
+          transposed.source_interval = j;
+          transposed.dest_interval = i;
+          transposed.edges.reserve(block.edges.size());
+          for (const auto& e : block.edges)
+            transposed.edges.push_back({e.to, e.from, e.multiplicity});
+          ship(runtime::block_subarray(total, j, i, m,
+                                       static_cast<std::size_t>(m) * m),
+               block_adjacency_rows(transposed, dst_vertices.size(), width));
+        }
+      }
+      drain_all(sup);
+    }
+    std::vector<dna::Sequence> walks =
+        options.euler_contigs
+            ? assembly::contigs_from_euler(graph, options.traversal)
+            : assembly::contigs_from_unitigs(graph);
+    const std::size_t arrays = std::max<std::size_t>(1, options.hash_shards);
+    if (plan.sharded()) {
+      runtime::Exchange<dna::Sequence> handoff(options.devices);
+      for (std::size_t w = 0; w < walks.size(); ++w) {
+        const std::size_t owner = plan.owner_of(w % arrays);
+        handoff.push(owner, 0, w, std::move(walks[w]));
+      }
+      result.contigs = handoff.gather(0);
+    } else {
+      result.contigs = std::move(walks);
+    }
+    const std::size_t data_rows = geometry.data_rows();
+    constexpr std::size_t kProgramSlice = 8192;
+    dram::Program lookups;
+    lookups.reserve(kProgramSlice);
+    std::size_t rr = 0;
+    for (std::uint64_t e = 0; e < graph.edge_instances(); ++e) {
+      dram::Instruction inst;
+      inst.op = dram::Opcode::kRowRead;
+      inst.subarray = rr++ % arrays;
+      inst.src1 = (rr / arrays) % data_rows;
+      lookups.push_back(std::move(inst));
+      if (lookups.size() >= kProgramSlice) {
+        if (options.cancel != nullptr) options.cancel->throw_if_requested();
+        submit_program_sliced(sup, plan, std::move(lookups));
+        lookups = {};
+        lookups.reserve(kProgramSlice);
+      }
+    }
+    submit_program_sliced(sup, plan, std::move(lookups));
+    drain_all(sup);
+    const StageFold fold = fold_stage(sup, plan, total);
+    result.traverse = {fold.device, "traverse"};
+    export_stage("traverse", result.traverse.device, fold.commands);
+    clear_all_stats(sup);
+    snap.contigs = result.contigs;
+    snap.traverse = result.traverse.device;
+    sup.mark_stage_done(3);
+    write_checkpoint(3);
+  }
+
+  result.contig_stats = assembly::compute_stats(result.contigs);
+  result.fault_stats = base_fault;
+  if (options.capture_trace) {
+    // Trace harvest, folded like DevicePool::captured_program: per-worker
+    // per-sub-array replay programs, concatenated in logical flat order.
+    std::vector<std::vector<std::pair<std::size_t, dram::Program>>> traces(
+        sup.devices());
+    for (std::size_t d = 0; d < sup.devices(); ++d) {
+      const net::Json resp = sup.query(d, make_op("trace"));
+      for (const auto& entry : resp.get("programs").items()) {
+        std::istringstream in(entry.get_string("text"));
+        traces[d].emplace_back(
+            static_cast<std::size_t>(entry.get_uint64("flat")),
+            dram::parse_program(in));
+      }
+    }
+    std::vector<std::size_t> cursor(traces.size(), 0);
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      const std::size_t d = plan.owner_of(flat);
+      auto& c = cursor[d];
+      while (c < traces[d].size() && traces[d][c].first < flat) ++c;
+      if (c >= traces[d].size() || traces[d][c].first != flat) continue;
+      auto& part = traces[d][c].second;
+      result.trace.insert(result.trace.end(),
+                          std::make_move_iterator(part.begin()),
+                          std::make_move_iterator(part.end()));
+    }
+  }
+  if (telemetry::metrics_enabled()) {
+    auto& registry = telemetry::metrics();
+    registry
+        .gauge("pima_pipeline_distinct_kmers", "distinct k-mers counted")
+        .set(static_cast<double>(result.distinct_kmers));
+    registry.gauge("pima_pipeline_graph_nodes", "de Bruijn graph nodes")
+        .set(static_cast<double>(result.graph_nodes));
+    registry.gauge("pima_pipeline_graph_edges", "de Bruijn graph edges")
+        .set(static_cast<double>(result.graph_edges));
+    registry.gauge("pima_pipeline_contigs", "contigs produced")
+        .set(static_cast<double>(result.contigs.size()));
+  }
+  sup.shutdown();
+  return result;
+}
+
+}  // namespace pima::core::detail

@@ -1,0 +1,345 @@
+#include "core/shard_worker.hpp"
+
+#include <sstream>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/degree.hpp"
+#include "dram/isa.hpp"
+
+namespace pima::core {
+
+namespace {
+
+net::Json ok_response() {
+  net::Json j = net::Json::object();
+  j.set("ok", true);
+  return j;
+}
+
+[[noreturn]] void bad_request(const std::string& why) {
+  throw InputFormatError("device worker request: " + why);
+}
+
+}  // namespace
+
+net::Json worker_init_to_json(const WorkerInit& init) {
+  net::Json j = net::Json::object();
+  j.set("op", "init");
+  j.set("device", init.device);
+  j.set("devices", init.devices);
+  net::Json geom = net::Json::object();
+  geom.set("rows", init.geometry.rows);
+  geom.set("compute_rows", init.geometry.compute_rows);
+  geom.set("columns", init.geometry.columns);
+  geom.set("subarrays_per_mat", init.geometry.subarrays_per_mat);
+  geom.set("mats_per_bank", init.geometry.mats_per_bank);
+  geom.set("banks", init.geometry.banks);
+  j.set("geometry", std::move(geom));
+  // Exact wire image of the modelled technology: the worker's cost model
+  // must be the parent's, or stats would drift from the in-process run.
+  net::Json tech = net::Json::array();
+  const auto& t = init.technology;
+  for (const double v :
+       {t.tech.vdd, t.tech.cell_cap_ff, t.tech.bitline_cap_ff,
+        t.tech.inverter_gain, t.timing.t_rcd_ns, t.timing.t_ras_ns,
+        t.timing.t_rp_ns, t.timing.t_cl_ns, t.timing.t_bl_ns,
+        t.energy.e_activate_pj, t.energy.e_precharge_pj,
+        t.energy.e_multirow_extra_pj, t.energy.e_sa_logic_pj,
+        t.energy.e_dpu_pj, t.energy.e_read_col_pj, t.energy.e_write_col_pj,
+        t.energy.static_power_w})
+    tech.push_back(net::Json(v));
+  j.set("technology", std::move(tech));
+  j.set("k", init.k);
+  j.set("hash_shards", init.hash_shards);
+  j.set("channels", init.channels);
+  j.set("queue_capacity", init.queue_capacity);
+  j.set("program_chunk", init.program_chunk);
+  j.set("capture_trace", init.capture_trace);
+  j.set("stall_timeout_ms", init.stall_timeout_ms);
+  return j;
+}
+
+WorkerInit worker_init_from_json(const net::Json& j) {
+  WorkerInit init;
+  init.device = static_cast<std::size_t>(j.get_uint64("device"));
+  init.devices = static_cast<std::size_t>(j.get_uint64("devices", 1));
+  if (!j.has("geometry") || !j.get("geometry").is_object())
+    bad_request("init needs a geometry object");
+  const net::Json& geom = j.get("geometry");
+  init.geometry.rows = static_cast<std::size_t>(geom.get_uint64("rows"));
+  init.geometry.compute_rows =
+      static_cast<std::size_t>(geom.get_uint64("compute_rows"));
+  init.geometry.columns = static_cast<std::size_t>(geom.get_uint64("columns"));
+  init.geometry.subarrays_per_mat =
+      static_cast<std::size_t>(geom.get_uint64("subarrays_per_mat"));
+  init.geometry.mats_per_bank =
+      static_cast<std::size_t>(geom.get_uint64("mats_per_bank"));
+  init.geometry.banks = static_cast<std::size_t>(geom.get_uint64("banks"));
+  if (!j.has("technology") || !j.get("technology").is_array() ||
+      j.get("technology").items().size() != 17)
+    bad_request("init needs the 17-field technology array");
+  const auto& tech = j.get("technology").items();
+  auto& t = init.technology;
+  double* slots[17] = {&t.tech.vdd,
+                       &t.tech.cell_cap_ff,
+                       &t.tech.bitline_cap_ff,
+                       &t.tech.inverter_gain,
+                       &t.timing.t_rcd_ns,
+                       &t.timing.t_ras_ns,
+                       &t.timing.t_rp_ns,
+                       &t.timing.t_cl_ns,
+                       &t.timing.t_bl_ns,
+                       &t.energy.e_activate_pj,
+                       &t.energy.e_precharge_pj,
+                       &t.energy.e_multirow_extra_pj,
+                       &t.energy.e_sa_logic_pj,
+                       &t.energy.e_dpu_pj,
+                       &t.energy.e_read_col_pj,
+                       &t.energy.e_write_col_pj,
+                       &t.energy.static_power_w};
+  for (std::size_t i = 0; i < 17; ++i) *slots[i] = tech[i].as_number();
+  init.k = static_cast<std::size_t>(j.get_uint64("k"));
+  init.hash_shards = static_cast<std::size_t>(j.get_uint64("hash_shards", 1));
+  init.channels = static_cast<std::size_t>(j.get_uint64("channels", 1));
+  init.queue_capacity =
+      static_cast<std::size_t>(j.get_uint64("queue_capacity", 64));
+  init.program_chunk =
+      static_cast<std::size_t>(j.get_uint64("program_chunk", 512));
+  init.capture_trace = j.get_bool("capture_trace", false);
+  init.stall_timeout_ms = j.get_number("stall_timeout_ms", 0.0);
+  if (init.k < 1 || init.k > assembly::Kmer::kMaxK)
+    bad_request("init k out of range");
+  if (init.hash_shards < 1) bad_request("init hash_shards out of range");
+  return init;
+}
+
+ShardWorkerCore::ShardWorkerCore(const net::Json& init)
+    : init_(worker_init_from_json(init)),
+      device_(init_.geometry, init_.technology) {
+  runtime::EngineOptions eopt;
+  eopt.channels = init_.channels;
+  eopt.queue_capacity = init_.queue_capacity;
+  eopt.program_chunk = init_.program_chunk;
+  eopt.capture_trace = init_.capture_trace;
+  eopt.stall_timeout_ms = init_.stall_timeout_ms;
+  // A real worker thread even at channels == 1: the request loop must stay
+  // responsive (heartbeats, liveness) while kernels execute.
+  eopt.force_worker = true;
+  engine_ = std::make_unique<runtime::Engine>(device_, eopt);
+  table_ = std::make_unique<PimHashTable>(device_, init_.hash_shards, 0,
+                                          MappingPolicy::kCorrelated);
+  table_->bind_key_length(init_.k);
+}
+
+ShardWorkerCore::~ShardWorkerCore() {
+  engine_->quiesce();
+  try {
+    engine_->drain();
+  } catch (...) {
+  }
+}
+
+net::Json ShardWorkerCore::handle(const net::Json& request) {
+  const std::string op = request.get_string("op");
+  if (op == "kmers") return op_kmers(request);
+  if (op == "drain") return op_drain();
+  if (op == "extract") return op_extract(request);
+  if (op == "distinct") return op_distinct();
+  if (op == "program") return op_program(request);
+  if (op == "degree_block") return op_degree_block(request);
+  if (op == "stats") return op_stats();
+  if (op == "clear_stats") return op_clear_stats();
+  if (op == "trace") return op_trace();
+  if (op == "ping") return ok_response();
+  if (op == "shutdown") {
+    shutdown_ = true;
+    return ok_response();
+  }
+  if (op == "init") bad_request("worker already initialized");
+  bad_request("unknown op '" + op + "'");
+}
+
+net::Json ShardWorkerCore::op_kmers(const net::Json& req) {
+  const std::size_t channel =
+      static_cast<std::size_t>(req.get_uint64("channel"));
+  if (!req.has("kmers") || !req.get("kmers").is_array())
+    bad_request("kmers needs a packed-kmer array");
+  std::vector<assembly::Kmer> batch;
+  batch.reserve(req.get("kmers").items().size());
+  for (const auto& item : req.get("kmers").items())
+    batch.emplace_back(item.as_uint64(), init_.k);
+  try {
+    engine_->submit(channel, [this, batch = std::move(batch)] {
+      for (const auto& kmer : batch) table_->insert_or_increment(kmer);
+    });
+  } catch (const SimulationError&) {
+    // Fail-fast submit after a poisoned channel: surface the root failure
+    // (mirrors the pipeline's stage-1 quiesce-drain-throw discipline).
+    engine_->quiesce();
+    engine_->drain();
+    throw;
+  } catch (...) {
+    engine_->quiesce();
+    throw;
+  }
+  return ok_response();
+}
+
+net::Json ShardWorkerCore::op_drain() {
+  engine_->drain();
+  return ok_response();
+}
+
+net::Json ShardWorkerCore::op_extract(const net::Json& req) {
+  const std::size_t shard = static_cast<std::size_t>(req.get_uint64("shard"));
+  if (shard >= table_->shard_count()) bad_request("extract shard out of range");
+  net::Json entries = net::Json::array();
+  for (const auto& [kmer, freq] : table_->extract_shard(shard)) {
+    net::Json pair = net::Json::array();
+    pair.push_back(net::Json(kmer.packed()));
+    pair.push_back(net::Json(static_cast<std::uint64_t>(freq)));
+    entries.push_back(std::move(pair));
+  }
+  net::Json resp = ok_response();
+  resp.set("entries", std::move(entries));
+  return resp;
+}
+
+net::Json ShardWorkerCore::op_distinct() {
+  net::Json resp = ok_response();
+  resp.set("value", static_cast<std::uint64_t>(table_->distinct_kmers()));
+  return resp;
+}
+
+net::Json ShardWorkerCore::op_program(const net::Json& req) {
+  std::istringstream in(req.get_string("text"));
+  dram::Program program;
+  try {
+    program = dram::parse_program(in);
+  } catch (const PreconditionError& e) {
+    // A malformed program line is a torn/corrupt frame from the parent's
+    // point of view, not a worker bug.
+    bad_request(std::string("unparseable program: ") + e.what());
+  }
+  try {
+    engine_->submit_program(std::move(program));
+  } catch (const SimulationError&) {
+    engine_->quiesce();
+    engine_->drain();
+    throw;
+  } catch (...) {
+    engine_->quiesce();
+    throw;
+  }
+  return ok_response();
+}
+
+net::Json ShardWorkerCore::op_degree_block(const net::Json& req) {
+  const std::size_t flat = static_cast<std::size_t>(req.get_uint64("flat"));
+  if (flat >= device_.geometry().total_subarrays())
+    bad_request("degree_block flat index out of range");
+  if (!req.has("rows") || !req.get("rows").is_array())
+    bad_request("degree_block needs adjacency rows");
+  std::vector<BitVector> rows;
+  rows.reserve(req.get("rows").items().size());
+  for (const auto& item : req.get("rows").items())
+    rows.push_back(BitVector::from_string(item.as_string()));
+  try {
+    engine_->submit_to_subarray(flat, [this, flat, rows = std::move(rows)] {
+      // Sums are discarded: the pipeline only keeps the device work (the
+      // in-process path discards DegreeResult the same way).
+      (void)pim_column_sums(device_.subarray(flat), rows);
+    });
+  } catch (const SimulationError&) {
+    engine_->quiesce();
+    engine_->drain();
+    throw;
+  } catch (...) {
+    engine_->quiesce();
+    throw;
+  }
+  return ok_response();
+}
+
+net::Json ShardWorkerCore::op_stats() {
+  const std::size_t total = device_.geometry().total_subarrays();
+  net::Json subarrays = net::Json::array();
+  for (std::size_t flat = 0; flat < total; ++flat) {
+    const dram::Subarray* sa = device_.subarray_if(flat);
+    if (sa == nullptr) continue;
+    const dram::CommandStats& st = sa->stats();
+    if (st.total_commands() == 0) continue;  // identity under both folds
+    net::Json entry = net::Json::object();
+    entry.set("flat", static_cast<std::uint64_t>(flat));
+    net::Json counts = net::Json::array();
+    for (const std::size_t c : st.counts)
+      counts.push_back(net::Json(static_cast<std::uint64_t>(c)));
+    entry.set("counts", std::move(counts));
+    entry.set("busy_ns", st.busy_ns);
+    entry.set("energy_pj", st.energy_pj);
+    subarrays.push_back(std::move(entry));
+  }
+  net::Json resp = ok_response();
+  resp.set("subarrays", std::move(subarrays));
+  return resp;
+}
+
+net::Json ShardWorkerCore::op_clear_stats() {
+  device_.clear_stats();
+  return ok_response();
+}
+
+net::Json ShardWorkerCore::op_trace() {
+  net::Json programs = net::Json::array();
+  if (device_.tracing()) {
+    const std::size_t total = device_.geometry().total_subarrays();
+    for (std::size_t flat = 0; flat < total; ++flat) {
+      const dram::TraceSink* sink = device_.trace_if(flat);
+      if (sink == nullptr || sink->entries().empty()) continue;
+      const dram::Program program = dram::program_from_trace(
+          sink->entries(), flat, device_.geometry().columns);
+      net::Json entry = net::Json::object();
+      entry.set("flat", static_cast<std::uint64_t>(flat));
+      entry.set("text", dram::to_text(program));
+      programs.push_back(std::move(entry));
+    }
+  }
+  net::Json resp = ok_response();
+  resp.set("programs", std::move(programs));
+  return resp;
+}
+
+const char* worker_error_type(const std::exception& e) {
+  if (dynamic_cast<const EngineStalledError*>(&e) != nullptr)
+    return "EngineStalledError";
+  if (dynamic_cast<const CorruptCheckpointError*>(&e) != nullptr)
+    return "CorruptCheckpointError";
+  if (dynamic_cast<const IoError*>(&e) != nullptr) return "IoError";
+  if (dynamic_cast<const InputFormatError*>(&e) != nullptr)
+    return "InputFormatError";
+  if (dynamic_cast<const CancelledError*>(&e) != nullptr)
+    return "CancelledError";
+  if (dynamic_cast<const PreconditionError*>(&e) != nullptr)
+    return "PreconditionError";
+  if (dynamic_cast<const SimulationError*>(&e) != nullptr)
+    return "SimulationError";
+  return "RuntimeError";
+}
+
+net::Json worker_error_response(const std::exception& e) {
+  net::Json resp = net::Json::object();
+  resp.set("ok", false);
+  resp.set("error", worker_error_type(e));
+  resp.set("message", std::string(e.what()));
+  if (const auto* stalled = dynamic_cast<const EngineStalledError*>(&e)) {
+    resp.set("channel", static_cast<std::uint64_t>(stalled->channel()));
+    resp.set("subarray", static_cast<std::uint64_t>(stalled->subarray()));
+    resp.set("last_retired", stalled->last_retired());
+    resp.set("timeout_ms", stalled->timeout_ms());
+  }
+  return resp;
+}
+
+}  // namespace pima::core

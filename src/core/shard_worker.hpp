@@ -1,0 +1,109 @@
+// Device-worker core of the process-isolated runtime (DESIGN.md §15).
+//
+// `pima_devd` hosts exactly one device shard of an isolated pipeline run:
+// a dram::Device, a runtime::Engine (with the watchdog, so a wedged kernel
+// becomes a typed EngineStalledError instead of a silent hang) and the
+// shard's slice of the PimHashTable. The parent supervisor drives it with
+// newline-delimited JSON requests; this class is the transport-free verb
+// dispatcher, so tests can exercise the protocol in-process and the
+// `pima_devd` main() stays a thin I/O loop.
+//
+// Verbs (one request object per line, one response object per request):
+//
+//   init          geometry + technology + engine/table configuration
+//   kmers         enqueue a k-mer batch on a channel (stage-1 insert path)
+//   drain         barrier: wait for queued work, surface typed failures
+//   extract       one hash shard's (k-mer, freq) entries in slot order
+//   distinct      controller-side distinct-key count
+//   program       parse + submit an AAP program slice (stages 2/3)
+//   degree_block  run pim_column_sums on one sub-array (stage-3 kernel)
+//   stats         per-sub-array CommandStats of every touched sub-array
+//   clear_stats   stage-boundary statistics reset
+//   trace         per-sub-array replay programs (oracle capture)
+//   ping          liveness probe
+//   shutdown      graceful exit handshake
+//
+// Determinism: the device state and statistics after any request sequence
+// are a pure function of that sequence — the engine's per-sub-array
+// ordering contract makes channel count irrelevant — which is what lets
+// the supervisor replay a journal into a fresh worker after a crash and
+// land on bit-identical state.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "circuit/tech.hpp"
+#include "core/pim_hash_table.hpp"
+#include "dram/device.hpp"
+#include "dram/geometry.hpp"
+#include "net/json.hpp"
+#include "runtime/engine.hpp"
+
+namespace pima::core {
+
+/// Configuration carried by the init request. Doubles ride the wire as
+/// plain JSON numbers — the writer's shortest round-trip-exact rendering
+/// reproduces them bit-for-bit on the worker side.
+struct WorkerInit {
+  dram::Geometry geometry;
+  circuit::Technology technology;
+  std::size_t device = 0;   ///< this worker's shard id (diagnostics)
+  std::size_t devices = 1;  ///< total shard count (diagnostics)
+  std::size_t k = 0;
+  std::size_t hash_shards = 1;
+  std::size_t channels = 1;
+  std::size_t queue_capacity = 64;
+  std::size_t program_chunk = 512;
+  bool capture_trace = false;
+  double stall_timeout_ms = 0.0;
+};
+
+/// Serializes a WorkerInit as the `init` request object.
+net::Json worker_init_to_json(const WorkerInit& init);
+/// Parses an `init` request; throws InputFormatError on malformed fields.
+WorkerInit worker_init_from_json(const net::Json& j);
+
+class ShardWorkerCore {
+ public:
+  /// Constructs the device/engine/table from an `init` request.
+  explicit ShardWorkerCore(const net::Json& init);
+  ~ShardWorkerCore();
+
+  /// Dispatches one non-init request and returns its ok-response. Typed
+  /// pima exceptions escape to the caller (pima_devd converts them into
+  /// `{"ok":false,"error":...}` lines; EngineStalledError additionally
+  /// ends the process with the stall exit code — the engine is poisoned).
+  net::Json handle(const net::Json& request);
+
+  bool shutdown_requested() const { return shutdown_; }
+  std::size_t device_index() const { return init_.device; }
+
+ private:
+  net::Json op_kmers(const net::Json& req);
+  net::Json op_drain();
+  net::Json op_extract(const net::Json& req);
+  net::Json op_distinct();
+  net::Json op_program(const net::Json& req);
+  net::Json op_degree_block(const net::Json& req);
+  net::Json op_stats();
+  net::Json op_clear_stats();
+  net::Json op_trace();
+
+  WorkerInit init_;
+  dram::Device device_;
+  std::unique_ptr<runtime::Engine> engine_;
+  std::unique_ptr<PimHashTable> table_;
+  bool shutdown_ = false;
+};
+
+/// Maps an exception to the wire error-type name the supervisor's
+/// throw_worker_error() reconstructs (most-derived first, like
+/// exit_code_for).
+const char* worker_error_type(const std::exception& e);
+
+/// Formats an exception as the `{"ok":false,...}` response object,
+/// including EngineStalledError's reconstruction fields.
+net::Json worker_error_response(const std::exception& e);
+
+}  // namespace pima::core

@@ -1,4 +1,4 @@
-#include "service/json.hpp"
+#include "net/json.hpp"
 
 #include <charconv>
 #include <cmath>
@@ -6,7 +6,7 @@
 
 #include "common/error.hpp"
 
-namespace pima::service {
+namespace pima::net {
 
 namespace {
 
@@ -410,4 +410,4 @@ std::string Json::dump() const {
 
 Json Json::parse(const std::string& text) { return Parser(text).run(); }
 
-}  // namespace pima::service
+}  // namespace pima::net

@@ -1,4 +1,4 @@
-#include "service/socket.hpp"
+#include "net/socket.hpp"
 
 #include <cerrno>
 #include <chrono>
@@ -16,7 +16,7 @@
 #include "common/error.hpp"
 #include "common/fsio.hpp"
 
-namespace pima::service {
+namespace pima::net {
 
 namespace {
 
@@ -267,4 +267,4 @@ void LineChannel::write_line(const std::string& line) {
   }
 }
 
-}  // namespace pima::service
+}  // namespace pima::net

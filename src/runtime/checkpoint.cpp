@@ -18,6 +18,7 @@ namespace pima::runtime {
 namespace {
 
 constexpr char kMagic[8] = {'P', 'I', 'M', 'A', 'C', 'K', 'P', 'T'};
+constexpr char kShardMagic[8] = {'P', 'I', 'M', 'A', 'S', 'H', 'R', 'D'};
 
 [[noreturn]] void corrupt(const std::string& path, const std::string& why) {
   throw CorruptCheckpointError("corrupt checkpoint " + path + ": " + why);
@@ -103,6 +104,7 @@ void put_fingerprint(Writer& w, const CheckpointFingerprint& f) {
   w.u64(f.k);
   w.u64(f.hash_shards);
   w.u64(f.devices);
+  w.u64(f.shard);
   w.u32(f.graph_intervals);
   w.u8(f.use_multiplicity ? 1 : 0);
   w.u8(f.euler_contigs ? 1 : 0);
@@ -125,6 +127,7 @@ CheckpointFingerprint get_fingerprint(Reader& r) {
   f.k = r.u64();
   f.hash_shards = r.u64();
   f.devices = r.u64();
+  f.shard = r.u64();
   f.graph_intervals = r.u32();
   f.use_multiplicity = r.u8() != 0;
   f.euler_contigs = r.u8() != 0;
@@ -290,6 +293,70 @@ void write_all(int fd, const char* data, std::size_t size,
   }
 }
 
+// Shared header + atomic-rename write for both checkpoint flavors.
+void write_checkpoint_file(const std::string& path, const char magic[8],
+                           const std::string& payload) {
+  Writer header;
+  header.bytes(magic, 8);
+  header.u32(kCheckpointVersion);
+  header.u64(payload.size());
+  header.u32(crc32(payload.data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  const int fd =
+      fsio::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644, "checkpoint");
+  if (fd < 0)
+    throw IoError("cannot create " + tmp + ": " + std::strerror(errno));
+  try {
+    write_all(fd, header.str().data(), header.str().size(), tmp);
+    write_all(fd, payload.data(), payload.size(), tmp);
+    if (fsio::fsync(fd, "checkpoint") != 0)
+      throw IoError("fsync failed for " + tmp + ": " + std::strerror(errno));
+  } catch (...) {
+    ::close(fd);
+    fsio::unlink(tmp.c_str(), "checkpoint");
+    throw;
+  }
+  ::close(fd);
+  if (fsio::rename(tmp.c_str(), path.c_str(), "checkpoint") != 0) {
+    const int err = errno;
+    fsio::unlink(tmp.c_str(), "checkpoint");
+    throw IoError("cannot rename " + tmp + " to " + path + ": " +
+                  std::strerror(err));
+  }
+  // Durability of the rename itself: fsync the containing directory. A
+  // failure is survivable but counted + logged once (fsio satellite).
+  fsio::fsync_parent_dir(path, "checkpoint");
+}
+
+// Shared header validation; returns the CRC-checked payload.
+std::string read_checkpoint_file(const std::string& path,
+                                 const char magic[8]) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw IoError("cannot open checkpoint: " + path);
+  std::string file((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 4;
+  if (file.size() < kHeaderSize) corrupt(path, "shorter than the header");
+  if (std::memcmp(file.data(), magic, 8) != 0) corrupt(path, "bad magic");
+  Reader header(file, path);
+  (void)header.bytes(8);
+  const std::uint32_t version = header.u32();
+  if (version != kCheckpointVersion)
+    corrupt(path, "version " + std::to_string(version) + " (expected " +
+                      std::to_string(kCheckpointVersion) + ")");
+  const std::uint64_t payload_size = header.u64();
+  const std::uint32_t stored_crc = header.u32();
+  if (file.size() - kHeaderSize != payload_size)
+    corrupt(path, "payload size mismatch (header says " +
+                      std::to_string(payload_size) + ", file holds " +
+                      std::to_string(file.size() - kHeaderSize) + ")");
+  const std::string payload = file.substr(kHeaderSize);
+  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+  if (actual_crc != stored_crc) corrupt(path, "checksum mismatch");
+  return payload;
+}
+
 }  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t size) {
@@ -315,6 +382,7 @@ std::string CheckpointFingerprint::diff(
   if (k != o.k) return "k";
   if (hash_shards != o.hash_shards) return "hash_shards";
   if (devices != o.devices) return "devices";
+  if (shard != o.shard) return "shard";
   if (graph_intervals != o.graph_intervals) return "graph_intervals";
   if (use_multiplicity != o.use_multiplicity) return "use_multiplicity";
   if (euler_contigs != o.euler_contigs) return "euler_contigs";
@@ -350,65 +418,32 @@ void save_checkpoint(const std::string& path, const PipelineSnapshot& snap) {
     }
   } timer{t0};
 #endif
-  const std::string payload = serialize_payload(snap);
-  Writer header;
-  header.bytes(kMagic, sizeof kMagic);
-  header.u32(kCheckpointVersion);
-  header.u64(payload.size());
-  header.u32(crc32(payload.data(), payload.size()));
-
-  const std::string tmp = path + ".tmp";
-  const int fd =
-      fsio::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644, "checkpoint");
-  if (fd < 0)
-    throw IoError("cannot create " + tmp + ": " + std::strerror(errno));
-  try {
-    write_all(fd, header.str().data(), header.str().size(), tmp);
-    write_all(fd, payload.data(), payload.size(), tmp);
-    if (fsio::fsync(fd, "checkpoint") != 0)
-      throw IoError("fsync failed for " + tmp + ": " + std::strerror(errno));
-  } catch (...) {
-    ::close(fd);
-    fsio::unlink(tmp.c_str(), "checkpoint");
-    throw;
-  }
-  ::close(fd);
-  if (fsio::rename(tmp.c_str(), path.c_str(), "checkpoint") != 0) {
-    const int err = errno;
-    fsio::unlink(tmp.c_str(), "checkpoint");
-    throw IoError("cannot rename " + tmp + " to " + path + ": " +
-                  std::strerror(err));
-  }
-  // Durability of the rename itself: fsync the containing directory. A
-  // failure is survivable but counted + logged once (fsio satellite).
-  fsio::fsync_parent_dir(path, "checkpoint");
+  write_checkpoint_file(path, kMagic, serialize_payload(snap));
 }
 
 PipelineSnapshot load_checkpoint(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) throw IoError("cannot open checkpoint: " + path);
-  std::string file((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
-  constexpr std::size_t kHeaderSize = sizeof kMagic + 4 + 8 + 4;
-  if (file.size() < kHeaderSize) corrupt(path, "shorter than the header");
-  if (std::memcmp(file.data(), kMagic, sizeof kMagic) != 0)
-    corrupt(path, "bad magic");
-  Reader header(file, path);
-  (void)header.bytes(sizeof kMagic);
-  const std::uint32_t version = header.u32();
-  if (version != kCheckpointVersion)
-    corrupt(path, "version " + std::to_string(version) + " (expected " +
-                      std::to_string(kCheckpointVersion) + ")");
-  const std::uint64_t payload_size = header.u64();
-  const std::uint32_t stored_crc = header.u32();
-  if (file.size() - kHeaderSize != payload_size)
-    corrupt(path, "payload size mismatch (header says " +
-                      std::to_string(payload_size) + ", file holds " +
-                      std::to_string(file.size() - kHeaderSize) + ")");
-  const std::string payload = file.substr(kHeaderSize);
-  const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
-  if (actual_crc != stored_crc) corrupt(path, "checksum mismatch");
-  return deserialize_payload(payload, path);
+  return deserialize_payload(read_checkpoint_file(path, kMagic), path);
+}
+
+void save_shard_checkpoint(const std::string& path,
+                           const ShardCheckpoint& sc) {
+  Writer w;
+  put_fingerprint(w, sc.fingerprint);
+  w.u32(sc.stages_done);
+  write_checkpoint_file(path, kShardMagic, w.str());
+}
+
+ShardCheckpoint load_shard_checkpoint(const std::string& path) {
+  const std::string payload = read_checkpoint_file(path, kShardMagic);
+  Reader r(payload, path);
+  ShardCheckpoint sc;
+  sc.fingerprint = get_fingerprint(r);
+  sc.stages_done = r.u32();
+  if (sc.stages_done > 3)
+    corrupt(path,
+            "stage count " + std::to_string(sc.stages_done) + " out of range");
+  if (!r.exhausted()) corrupt(path, "trailing bytes after payload");
+  return sc;
 }
 
 void validate_compatible(const PipelineSnapshot& snap,

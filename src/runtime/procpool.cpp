@@ -1,0 +1,365 @@
+#include "runtime/procpool.hpp"
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "common/fsio.hpp"
+
+extern char** environ;
+
+namespace pima::runtime {
+
+namespace {
+
+constexpr const char* kSite = "procpool";
+
+// Pre-fork snapshot of the environment with PIMA_IOFAULT optionally
+// replaced: only async-signal-safe work remains between fork and exec.
+std::vector<std::string> child_environment(const std::string& iofault) {
+  std::vector<std::string> env;
+  for (char** e = environ; *e != nullptr; ++e) {
+    if (!iofault.empty() &&
+        std::strncmp(*e, "PIMA_IOFAULT=", 13) == 0)
+      continue;
+    env.emplace_back(*e);
+  }
+  if (!iofault.empty()) env.push_back("PIMA_IOFAULT=" + iofault);
+  return env;
+}
+
+}  // namespace
+
+const char* to_string(WorkerExitClass c) {
+  switch (c) {
+    case WorkerExitClass::kClean: return "clean exit";
+    case WorkerExitClass::kStalled: return "engine stall";
+    case WorkerExitClass::kCrashExit: return "crash exit";
+    case WorkerExitClass::kSignal: return "killed by signal";
+    case WorkerExitClass::kTorn: return "torn protocol";
+    case WorkerExitClass::kWedged: return "wedged (liveness deadline)";
+  }
+  return "?";
+}
+
+[[noreturn]] void throw_worker_error(const net::Json& response) {
+  const std::string type = response.get_string("error");
+  const std::string message = response.get_string("message");
+  if (type == "EngineStalledError")
+    // Reconstructed from the wire fields; format() regenerates the exact
+    // message the worker's engine produced.
+    throw EngineStalledError(
+        static_cast<std::size_t>(response.get_uint64("channel")),
+        static_cast<std::size_t>(
+            response.get_uint64("subarray", EngineStalledError::kNoSubarray)),
+        response.get_uint64("last_retired"),
+        response.get_number("timeout_ms"));
+  if (type == "PreconditionError") throw PreconditionError(message);
+  if (type == "CorruptCheckpointError") throw CorruptCheckpointError(message);
+  if (type == "IoError") throw IoError(message);
+  if (type == "InputFormatError") throw InputFormatError(message);
+  if (type == "CancelledError") throw CancelledError(message);
+  throw SimulationError(message.empty() ? "device worker error (" + type + ")"
+                                        : message);
+}
+
+std::string resolve_devd_path(const std::string& requested) {
+  std::vector<std::string> candidates;
+  if (!requested.empty()) {
+    candidates.push_back(requested);
+  } else {
+    if (const char* env = std::getenv("PIMA_DEVD_PATH");
+        env != nullptr && *env != '\0')
+      candidates.emplace_back(env);
+    std::error_code ec;
+    const auto self = std::filesystem::read_symlink("/proc/self/exe", ec);
+    if (!ec) {
+      const auto dir = self.parent_path();
+      candidates.push_back((dir / "pima_devd").string());
+      candidates.push_back((dir / ".." / "tools" / "pima_devd").string());
+    }
+  }
+  for (const auto& c : candidates) {
+    std::error_code ec;
+    if (std::filesystem::exists(c, ec)) return c;
+  }
+  throw IoError(
+      "cannot find the pima_devd device-worker binary (tried " +
+      (candidates.empty() ? std::string("nothing")
+                          : candidates.front() +
+                                (candidates.size() > 1 ? " and friends" : "")) +
+      "); build it alongside pima_asm or set PIMA_DEVD_PATH");
+}
+
+ProcSupervisor::ProcSupervisor(ProcPoolOptions options,
+                               std::function<net::Json(std::size_t)> make_init)
+    : options_(std::move(options)), make_init_(std::move(make_init)) {
+  PIMA_CHECK(options_.devices >= 1, "process pool needs at least one device");
+  PIMA_CHECK(make_init_ != nullptr, "process pool needs an init builder");
+  workers_.resize(options_.devices);
+}
+
+ProcSupervisor::~ProcSupervisor() { shutdown(); }
+
+std::string ProcSupervisor::shard_checkpoint_path(std::size_t d) const {
+  return options_.checkpoint_dir + "/shard-" + std::to_string(d) + ".ckpt";
+}
+
+void ProcSupervisor::validate_shard_checkpoint(std::size_t d) const {
+  if (options_.checkpoint_dir.empty()) return;
+  const std::string path = shard_checkpoint_path(d);
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return;
+  const ShardCheckpoint sc = load_shard_checkpoint(path);
+  CheckpointFingerprint expected = options_.fingerprint;
+  expected.shard = static_cast<std::uint64_t>(d);
+  const std::string field = sc.fingerprint.diff(expected);
+  if (!field.empty())
+    throw CorruptCheckpointError(
+        "shard checkpoint " + path + " incompatible with this run: " + field +
+        " differs — it was cut by a different run configuration (or for a "
+        "different shard); remove the stale file or match the original "
+        "configuration");
+}
+
+void ProcSupervisor::spawn(std::size_t d) {
+  Worker& w = workers_[d];
+  int sv[2] = {-1, -1};
+  if (fsio::socketpair(AF_UNIX, SOCK_STREAM, 0, sv, kSite) != 0)
+    throw IoError("socketpair failed for device worker " + std::to_string(d) +
+                  ": " + std::strerror(errno));
+
+  // Build argv/envp before forking: only dup2/close/execve afterwards.
+  const std::string fd_str = "3";
+  const std::string dev_str = std::to_string(d);
+  std::vector<std::string> env = child_environment(options_.child_iofault);
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (auto& e : env) envp.push_back(e.data());
+  envp.push_back(nullptr);
+  std::string exe = resolved_devd_;
+  const char* argv[] = {exe.c_str(),     "--fd",     fd_str.c_str(),
+                        "--device",      dev_str.c_str(), nullptr};
+
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    const int err = errno;
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw IoError("fork failed for device worker " + std::to_string(d) + ": " +
+                  std::strerror(err));
+  }
+  if (pid == 0) {
+    ::close(sv[0]);
+    if (sv[1] != 3) {
+      (void)::dup2(sv[1], 3);
+      ::close(sv[1]);
+    }
+    ::execve(exe.c_str(), const_cast<char* const*>(argv), envp.data());
+    std::_Exit(127);  // exec failed: classified as a crash exit by the parent
+  }
+  ::close(sv[1]);
+  w.pid = pid;
+  w.fd = net::ScopedFd(sv[0]);
+  w.channel = std::make_unique<net::LineChannel>(w.fd.get());
+  if (options_.liveness_timeout_s > 0)
+    w.channel->set_deadline(options_.liveness_timeout_s);
+  w.alive = true;
+}
+
+net::Json ProcSupervisor::transact(Worker& w, const std::string& line) {
+  w.channel->write_line(line);
+  std::string response;
+  for (;;) {
+    if (!w.channel->read_line(response))
+      throw IoError("device worker closed the stream mid-request");
+    net::Json j = net::Json::parse(response);
+    if (j.has("hb")) continue;  // heartbeat: read_line already re-armed
+    return j;
+  }
+}
+
+void ProcSupervisor::respawn(std::size_t d) {
+  validate_shard_checkpoint(d);
+  spawn(d);
+  Worker& w = workers_[d];
+  // Re-init + journal replay. The responses were consumed before the
+  // crash; any non-ok here is a deterministic child-side error and is
+  // rethrown typed (it would have been thrown on the original send too).
+  const net::Json init_resp = transact(w, make_init_(d).dump());
+  if (!init_resp.get_bool("ok", false)) throw_worker_error(init_resp);
+  for (const std::string& line : w.journal) {
+    const net::Json resp = transact(w, line);
+    if (!resp.get_bool("ok", false)) throw_worker_error(resp);
+  }
+}
+
+WorkerExitClass ProcSupervisor::reap_worker(std::size_t d,
+                                            bool wedged) noexcept {
+  Worker& w = workers_[d];
+  w.alive = false;
+  w.channel.reset();
+  w.fd = net::ScopedFd();
+  if (w.pid <= 0) return WorkerExitClass::kTorn;
+  // SIGKILL before the blocking reap: a zombie's exit status is
+  // unaffected, and a live-but-garbling worker must not block waitpid.
+  (void)fsio::kill(w.pid, SIGKILL, kSite);
+  int status = 0;
+  pid_t got;
+  do {
+    got = fsio::waitpid(w.pid, &status, 0, kSite);
+  } while (got < 0 && errno == EINTR);
+  w.pid = -1;
+  if (wedged) return WorkerExitClass::kWedged;
+  if (got < 0) return WorkerExitClass::kTorn;
+  if (WIFEXITED(status)) {
+    const int code = WEXITSTATUS(status);
+    if (code == kExitEngineStalled) return WorkerExitClass::kStalled;
+    // Exit 0 while the parent saw a broken stream = the worker tore the
+    // protocol (it never completed the shutdown handshake).
+    if (code == 0) return WorkerExitClass::kTorn;
+    return WorkerExitClass::kCrashExit;
+  }
+  if (WIFSIGNALED(status)) return WorkerExitClass::kSignal;
+  return WorkerExitClass::kTorn;
+}
+
+void ProcSupervisor::on_worker_failure(std::size_t d, bool wedged,
+                                       const std::string& what) {
+  Worker& w = workers_[d];
+  const WorkerExitClass cls = reap_worker(d, wedged);
+  std::fprintf(stderr, "pima: device worker %zu failed — %s (%s)\n", d,
+               to_string(cls), what.c_str());
+  if (restarts_used_ >= options_.restart_budget)
+    throw ProcPoolDegradedError(d, cls, what);
+  ++restarts_used_;
+  ++w.consecutive_restarts;
+  const double backoff_ms =
+      std::min(options_.restart_backoff_ms *
+                   static_cast<double>(std::uint64_t{1}
+                                       << std::min<std::size_t>(
+                                              w.consecutive_restarts - 1, 10)),
+               2000.0);
+  std::fprintf(stderr,
+               "pima: restarting device worker %zu from its stage-%u shard "
+               "checkpoint in %.0f ms (%zu/%zu restarts used)\n",
+               d, stages_done_, backoff_ms, restarts_used_,
+               options_.restart_budget);
+  if (backoff_ms > 0)
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(backoff_ms));
+}
+
+void ProcSupervisor::start() {
+  PIMA_CHECK(!started_, "process pool already started");
+  resolved_devd_ = resolve_devd_path(options_.devd_path);
+  started_ = true;
+  for (std::size_t d = 0; d < options_.devices; ++d) {
+    for (;;) {
+      try {
+        respawn(d);
+        break;
+      } catch (const DeadlineExceededError& e) {
+        on_worker_failure(d, true, e.what());
+      } catch (const CorruptCheckpointError&) {
+        throw;
+      } catch (const IoError& e) {
+        on_worker_failure(d, false, e.what());
+      } catch (const InputFormatError& e) {
+        on_worker_failure(d, false, e.what());
+      }
+    }
+  }
+}
+
+net::Json ProcSupervisor::do_rpc(std::size_t device, const net::Json& request,
+                                 bool journaled) {
+  PIMA_CHECK(started_, "process pool not started");
+  PIMA_CHECK(device < workers_.size(), "device index out of range");
+  const std::string line = request.dump();
+  for (;;) {
+    Worker& w = workers_[device];
+    bool sent = false;
+    net::Json response;
+    try {
+      if (!w.alive) respawn(device);
+      response = transact(w, line);
+      sent = true;
+    } catch (const DeadlineExceededError& e) {
+      on_worker_failure(device, true, e.what());
+    } catch (const CorruptCheckpointError&) {
+      throw;  // stale/foreign shard checkpoint: not survivable by restart
+    } catch (const IoError& e) {
+      on_worker_failure(device, false, e.what());
+    } catch (const InputFormatError& e) {
+      // Garbage on the wire (undecodable response line) = torn protocol.
+      on_worker_failure(device, false, e.what());
+    }
+    if (!sent) continue;  // restarted; replay done — retry the request
+    if (!response.get_bool("ok", false)) {
+      // Deterministic child-side failure: no restart. A stalled engine
+      // poisons the worker (it exits right after responding); mark it
+      // dead so shutdown() does not handshake with it.
+      if (response.get_string("error") == "EngineStalledError")
+        (void)reap_worker(device, false);
+      throw_worker_error(response);
+    }
+    w.consecutive_restarts = 0;
+    if (journaled) w.journal.push_back(line);
+    return response;
+  }
+}
+
+net::Json ProcSupervisor::rpc(std::size_t device, const net::Json& request) {
+  return do_rpc(device, request, true);
+}
+
+net::Json ProcSupervisor::query(std::size_t device, const net::Json& request) {
+  return do_rpc(device, request, false);
+}
+
+void ProcSupervisor::mark_stage_done(std::uint32_t stage) {
+  stages_done_ = stage;
+  for (std::size_t d = 0; d < workers_.size(); ++d) {
+    if (options_.journal_truncation) workers_[d].journal.clear();
+    if (!options_.checkpoint_dir.empty()) {
+      ShardCheckpoint sc;
+      sc.fingerprint = options_.fingerprint;
+      sc.fingerprint.shard = static_cast<std::uint64_t>(d);
+      sc.stages_done = stage;
+      save_shard_checkpoint(shard_checkpoint_path(d), sc);
+    }
+  }
+}
+
+void ProcSupervisor::shutdown() noexcept {
+  if (!started_) return;
+  static const std::string shutdown_line = [] {
+    net::Json j = net::Json::object();
+    j.set("op", "shutdown");
+    return j.dump();
+  }();
+  for (std::size_t d = 0; d < workers_.size(); ++d) {
+    Worker& w = workers_[d];
+    if (w.alive && w.channel) {
+      try {
+        (void)transact(w, shutdown_line);
+      } catch (...) {
+        // The reap below classifies whatever happened.
+      }
+    }
+    (void)reap_worker(d, false);
+  }
+  started_ = false;
+}
+
+}  // namespace pima::runtime

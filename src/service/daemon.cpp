@@ -248,6 +248,10 @@ void Daemon::run_job(JobEntry& entry) {
     opt.euler_contigs = spec.euler;
     opt.threads = spec.channels;
     opt.devices = spec.devices;
+    // "process" isolation: the job's device shards run in pima_devd
+    // children of the daemon; a crashing shard is restarted (or the job
+    // degrades to in-process) instead of taking the daemon down.
+    opt.isolate = spec.isolation == "process";
     opt.stall_timeout_ms = spec.stall_timeout_ms;
     opt.checkpoint_dir = dir;
     opt.resume = true;  // continue from any durable stage snapshot

@@ -57,6 +57,10 @@ void JobSpec::validate() const {
   check_range("devices", static_cast<double>(devices), 1, 64, true);
   check_range("priority", priority, -1000, 1000, true);
   check_range("stall-timeout", stall_timeout_ms, 0.0, 86'400'000.0, false);
+  if (isolation != "none" && isolation != "process")
+    throw InputFormatError("job spec: isolation must be \"none\" or "
+                           "\"process\", got \"" +
+                           isolation + "\"");
 }
 
 Json JobSpec::to_json() const {
@@ -69,6 +73,7 @@ Json JobSpec::to_json() const {
   j.set("euler", euler);
   j.set("priority", priority);
   j.set("stall_timeout_ms", stall_timeout_ms);
+  j.set("isolation", isolation);
   return j;
 }
 
@@ -82,6 +87,10 @@ JobSpec JobSpec::from_json(const Json& j) {
   spec.euler = j.get_bool("euler", false);
   spec.priority = static_cast<int>(j.get_number("priority", 0));
   spec.stall_timeout_ms = j.get_number("stall_timeout_ms", 0.0);
+  // Missing (pre-isolation clients and persisted pre-isolation records)
+  // defaults to in-process; a non-string value falls back the same way,
+  // but a present string must name a known mode (validate below).
+  spec.isolation = j.get_string("isolation", "none");
   spec.validate();
   return spec;
 }

@@ -1,0 +1,392 @@
+// Process-isolation battery (ctest -L procpool, DESIGN.md §15).
+//
+// The contract under test: a pipeline run whose device shards live in
+// pima_devd worker processes is bit-identical to the in-process run — and
+// stays bit-identical when workers are SIGKILLed, SIGSEGV, crash-exited,
+// torn mid-write, or chaos-injected mid-stage, because the supervisor
+// restarts them from their shard checkpoints and replays their journals.
+// Plus the seams: WorkerInit / typed-error / shard-checkpoint wire and
+// disk round-trips, exit classification, and the degrade path when the
+// restart budget runs dry.
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/pipeline.hpp"
+#include "core/shard_worker.hpp"
+#include "dna/genome.hpp"
+#include "dram/device.hpp"
+#include "net/json.hpp"
+#include "runtime/checkpoint.hpp"
+#include "runtime/procpool.hpp"
+#include "telemetry/session.hpp"
+
+namespace pima {
+namespace {
+
+namespace fs = std::filesystem;
+
+// RAII environment-variable override (the devd test hook travels to the
+// workers through the environment they inherit).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    if (const char* old = std::getenv(name)) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_.empty())
+      ::unsetenv(name_);
+    else
+      ::setenv(name_, saved_.c_str(), 1);
+  }
+
+ private:
+  const char* name_;
+  std::string saved_;
+};
+
+dram::Geometry pipeline_geometry() {
+  dram::Geometry g;
+  g.rows = 512;
+  g.compute_rows = 8;
+  g.columns = 256;
+  g.subarrays_per_mat = 16;
+  g.mats_per_bank = 4;
+  g.banks = 2;
+  return g;
+}
+
+std::vector<dna::Sequence> workload_reads(std::uint64_t seed) {
+  dna::GenomeParams gp;
+  gp.length = 600;
+  gp.repeat_count = 0;
+  gp.seed = seed;
+  dna::ReadSamplerParams rp;
+  rp.coverage = 5.0;
+  rp.read_length = 70;
+  rp.seed = seed + 1;
+  return dna::sample_reads(dna::generate_genome(gp), rp);
+}
+
+struct RunOutput {
+  core::PipelineResult result;
+  std::string model_snapshot;  ///< json_snapshot(model_only) — byte oracle
+};
+
+RunOutput run_config(const std::vector<dna::Sequence>& reads, bool isolate,
+                     std::size_t devices,
+                     const core::PipelineOptions::IsolateOptions& iso = {},
+                     bool capture = false) {
+  auto& session = telemetry::TelemetrySession::instance();
+  session.reset();
+  session.enable_metrics();
+  dram::Device device(pipeline_geometry());
+  core::PipelineOptions opt;
+  opt.k = 15;
+  opt.hash_shards = 8;
+  opt.devices = devices;
+  opt.threads = 2;
+  opt.isolate = isolate;
+  opt.isolate_opts = iso;
+  opt.capture_trace = capture;
+  RunOutput out;
+  out.result = core::run_pipeline(device, reads, opt);
+  out.model_snapshot = session.metrics().json_snapshot(/*model_only=*/true);
+  session.reset();
+  return out;
+}
+
+void expect_bit_identical(const core::PipelineResult& a,
+                          const core::PipelineResult& b) {
+  EXPECT_EQ(a.contigs, b.contigs);
+  EXPECT_EQ(a.distinct_kmers, b.distinct_kmers);
+  EXPECT_EQ(a.graph_nodes, b.graph_nodes);
+  EXPECT_EQ(a.graph_edges, b.graph_edges);
+  EXPECT_EQ(a.hashmap.device, b.hashmap.device);
+  EXPECT_EQ(a.debruijn.device, b.debruijn.device);
+  EXPECT_EQ(a.traverse.device, b.traverse.device);
+}
+
+// ---- crash-free identity ----------------------------------------------------
+
+TEST(ProcPoolIdentity, IsolatedMatchesInProcessAndSingleDevice) {
+  const auto reads = workload_reads(11);
+  const auto single = run_config(reads, /*isolate=*/false, 1);
+  const auto pooled = run_config(reads, /*isolate=*/false, 4);
+  const auto isolated = run_config(reads, /*isolate=*/true, 4);
+  ASSERT_FALSE(isolated.result.contigs.empty());
+  expect_bit_identical(isolated.result, pooled.result);
+  expect_bit_identical(isolated.result, single.result);
+  // The model-class metrics snapshot derives only from simulated state —
+  // equal bytes whether the shards ran in-process or in worker processes.
+  ASSERT_FALSE(isolated.model_snapshot.empty());
+  EXPECT_EQ(isolated.model_snapshot, pooled.model_snapshot);
+  EXPECT_EQ(isolated.model_snapshot, single.model_snapshot);
+}
+
+TEST(ProcPoolIdentity, CapturedTraceMatchesInProcess) {
+  const auto reads = workload_reads(12);
+  const auto pooled =
+      run_config(reads, /*isolate=*/false, 3, {}, /*capture=*/true);
+  const auto isolated =
+      run_config(reads, /*isolate=*/true, 3, {}, /*capture=*/true);
+  ASSERT_FALSE(isolated.result.trace.empty());
+  EXPECT_EQ(isolated.result.trace, pooled.result.trace);
+}
+
+// ---- kill-and-recover: every crash class, bit-identical output --------------
+
+TEST(ProcPoolRecovery, CrashedWorkersRestartAndOutputIsBitIdentical) {
+  const auto reads = workload_reads(13);
+  const auto baseline = run_config(reads, /*isolate=*/false, 4);
+  const auto scratch = fs::temp_directory_path() / "procpool_hooks";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  for (const char* action : {"sigkill", "segv", "exit86", "torn"}) {
+    SCOPED_TRACE(action);
+    const auto flag = (scratch / (std::string("flag_") + action)).string();
+    // Device 2 dies after its 8th request — mid stage 1 — then the flag
+    // file makes the respawned worker healthy.
+    ScopedEnv hook("PIMA_DEVD_TEST_HOOK", std::string("dev=2:after=8:action=") +
+                                              action + ":flag=" + flag);
+    core::PipelineOptions::IsolateOptions iso;
+    iso.allow_degrade = false;  // a degrade here would mask a replay bug
+    const auto run = run_config(reads, /*isolate=*/true, 4, iso);
+    EXPECT_TRUE(fs::exists(flag)) << "hook never fired";
+    expect_bit_identical(run.result, baseline.result);
+    EXPECT_EQ(run.model_snapshot, baseline.model_snapshot);
+  }
+  fs::remove_all(scratch);
+}
+
+TEST(ProcPoolRecovery, RecoveryPreservesCapturedTrace) {
+  const auto reads = workload_reads(14);
+  const auto baseline =
+      run_config(reads, /*isolate=*/false, 4, {}, /*capture=*/true);
+  const auto scratch = fs::temp_directory_path() / "procpool_trace_hook";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  const auto flag = (scratch / "flag").string();
+  ScopedEnv hook("PIMA_DEVD_TEST_HOOK",
+                 "dev=1:after=6:action=sigkill:flag=" + flag);
+  core::PipelineOptions::IsolateOptions iso;
+  iso.allow_degrade = false;
+  // capture_trace disables journal truncation: the respawned worker must
+  // replay every command so its trace capture is complete.
+  const auto run = run_config(reads, /*isolate=*/true, 4, iso, /*capture=*/true);
+  EXPECT_TRUE(fs::exists(flag)) << "hook never fired";
+  EXPECT_EQ(run.result.trace, baseline.result.trace);
+  fs::remove_all(scratch);
+}
+
+// ---- chaos: a fault plan aimed at the workers' wire -------------------------
+
+TEST(ProcPoolChaos, ChildIofaultTornWriteIsSurvivedWithReplay) {
+  // Supervisor-level: every worker instance tears its socket mid-write on
+  // its 4th send (fsio `crash` = half the bytes, then _exit(86)). Progress
+  // still happens because stage boundaries truncate the journal, so each
+  // respawned worker replays less than its predecessor wrote.
+  runtime::ProcPoolOptions opt;
+  opt.devices = 1;
+  opt.restart_budget = 30;
+  opt.restart_backoff_ms = 1.0;
+  opt.child_iofault = "send@wire:nth=4:crash";
+  core::WorkerInit init;
+  init.geometry = pipeline_geometry();
+  init.k = 15;
+  init.hash_shards = 4;
+  init.channels = 1;
+  runtime::ProcSupervisor sup(opt, [&](std::size_t d) {
+    core::WorkerInit wi = init;
+    wi.device = d;
+    return core::worker_init_to_json(wi);
+  });
+  sup.start();
+  net::Json clear = net::Json::object();
+  clear.set("op", "clear_stats");
+  for (std::uint32_t i = 1; i <= 10; ++i) {
+    const auto response = sup.rpc(0, clear);
+    EXPECT_TRUE(response.get_bool("ok", false));
+    sup.mark_stage_done(i);  // truncate: bounds the next replay
+  }
+  EXPECT_GE(sup.restarts_used(), 1u);
+  net::Json ping = net::Json::object();
+  ping.set("op", "ping");
+  EXPECT_TRUE(sup.query(0, ping).get_bool("ok", false));
+  sup.shutdown();
+}
+
+// ---- restart budget exhaustion: degrade or typed failure --------------------
+
+TEST(ProcPoolDegrade, BudgetExhaustionFallsBackToInProcessPool) {
+  const auto reads = workload_reads(15);
+  const auto baseline = run_config(reads, /*isolate=*/false, 4);
+  // No flag file: device 0 dies after every respawn, exhausting the budget.
+  ScopedEnv hook("PIMA_DEVD_TEST_HOOK", "dev=0:after=4:action=exit86");
+  core::PipelineOptions::IsolateOptions iso;
+  iso.restart_budget = 2;
+  const auto run = run_config(reads, /*isolate=*/true, 4, iso);
+  expect_bit_identical(run.result, baseline.result);
+}
+
+TEST(ProcPoolDegrade, DisallowedDegradeThrowsWorkerCrashedError) {
+  const auto reads = workload_reads(15);
+  ScopedEnv hook("PIMA_DEVD_TEST_HOOK", "dev=0:after=4:action=sigkill");
+  core::PipelineOptions::IsolateOptions iso;
+  iso.restart_budget = 1;
+  iso.allow_degrade = false;
+  try {
+    (void)run_config(reads, /*isolate=*/true, 4, iso);
+    FAIL() << "expected WorkerCrashedError";
+  } catch (const WorkerCrashedError& e) {
+    EXPECT_EQ(e.device(), 0u);
+    EXPECT_EQ(e.classification(), "killed by signal");
+    EXPECT_EQ(exit_code_for(e), kExitWorkerCrashed);
+  }
+  telemetry::TelemetrySession::instance().reset();
+}
+
+// ---- wire round-trips -------------------------------------------------------
+
+TEST(ProcPoolWire, WorkerInitRoundTripsThroughJson) {
+  core::WorkerInit init;
+  init.geometry = pipeline_geometry();
+  init.technology.tech.vdd = 1.05;
+  init.technology.timing.t_rcd_ns = 14.5;
+  init.device = 3;
+  init.devices = 4;
+  init.k = 21;
+  init.hash_shards = 32;
+  init.channels = 5;
+  init.queue_capacity = 17;
+  init.program_chunk = 100;
+  init.capture_trace = true;
+  init.stall_timeout_ms = 1234.5;
+  const auto wire = core::worker_init_to_json(init);
+  const auto parsed = core::worker_init_from_json(wire);
+  // Geometry/Technology carry no operator==; a second serialization is the
+  // byte oracle (net::Json renders doubles shortest-round-trip-exact).
+  EXPECT_EQ(core::worker_init_to_json(parsed).dump(), wire.dump());
+  EXPECT_EQ(parsed.device, 3u);
+  EXPECT_EQ(parsed.k, 21u);
+  EXPECT_TRUE(parsed.capture_trace);
+}
+
+TEST(ProcPoolWire, TypedErrorsRoundTripThroughResponses) {
+  const auto roundtrip = [](const std::exception& e) -> std::string {
+    const auto response = core::worker_error_response(e);
+    try {
+      runtime::throw_worker_error(response);
+    } catch (const EngineStalledError& stalled) {
+      EXPECT_EQ(stalled.channel(), 2u);
+      EXPECT_EQ(stalled.subarray(), 7u);
+      EXPECT_EQ(stalled.last_retired(), 41u);
+      EXPECT_EQ(stalled.timeout_ms(), 250.0);
+      return "EngineStalledError";
+    } catch (const InputFormatError&) {
+      return "InputFormatError";
+    } catch (const CorruptCheckpointError&) {
+      return "CorruptCheckpointError";
+    } catch (const SimulationError&) {
+      return "SimulationError";
+    }
+    return "no-throw";
+  };
+  EXPECT_EQ(roundtrip(EngineStalledError(2, 7, 41, 250.0)),
+            "EngineStalledError");
+  EXPECT_EQ(roundtrip(InputFormatError("bad")), "InputFormatError");
+  EXPECT_EQ(roundtrip(CorruptCheckpointError("crc")), "CorruptCheckpointError");
+  EXPECT_EQ(roundtrip(SimulationError("boom")), "SimulationError");
+}
+
+// ---- shard checkpoints ------------------------------------------------------
+
+TEST(ProcPoolCheckpoint, ShardCheckpointRoundTripsAndPinsShard) {
+  const auto dir = fs::temp_directory_path() / "procpool_shard_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const auto path = (dir / "shard-2.ckpt").string();
+  runtime::ShardCheckpoint sc;
+  sc.fingerprint.k = 15;
+  sc.fingerprint.hash_shards = 8;
+  sc.fingerprint.devices = 4;
+  sc.fingerprint.shard = 2;
+  sc.stages_done = 2;
+  runtime::save_shard_checkpoint(path, sc);
+  EXPECT_EQ(runtime::load_shard_checkpoint(path), sc);
+
+  // A whole-run snapshot is not a shard checkpoint: different magic.
+  EXPECT_THROW(runtime::load_checkpoint(path), CorruptCheckpointError);
+
+  // Flip one byte of the body: the CRC must reject it.
+  auto bytes = [&] {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }();
+  bytes[bytes.size() - 3] ^= 0x40;
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_THROW(runtime::load_shard_checkpoint(path), CorruptCheckpointError);
+  fs::remove_all(dir);
+}
+
+TEST(ProcPoolCheckpoint, ForeignShardCheckpointRefusesStart) {
+  // A shard checkpoint from a different run shape must stop the supervisor
+  // before any worker touches state (stale checkpoints from a *finished*
+  // run are removed by the pipeline's fresh-run cleanup; this exercises
+  // the guard itself).
+  const auto dir = fs::temp_directory_path() / "procpool_foreign_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  runtime::ShardCheckpoint stale;
+  stale.fingerprint.k = 99;  // anything but the run's k
+  stale.fingerprint.shard = 0;
+  stale.stages_done = 1;
+  runtime::save_shard_checkpoint((dir / "shard-0.ckpt").string(), stale);
+
+  runtime::ProcPoolOptions opt;
+  opt.devices = 1;
+  opt.checkpoint_dir = dir.string();
+  opt.fingerprint.k = 15;
+  core::WorkerInit init;
+  init.geometry = pipeline_geometry();
+  init.k = 15;
+  init.hash_shards = 4;
+  init.channels = 1;
+  runtime::ProcSupervisor sup(opt, [&](std::size_t d) {
+    core::WorkerInit wi = init;
+    wi.device = d;
+    return core::worker_init_to_json(wi);
+  });
+  EXPECT_THROW(sup.start(), CorruptCheckpointError);
+  fs::remove_all(dir);
+}
+
+// ---- exit classification ----------------------------------------------------
+
+TEST(ProcPoolClassify, ExitClassNamesAreStable) {
+  using runtime::WorkerExitClass;
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kClean), "clean exit");
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kStalled), "engine stall");
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kCrashExit), "crash exit");
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kSignal),
+               "killed by signal");
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kTorn), "torn protocol");
+  EXPECT_STREQ(runtime::to_string(WorkerExitClass::kWedged),
+               "wedged (liveness deadline)");
+}
+
+}  // namespace
+}  // namespace pima

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <random>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/bitvector.hpp"
@@ -294,6 +295,34 @@ TEST(ShardExchange, MergedOrderInvariantUnderDeviceCount) {
         if (static_cast<std::size_t>(i) % devices == owner)
           ex.push(owner, 0, static_cast<std::uint64_t>(i), i);
     EXPECT_EQ(ex.gather(0), expected) << devices << " devices";
+  }
+}
+
+TEST(ShardExchange, ConcurrentProducersMergeDeterministically) {
+  // The pipeline hands one Exchange to N engine worker threads, each
+  // pushing only with its own `src` index (per-(src,dst) buffers make
+  // that the whole synchronization contract — TSan enforces it here).
+  // The merged stream must still be the device-count-invariant
+  // ascending-key order, regardless of thread interleaving.
+  std::vector<int> expected(512);
+  for (int i = 0; i < 512; ++i) expected[i] = i;
+  std::vector<int> reference;
+  for (const std::size_t devices : {2u, 3u, 8u}) {
+    runtime::Exchange<int> ex(devices);
+    std::vector<std::thread> producers;
+    for (std::size_t src = 0; src < devices; ++src)
+      producers.emplace_back([&ex, src, devices] {
+        for (int i = 0; i < 512; ++i)
+          if (static_cast<std::size_t>(i) % devices == src)
+            ex.push(src, 0, static_cast<std::uint64_t>(i), i);
+      });
+    for (auto& t : producers) t.join();
+    const auto merged = ex.gather(0);
+    EXPECT_EQ(merged, expected) << devices << " devices";
+    if (reference.empty())
+      reference = merged;
+    else
+      EXPECT_EQ(merged, reference) << devices << " devices";
   }
 }
 

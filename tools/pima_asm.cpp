@@ -267,6 +267,14 @@ int cmd_pim_run(const Args& args) {
   // stats and model metrics are bit-identical for every value; the device
   // count is pinned in the checkpoint fingerprint, so --resume must match.
   opt.devices = get_bounded_size(args, "devices", 1, 1, 64);
+  // Process isolation: each device shard in its own pima_devd worker under
+  // the crash-containing supervisor (DESIGN.md §15). Outputs stay
+  // bit-identical, even when workers are killed mid-stage and restarted.
+  opt.isolate = args.has("isolate");
+  opt.isolate_opts.restart_budget =
+      get_bounded_size(args, "restart-budget", 3, 0, 1000);
+  if (const auto devd = args.get("devd-path"))
+    opt.isolate_opts.devd_path = *devd;
 
   // Fault-aware execution flags. --fault-variation is the ±% process
   // variation from paper Table I (0.10 = ±10%); injection stays off at 0.
@@ -640,6 +648,10 @@ int cmd_submit(const Args& args) {
   req.set("shards", get_bounded_size(args, "shards", 16, 1, 4096));
   req.set("threads", get_bounded_size(args, "threads", 1, 1, 1024));
   req.set("devices", get_bounded_size(args, "devices", 1, 1, 64));
+  // --isolate asks the daemon to run the job's device shards in pima_devd
+  // worker processes ("isolation": "process"); the job still charges the
+  // same admission budgets.
+  if (args.has("isolate")) req.set("isolation", "process");
   if (args.has("euler")) req.set("euler", true);
   req.set("priority",
           static_cast<std::int64_t>(args.get_double("priority", 0.0)));
@@ -739,6 +751,12 @@ void usage() {
       "           [--threads N (default: hardware concurrency)]\n"
       "           [--devices N (shard over N simulated devices;\n"
       "            outputs bit-identical for any N)]\n"
+      "           [--isolate (each device shard in its own pima_devd\n"
+      "            worker process; crashes are contained + restarted)]\n"
+      "           [--restart-budget N (worker restarts before the run\n"
+      "            degrades to in-process; default 3)]\n"
+      "           [--devd-path BIN (pima_devd binary; default: alongside\n"
+      "            pima_asm or $PIMA_DEVD_PATH)]\n"
       "           [--reference genome.fa]\n"
       "           [--fault-variation F (e.g. 0.10 = ±10% Table I)]\n"
       "           [--fault-seed N] [--fault-retention P]\n"
@@ -758,6 +776,8 @@ void usage() {
       "           [--channel-budget N] [--max-conns N] [--rows N]\n"
       "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
       "           [--shards N] [--threads N] [--devices N] [--euler]\n"
+      "           [--isolate (run the job's device shards in worker\n"
+      "            processes: \"isolation\": \"process\")]\n"
       "           [--priority P]\n"
       "           [--stall-timeout MS] [--follow]\n"
       "           [--idempotency-key KEY (dedupe token; default: random)]\n"

@@ -164,6 +164,19 @@ std::vector<std::string> service_corpus() {
       R"({"verb":"submit","reads":"","k":17})",
       R"({"verb":"submit","reads":"/r.fa","k":"seventeen"})",
       R"({"verb":"submit","reads":"/r.fa","idempotency_key":"bad key!"})",
+      // Multi-device and process-isolation job fields: in-range, zero,
+      // over the clamp, and wrong-typed devices; every isolation spelling
+      // the validator must accept or reject with one typed error line.
+      R"({"verb":"submit","reads":"/no/such.fa","devices":4})",
+      R"({"verb":"submit","reads":"/r.fa","devices":0})",
+      R"({"verb":"submit","reads":"/r.fa","devices":65})",
+      R"({"verb":"submit","reads":"/r.fa","devices":"four"})",
+      R"({"verb":"submit","reads":"/no/such.fa","devices":2,"isolation":"process"})",
+      R"({"verb":"submit","reads":"/no/such.fa","isolation":"none"})",
+      R"({"verb":"submit","reads":"/r.fa","isolation":"container"})",
+      R"({"verb":"submit","reads":"/r.fa","isolation":42})",
+      R"({"verb":"submit","reads":"/r.fa","isolation":null})",
+      R"({"verb":"submit","reads":"/r.fa","devices":4,"isolation":"PROCESS"})",
       // Truncated / structurally broken JSON.
       R"({"verb":"ping")",
       R"({"verb":)",
