@@ -148,6 +148,10 @@ std::uint64_t splitmix64(std::uint64_t& state) {
   return z ^ (z >> 31);
 }
 
+// ---- diagnostics hook ------------------------------------------------------
+
+std::atomic<LogFn> g_log_fn{nullptr};
+
 // ---- global plan -----------------------------------------------------------
 
 std::atomic<FaultPlan*> g_plan{nullptr};
@@ -163,14 +167,16 @@ void install_env_plan_or_die() {
   if (spec == nullptr || spec[0] == '\0') return;
   try {
     install_plan(FaultPlan::parse(spec));
-    std::fprintf(stderr,
-                 "fsio: I/O fault injection ACTIVE (PIMA_IOFAULT=%s)\n", spec);
+    emit_log(LogSeverity::kInfo, "iofault.active",
+             (std::string("I/O fault injection ACTIVE (PIMA_IOFAULT=") +
+              spec + ")")
+                 .c_str());
   } catch (const std::exception& e) {
     // Surfacing a typed error from an arbitrary syscall wrapper would hand
     // callers an exception they never expected from write(2); fail the
     // whole process loudly instead. Tools that want the typed path call
     // load_env_plan() from main() first.
-    std::fprintf(stderr, "fsio: %s\n", e.what());
+    emit_log(LogSeverity::kError, "iofault.bad_plan", e.what());
     std::exit(2);
   }
 }
@@ -328,13 +334,26 @@ void clear_plan() {
 
 bool plan_active() { return active_plan() != nullptr; }
 
+void set_log_fn(LogFn fn) { g_log_fn.store(fn, std::memory_order_release); }
+
+void emit_log(LogSeverity severity, const char* code, const char* message) {
+  const LogFn fn = g_log_fn.load(std::memory_order_acquire);
+  if (fn != nullptr) {
+    fn(severity, code, message);
+    return;
+  }
+  std::fprintf(stderr, "fsio: %s\n", message);
+}
+
 void load_env_plan() {
   if (g_env_consulted.exchange(true, std::memory_order_acq_rel)) return;
   const char* spec = std::getenv("PIMA_IOFAULT");
   if (spec == nullptr || spec[0] == '\0') return;
   install_plan(FaultPlan::parse(spec));  // throws InputFormatError
-  std::fprintf(stderr, "fsio: I/O fault injection ACTIVE (PIMA_IOFAULT=%s)\n",
-               spec);
+  emit_log(LogSeverity::kInfo, "iofault.active",
+           (std::string("I/O fault injection ACTIVE (PIMA_IOFAULT=") + spec +
+            ")")
+               .c_str());
 }
 
 Counters counters() {
@@ -590,12 +609,13 @@ void fsync_parent_dir(const std::string& path, const char* site) {
   if (dfd < 0 || fsio::fsync(dfd, site) != 0) {
     counter_state().dirsync_failed.fetch_add(1, std::memory_order_relaxed);
     if (!logged_once.exchange(true, std::memory_order_acq_rel))
-      std::fprintf(stderr,
-                   "fsio: directory fsync failed for %s (%s) — renames are "
-                   "crash-atomic but their durability is not guaranteed on "
-                   "this filesystem (logged once; counted in "
-                   "pima_io_fault_dirsync_failed_total)\n",
-                   dir.c_str(), std::strerror(errno));
+      emit_log(LogSeverity::kWarn, "io.dirsync_failed",
+               ("directory fsync failed for " + dir + " (" +
+                std::strerror(errno) +
+                ") — renames are crash-atomic but their durability is not "
+                "guaranteed on this filesystem (logged once; counted in "
+                "pima_io_fault_dirsync_failed_total)")
+                   .c_str());
   }
   if (dfd >= 0) ::close(dfd);
 }

@@ -131,6 +131,24 @@ bool plan_active();
 /// typed InputFormatError at startup instead of mid-run.
 void load_env_plan();
 
+// ---- diagnostics hook ------------------------------------------------------
+// common/ sits below telemetry/ in the layering, so fsio's few warnings
+// (fault-plan activation, directory-fsync degradation) go through a
+// pluggable sink instead of including the structured logger directly.
+// telemetry::Logger installs itself here on first use; the default
+// rendering is the historical fprintf(stderr, "fsio: ...") form.
+
+enum class LogSeverity { kInfo, kWarn, kError };
+/// `code` is a stable dot-separated event code (e.g. "iofault.active");
+/// `message` is the human-readable text without the "fsio: " prefix.
+using LogFn = void (*)(LogSeverity, const char* code, const char* message);
+/// Installs the diagnostics sink; nullptr restores the default stderr
+/// rendering. The hook may be called from any thread but never from
+/// signal handlers.
+void set_log_fn(LogFn fn);
+/// Routes one diagnostic through the installed sink (or the default).
+void emit_log(LogSeverity severity, const char* code, const char* message);
+
 /// Injection counters, exported as `pima_io_fault_*` telemetry by the
 /// daemon's metrics fold. Plain atomics here — common/ sits below
 /// telemetry/ in the layering.

@@ -14,6 +14,7 @@
 #include "runtime/procpool.hpp"
 #include "runtime/shard.hpp"
 #include "runtime/stats.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/progress.hpp"
 #include "telemetry/session.hpp"
 #include "telemetry/telemetry.hpp"
@@ -162,10 +163,13 @@ PipelineResult run_pipeline(dram::Device& device,
       // Typed, logged transition: same run, same outputs, one address
       // space. The device is untouched so far — every isolated-run write
       // happened inside the (now dead) workers.
-      std::fprintf(stderr,
-                   "pima: process isolation degraded — %s; rerunning on the "
-                   "in-process device pool\n",
-                   e.what());
+      telemetry::log_event(
+          telemetry::LogLevel::kWarn, "pool.fallback",
+          std::string("process isolation degraded — ") + e.what() +
+              "; rerunning on the in-process device pool",
+          {telemetry::LogField::uint("device", e.device()),
+           telemetry::LogField::str("class",
+                                    runtime::to_string(e.exit_class()))});
     }
   }
   PipelineResult result;

@@ -338,6 +338,9 @@ PipelineResult run_pipeline_isolated(dram::Device& device,
         init.channels = channels;
         init.queue_capacity = options.queue_capacity;
         init.capture_trace = options.capture_trace;
+        // Stitched tracing: when the controller captures spans, the workers
+        // do too; the supervisor harvests their buffers at stage boundaries.
+        init.trace_spans = telemetry::tracer().enabled();
         init.stall_timeout_ms = options.stall_timeout_ms;
         return worker_init_to_json(init);
       });

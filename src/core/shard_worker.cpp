@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "core/degree.hpp"
 #include "dram/isa.hpp"
+#include "telemetry/session.hpp"
 
 namespace pima::core {
 
@@ -20,6 +21,23 @@ net::Json ok_response() {
 
 [[noreturn]] void bad_request(const std::string& why) {
   throw InputFormatError("device worker request: " + why);
+}
+
+// Span names must be string literals (the trace ring stores pointers).
+const char* verb_span_name(const std::string& op) {
+  if (op == "kmers") return "devd:kmers";
+  if (op == "drain") return "devd:drain";
+  if (op == "extract") return "devd:extract";
+  if (op == "distinct") return "devd:distinct";
+  if (op == "program") return "devd:program";
+  if (op == "degree_block") return "devd:degree_block";
+  if (op == "stats") return "devd:stats";
+  if (op == "clear_stats") return "devd:clear_stats";
+  if (op == "trace") return "devd:trace";
+  if (op == "telemetry") return "devd:telemetry";
+  if (op == "ping") return "devd:ping";
+  if (op == "shutdown") return "devd:shutdown";
+  return "devd:rpc";
 }
 
 }  // namespace
@@ -57,6 +75,7 @@ net::Json worker_init_to_json(const WorkerInit& init) {
   j.set("queue_capacity", init.queue_capacity);
   j.set("program_chunk", init.program_chunk);
   j.set("capture_trace", init.capture_trace);
+  j.set("trace_spans", init.trace_spans);
   j.set("stall_timeout_ms", init.stall_timeout_ms);
   return j;
 }
@@ -108,6 +127,7 @@ WorkerInit worker_init_from_json(const net::Json& j) {
   init.program_chunk =
       static_cast<std::size_t>(j.get_uint64("program_chunk", 512));
   init.capture_trace = j.get_bool("capture_trace", false);
+  init.trace_spans = j.get_bool("trace_spans", false);
   init.stall_timeout_ms = j.get_number("stall_timeout_ms", 0.0);
   if (init.k < 1 || init.k > assembly::Kmer::kMaxK)
     bad_request("init k out of range");
@@ -143,6 +163,16 @@ ShardWorkerCore::~ShardWorkerCore() {
 
 net::Json ShardWorkerCore::handle(const net::Json& request) {
   const std::string op = request.get_string("op");
+  // One span per rpc verb; the controller stamps traced requests with a
+  // `tel` flow id whose start point lives inside its own rpc:<op> span, so
+  // Perfetto draws an arrow from the controller call to this execution.
+  telemetry::ScopedSpan span(verb_span_name(op));
+  {
+    telemetry::Tracer& tr = telemetry::tracer();
+    const std::uint64_t flow = request.get_uint64("tel", 0);
+    if (flow != 0 && tr.enabled())
+      tr.record_flow("rpc", 'f', flow, tr.now_ns());
+  }
   if (op == "kmers") return op_kmers(request);
   if (op == "drain") return op_drain();
   if (op == "extract") return op_extract(request);
@@ -152,6 +182,7 @@ net::Json ShardWorkerCore::handle(const net::Json& request) {
   if (op == "stats") return op_stats();
   if (op == "clear_stats") return op_clear_stats();
   if (op == "trace") return op_trace();
+  if (op == "telemetry") return op_telemetry();
   if (op == "ping") return ok_response();
   if (op == "shutdown") {
     shutdown_ = true;
@@ -308,6 +339,42 @@ net::Json ShardWorkerCore::op_trace() {
   }
   net::Json resp = ok_response();
   resp.set("programs", std::move(programs));
+  return resp;
+}
+
+net::Json ShardWorkerCore::op_telemetry() {
+  // Cumulative export: published ring prefixes only, so this is safe while
+  // engine workers are still recording. The supervisor replaces this
+  // incarnation's stored trace wholesale on every harvest, which makes the
+  // repeat-at-stage-boundary flush idempotent.
+  telemetry::Tracer& tr = telemetry::tracer();
+  net::Json resp = ok_response();
+  resp.set("now_ns", tr.now_ns());
+  net::Json tracks = net::Json::array();
+  for (const auto& [track, name] : tr.track_names()) {
+    net::Json entry = net::Json::object();
+    entry.set("track", static_cast<std::uint64_t>(track));
+    entry.set("name", name);
+    tracks.push_back(std::move(entry));
+  }
+  resp.set("tracks", std::move(tracks));
+  // Positional event rows keep the wire line compact:
+  // [name, phase, track, ts_ns, dur_ns, value, arg_name, flow_id].
+  net::Json events = net::Json::array();
+  for (const auto& e : tr.export_events()) {
+    net::Json row = net::Json::array();
+    row.push_back(net::Json(e.name));
+    row.push_back(net::Json(std::string(1, e.phase)));
+    row.push_back(net::Json(static_cast<std::uint64_t>(e.track)));
+    row.push_back(net::Json(e.ts_ns));
+    row.push_back(net::Json(e.dur_ns));
+    row.push_back(net::Json(e.value));
+    row.push_back(net::Json(e.arg_name));
+    row.push_back(net::Json(e.flow_id));
+    events.push_back(std::move(row));
+  }
+  resp.set("events", std::move(events));
+  resp.set("dropped", tr.dropped_count());
   return resp;
 }
 

@@ -20,6 +20,7 @@
 //   stats         per-sub-array CommandStats of every touched sub-array
 //   clear_stats   stage-boundary statistics reset
 //   trace         per-sub-array replay programs (oracle capture)
+//   telemetry     cumulative span-buffer export for trace stitching
 //   ping          liveness probe
 //   shutdown      graceful exit handshake
 //
@@ -56,6 +57,7 @@ struct WorkerInit {
   std::size_t queue_capacity = 64;
   std::size_t program_chunk = 512;
   bool capture_trace = false;
+  bool trace_spans = false;  ///< enable the worker's own telemetry tracer
   double stall_timeout_ms = 0.0;
 };
 
@@ -89,6 +91,7 @@ class ShardWorkerCore {
   net::Json op_stats();
   net::Json op_clear_stats();
   net::Json op_trace();
+  net::Json op_telemetry();
 
   WorkerInit init_;
   dram::Device device_;

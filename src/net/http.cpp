@@ -1,0 +1,106 @@
+#include "net/http.hpp"
+
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+
+#include <poll.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+#include "common/fsio.hpp"
+
+namespace pima::net {
+
+namespace {
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int poll_timeout_ms(double remaining_s) {
+  if (remaining_s <= 0.0) return 0;
+  const double ms = std::ceil(remaining_s * 1000.0);
+  return ms > 2147483647.0 ? 2147483647 : static_cast<int>(ms);
+}
+
+}  // namespace
+
+bool read_http_request(int fd, HttpRequest& request, double timeout_s) {
+  std::string head;
+  const double start = now_s();
+  // Read until the head terminator. LF-only line endings are tolerated —
+  // the request line parse below strips either.
+  while (head.find("\r\n\r\n") == std::string::npos &&
+         head.find("\n\n") == std::string::npos) {
+    if (head.size() > kMaxHttpHeadBytes)
+      throw IoError("http request head exceeds " +
+                    std::to_string(kMaxHttpHeadBytes) + " bytes");
+    if (timeout_s > 0.0) {
+      const double remaining = timeout_s - (now_s() - start);
+      struct pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLIN;
+      int rc;
+      do {
+        rc = ::poll(&pfd, 1, poll_timeout_ms(remaining));
+      } while (rc < 0 && errno == EINTR);
+      if (rc < 0) throw IoError(std::string("poll: ") + std::strerror(errno));
+      if (rc == 0)
+        throw DeadlineExceededError("http request read deadline exceeded (" +
+                                    std::to_string(timeout_s) + " s)");
+    }
+    char chunk[1024];
+    const ssize_t n = fsio::read(fd, chunk, sizeof chunk, "http");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError(std::string("http read: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      if (head.empty()) return false;  // clean EOF between requests
+      throw IoError("http peer closed mid-request");
+    }
+    head.append(chunk, static_cast<std::size_t>(n));
+  }
+  const std::size_t eol = head.find('\n');
+  std::string line = head.substr(0, eol);
+  if (!line.empty() && line.back() == '\r') line.pop_back();
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 =
+      sp1 == std::string::npos ? std::string::npos : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos ||
+      line.compare(sp2 + 1, 5, "HTTP/") != 0)
+    throw IoError("malformed http request line: " + line.substr(0, 120));
+  request.method = line.substr(0, sp1);
+  request.target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const std::size_t q = request.target.find('?');
+  if (q != std::string::npos) request.target.resize(q);
+  return true;
+}
+
+const char* http_status_reason(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body) {
+  std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                    http_status_reason(status) + "\r\n";
+  out += "Content-Type: " + content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace pima::net

@@ -1,0 +1,40 @@
+// Minimal HTTP/1.1 server-side plumbing for the daemon's introspection
+// plane (`pima_asm serve --http PORT`, DESIGN.md §16).
+//
+// Deliberately tiny: GET-only, one request per connection (`Connection:
+// close` on every response), headers parsed only far enough to find the
+// request line, 16 KiB request cap. That is exactly what `curl`,
+// Prometheus scrapers and a browser need from /metrics, /healthz and
+// /jobs — anything fancier (keep-alive, chunking, TLS) belongs behind a
+// real reverse proxy, not in the assembler.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pima::net {
+
+struct HttpRequest {
+  std::string method;  ///< "GET", "HEAD", ...
+  std::string target;  ///< origin-form, query string stripped
+};
+
+/// Reads one request head (through the blank line) from a connected
+/// socket and parses its request line. Returns false on EOF before a
+/// complete head. Throws IoError on socket errors, oversized heads
+/// (> kMaxHttpHeadBytes) or a malformed request line;
+/// DeadlineExceededError when `timeout_s` > 0 expires. Any request body
+/// is ignored (the verbs served here have none).
+bool read_http_request(int fd, HttpRequest& request, double timeout_s = 0.0);
+
+/// Formats a complete response: status line, Content-Type,
+/// Content-Length, Connection: close, then the body.
+std::string http_response(int status, const std::string& content_type,
+                          const std::string& body);
+
+/// The reason phrase for the handful of statuses this plane emits.
+const char* http_status_reason(int status);
+
+inline constexpr std::size_t kMaxHttpHeadBytes = 16u << 10;  // 16 KiB
+
+}  // namespace pima::net

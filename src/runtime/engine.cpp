@@ -5,6 +5,8 @@
 #include <exception>
 
 #include "runtime/bounded_queue.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/session.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -102,9 +104,44 @@ Engine::Engine(dram::Device& device, EngineOptions options)
       telemetry::ScopedMetricsRegistry scope(scoped_registry);
       watchdog_loop();
     });
+  // Flight-recorder state: per-channel queue/worker snapshots land in the
+  // `state` section of crash_report.json. Names are sequenced because a
+  // device pool owns one engine per device. Workers hold a channel mutex
+  // only around bookkeeping (never across a kernel), so a wedged worker
+  // cannot deadlock a dump.
+  static std::atomic<int> engine_seq{0};
+  flight_snapshot_id_ =
+      telemetry::FlightRecorder::instance().add_snapshot_provider(
+          "engine." + std::to_string(engine_seq.fetch_add(1)), [this] {
+            std::string out = "{\"stalled\": ";
+            out += stalled_.load(std::memory_order_acquire) ? "true" : "false";
+            out += ", \"channels\": [";
+            for (std::size_t c = 0; c < channels_.size(); ++c) {
+              Channel& ch = *channels_[c];
+              std::lock_guard lock(ch.mutex);
+              if (c != 0) out += ", ";
+              out += "{\"channel\": " + std::to_string(c) +
+                     ", \"pending\": " + std::to_string(ch.pending) +
+                     ", \"retired\": " + std::to_string(ch.retired) +
+                     ", \"busy\": " + (ch.busy ? std::string("true")
+                                              : std::string("false")) +
+                     ", \"stalled\": " + (ch.stalled ? std::string("true")
+                                                     : std::string("false")) +
+                     ", \"cancelled\": " + (ch.cancelled
+                                                ? std::string("true")
+                                                : std::string("false")) +
+                     "}";
+            }
+            out += "]}";
+            return out;
+          });
 }
 
 Engine::~Engine() {
+  // The provider captures `this`; drop it before any member dies.
+  if (flight_snapshot_id_ >= 0)
+    telemetry::FlightRecorder::instance().remove_snapshot_provider(
+        flight_snapshot_id_);
   if (watchdog_.joinable()) {
     {
       std::lock_guard lock(watchdog_mutex_);
@@ -249,6 +286,24 @@ void Engine::watchdog_loop() {
       } catch (...) {
       }
 #endif
+      // Black-box data: the stall is a canonical flight-recorder trigger.
+      // Log the typed event (it lands in the ring), then persist the ring
+      // plus the registered state snapshots. Failures are swallowed — the
+      // stall diagnosis must still reach the caller.
+      try {
+        telemetry::log_event(
+            telemetry::LogLevel::kError, "engine.stalled",
+            "engine watchdog fired: channel " + std::to_string(c) +
+                " made no progress for " +
+                std::to_string(options_.stall_timeout_ms) + " ms",
+            {telemetry::LogField::uint("channel", c),
+             telemetry::LogField::uint("retired", retired),
+             telemetry::LogField::num("timeout_ms",
+                                      options_.stall_timeout_ms)});
+        telemetry::FlightRecorder::instance().dump(
+            "engine_stall", "channel " + std::to_string(c) + " wedged");
+      } catch (...) {
+      }
       // Cooperative cancellation: healthy channels drop their remaining
       // queues instead of finishing work the caller will discard. Closing
       // the queues also unblocks any producer stuck in a backpressured

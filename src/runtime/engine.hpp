@@ -180,6 +180,10 @@ class Engine {
   std::mutex watchdog_mutex_;
   std::condition_variable watchdog_wake_;
   bool watchdog_stop_ = false;
+
+  // Flight-recorder registration: per-channel queue/worker state for
+  // crash_report.json. -1 = inline engine, nothing registered.
+  int flight_snapshot_id_ = -1;
 };
 
 }  // namespace pima::runtime

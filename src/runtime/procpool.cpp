@@ -14,6 +14,9 @@
 #include <thread>
 
 #include "common/fsio.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/log.hpp"
+#include "telemetry/session.hpp"
 
 extern char** environ;
 
@@ -22,6 +25,48 @@ namespace pima::runtime {
 namespace {
 
 constexpr const char* kSite = "procpool";
+
+// Span names must be string literals (the trace ring stores pointers).
+const char* rpc_span_name(const std::string& op) {
+  if (op == "kmers") return "rpc:kmers";
+  if (op == "drain") return "rpc:drain";
+  if (op == "extract") return "rpc:extract";
+  if (op == "distinct") return "rpc:distinct";
+  if (op == "program") return "rpc:program";
+  if (op == "degree_block") return "rpc:degree_block";
+  if (op == "stats") return "rpc:stats";
+  if (op == "clear_stats") return "rpc:clear_stats";
+  if (op == "trace") return "rpc:trace";
+  if (op == "telemetry") return "rpc:telemetry";
+  if (op == "ping") return "rpc:ping";
+  return "rpc";
+}
+
+// Relays one child's raw stderr to the parent's, line-buffered and
+// prefixed with the device id, so worker diagnostics stop interleaving
+// illegibly with the controller's progress reporter.
+void relay_stderr(int fd, std::size_t device) {
+  std::string pending;
+  char buf[1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    pending.append(buf, static_cast<std::size_t>(n));
+    std::size_t start = 0;
+    for (;;) {
+      const std::size_t nl = pending.find('\n', start);
+      if (nl == std::string::npos) break;
+      std::fprintf(stderr, "[devd %zu] %.*s\n", device,
+                   static_cast<int>(nl - start), pending.data() + start);
+      start = nl + 1;
+    }
+    pending.erase(0, start);
+  }
+  if (!pending.empty())
+    std::fprintf(stderr, "[devd %zu] %s\n", device, pending.c_str());
+  ::close(fd);
+}
 
 // Pre-fork snapshot of the environment with PIMA_IOFAULT optionally
 // replaced: only async-signal-safe work remains between fork and exec.
@@ -137,6 +182,17 @@ void ProcSupervisor::spawn(std::size_t d) {
   if (fsio::socketpair(AF_UNIX, SOCK_STREAM, 0, sv, kSite) != 0)
     throw IoError("socketpair failed for device worker " + std::to_string(d) +
                   ": " + std::strerror(errno));
+  // Dedicated stderr pipe: the child's raw diagnostics are relayed by a
+  // parent thread with a `[devd <d>]` prefix instead of interleaving with
+  // the controller's own stderr mid-line.
+  int ep[2] = {-1, -1};
+  if (::pipe(ep) != 0) {
+    const int err = errno;
+    ::close(sv[0]);
+    ::close(sv[1]);
+    throw IoError("stderr pipe failed for device worker " + std::to_string(d) +
+                  ": " + std::strerror(err));
+  }
 
   // Build argv/envp before forking: only dup2/close/execve afterwards.
   const std::string fd_str = "3";
@@ -155,25 +211,34 @@ void ProcSupervisor::spawn(std::size_t d) {
     const int err = errno;
     ::close(sv[0]);
     ::close(sv[1]);
+    ::close(ep[0]);
+    ::close(ep[1]);
     throw IoError("fork failed for device worker " + std::to_string(d) + ": " +
                   std::strerror(err));
   }
   if (pid == 0) {
     ::close(sv[0]);
+    ::close(ep[0]);
     if (sv[1] != 3) {
       (void)::dup2(sv[1], 3);
       ::close(sv[1]);
     }
+    (void)::dup2(ep[1], 2);
+    ::close(ep[1]);
     ::execve(exe.c_str(), const_cast<char* const*>(argv), envp.data());
     std::_Exit(127);  // exec failed: classified as a crash exit by the parent
   }
   ::close(sv[1]);
+  ::close(ep[1]);
   w.pid = pid;
   w.fd = net::ScopedFd(sv[0]);
   w.channel = std::make_unique<net::LineChannel>(w.fd.get());
   if (options_.liveness_timeout_s > 0)
     w.channel->set_deadline(options_.liveness_timeout_s);
+  if (w.stderr_relay.joinable()) w.stderr_relay.join();
+  w.stderr_relay = std::thread(relay_stderr, ep[0], d);
   w.alive = true;
+  ++w.spawn_count;
 }
 
 net::Json ProcSupervisor::transact(Worker& w, const std::string& line) {
@@ -195,8 +260,19 @@ void ProcSupervisor::respawn(std::size_t d) {
   // Re-init + journal replay. The responses were consumed before the
   // crash; any non-ok here is a deterministic child-side error and is
   // rethrown typed (it would have been thrown on the original send too).
+  telemetry::Tracer& tr = telemetry::tracer();
+  const std::int64_t t0 = tr.enabled() ? tr.now_ns() : 0;
   const net::Json init_resp = transact(w, make_init_(d).dump());
   if (!init_resp.get_bool("ok", false)) throw_worker_error(init_resp);
+  if (tr.enabled() && init_resp.has("now_ns")) {
+    // Clock sync: the worker sampled its (fresh) tracer epoch somewhere
+    // inside [t0, t1] on the controller clock; the midpoint bounds the
+    // offset error by half the init round-trip.
+    const std::int64_t t1 = tr.now_ns();
+    const auto worker_now =
+        static_cast<std::int64_t>(init_resp.get_number("now_ns"));
+    w.clock_offset_ns = (t0 + t1) / 2 - worker_now;
+  }
   for (const std::string& line : w.journal) {
     const net::Json resp = transact(w, line);
     if (!resp.get_bool("ok", false)) throw_worker_error(resp);
@@ -219,6 +295,12 @@ WorkerExitClass ProcSupervisor::reap_worker(std::size_t d,
     got = fsio::waitpid(w.pid, &status, 0, kSite);
   } while (got < 0 && errno == EINTR);
   w.pid = -1;
+  // The dead child's stderr pipe is at EOF now; let the relay flush its
+  // last lines before the failure is logged.
+  try {
+    if (w.stderr_relay.joinable()) w.stderr_relay.join();
+  } catch (...) {
+  }
   if (wedged) return WorkerExitClass::kWedged;
   if (got < 0) return WorkerExitClass::kTorn;
   if (WIFEXITED(status)) {
@@ -237,10 +319,27 @@ void ProcSupervisor::on_worker_failure(std::size_t d, bool wedged,
                                        const std::string& what) {
   Worker& w = workers_[d];
   const WorkerExitClass cls = reap_worker(d, wedged);
-  std::fprintf(stderr, "pima: device worker %zu failed — %s (%s)\n", d,
-               to_string(cls), what.c_str());
-  if (restarts_used_ >= options_.restart_budget)
+  telemetry::log_event(telemetry::LogLevel::kWarn, "worker.failed",
+                       "device worker " + std::to_string(d) + " failed — " +
+                           to_string(cls) + " (" + what + ")",
+                       {telemetry::LogField::uint("device", d),
+                        telemetry::LogField::str("class", to_string(cls))});
+  // Post-mortem artifact for every non-clean demise the classifier can
+  // detect: the flight ring plus the registered state snapshots.
+  telemetry::FlightRecorder::instance().dump(
+      "worker_failure", "device " + std::to_string(d) + ": " +
+                            to_string(cls) + " (" + what + ")");
+  if (restarts_used_ >= options_.restart_budget) {
+    telemetry::log_event(
+        telemetry::LogLevel::kError, "pool.degraded",
+        "device worker " + std::to_string(d) +
+            " failed with the restart budget exhausted — degrading",
+        {telemetry::LogField::uint("device", d),
+         telemetry::LogField::uint("restarts", restarts_used_)});
+    telemetry::FlightRecorder::instance().dump(
+        "pool_degraded", "device " + std::to_string(d) + ": " + what);
     throw ProcPoolDegradedError(d, cls, what);
+  }
   ++restarts_used_;
   ++w.consecutive_restarts;
   const double backoff_ms =
@@ -249,11 +348,17 @@ void ProcSupervisor::on_worker_failure(std::size_t d, bool wedged,
                                        << std::min<std::size_t>(
                                               w.consecutive_restarts - 1, 10)),
                2000.0);
-  std::fprintf(stderr,
-               "pima: restarting device worker %zu from its stage-%u shard "
-               "checkpoint in %.0f ms (%zu/%zu restarts used)\n",
-               d, stages_done_, backoff_ms, restarts_used_,
-               options_.restart_budget);
+  {
+    char msg[160];
+    std::snprintf(msg, sizeof msg,
+                  "restarting device worker %zu from its stage-%u shard "
+                  "checkpoint in %.0f ms (%zu/%zu restarts used)",
+                  d, stages_done_, backoff_ms, restarts_used_,
+                  options_.restart_budget);
+    telemetry::log_event(telemetry::LogLevel::kInfo, "worker.restart", msg,
+                         {telemetry::LogField::uint("device", d),
+                          telemetry::LogField::num("backoff_ms", backoff_ms)});
+  }
   if (backoff_ms > 0)
     std::this_thread::sleep_for(
         std::chrono::duration<double, std::milli>(backoff_ms));
@@ -263,6 +368,30 @@ void ProcSupervisor::start() {
   PIMA_CHECK(!started_, "process pool already started");
   resolved_devd_ = resolve_devd_path(options_.devd_path);
   started_ = true;
+  // Worker-state snapshot for crash reports. Dumps run on the controller
+  // thread (the only thread that mutates workers_), so the reads are safe.
+  snapshot_id_ = telemetry::FlightRecorder::instance().add_snapshot_provider(
+      "procpool", [this] {
+        std::string out = "{\"restarts_used\": " +
+                          std::to_string(restarts_used_) +
+                          ", \"restart_budget\": " +
+                          std::to_string(options_.restart_budget) +
+                          ", \"stages_done\": " + std::to_string(stages_done_) +
+                          ", \"workers\": [";
+        for (std::size_t d = 0; d < workers_.size(); ++d) {
+          const Worker& w = workers_[d];
+          out += d == 0 ? "" : ", ";
+          out += "{\"device\": " + std::to_string(d) +
+                 ", \"pid\": " + std::to_string(w.pid) +
+                 ", \"alive\": " + (w.alive ? "true" : "false") +
+                 ", \"incarnation\": " +
+                 std::to_string(w.spawn_count == 0 ? 0 : w.spawn_count - 1) +
+                 ", \"journal_len\": " + std::to_string(w.journal.size()) +
+                 "}";
+        }
+        out += "]}";
+        return out;
+      });
   for (std::size_t d = 0; d < options_.devices; ++d) {
     for (;;) {
       try {
@@ -285,13 +414,30 @@ net::Json ProcSupervisor::do_rpc(std::size_t device, const net::Json& request,
                                  bool journaled) {
   PIMA_CHECK(started_, "process pool not started");
   PIMA_CHECK(device < workers_.size(), "device index out of range");
-  const std::string line = request.dump();
+  // Traced runs stamp each request with a flow id: the controller's
+  // rpc:<op> span opens the flow, the worker's devd:<op> span finishes
+  // it, and Perfetto draws the cross-process arrow. Journaled lines keep
+  // their stamp — a replayed flow end is a harmless duplicate.
+  telemetry::Tracer& tr = telemetry::tracer();
+  const bool traced = tr.enabled();
+  std::uint64_t flow = 0;
+  std::string line;
+  if (traced) {
+    net::Json stamped = request;
+    flow = ++flow_seq_;
+    stamped.set("tel", flow);
+    line = stamped.dump();
+  } else {
+    line = request.dump();
+  }
   for (;;) {
     Worker& w = workers_[device];
     bool sent = false;
     net::Json response;
+    std::int64_t t_start = 0;
     try {
       if (!w.alive) respawn(device);
+      t_start = traced ? tr.now_ns() : 0;
       response = transact(w, line);
       sent = true;
     } catch (const DeadlineExceededError& e) {
@@ -305,6 +451,11 @@ net::Json ProcSupervisor::do_rpc(std::size_t device, const net::Json& request,
       on_worker_failure(device, false, e.what());
     }
     if (!sent) continue;  // restarted; replay done — retry the request
+    if (traced) {
+      tr.record_complete(rpc_span_name(request.get_string("op")), t_start,
+                         tr.now_ns() - t_start);
+      tr.record_flow("rpc", 's', flow, t_start);
+    }
     if (!response.get_bool("ok", false)) {
       // Deterministic child-side failure: no restart. A stalled engine
       // poisons the worker (it exits right after responding); mark it
@@ -327,7 +478,59 @@ net::Json ProcSupervisor::query(std::size_t device, const net::Json& request) {
   return do_rpc(device, request, false);
 }
 
+void ProcSupervisor::collect_telemetry() {
+  telemetry::Tracer& tr = telemetry::tracer();
+  if (!tr.enabled()) return;
+  static const net::Json telemetry_req = [] {
+    net::Json j = net::Json::object();
+    j.set("op", "telemetry");
+    return j;
+  }();
+  for (std::size_t d = 0; d < workers_.size(); ++d) {
+    // A dead worker's unflushed spans died with it — skip rather than
+    // respawn a process just to ask it for telemetry it no longer has.
+    if (!workers_[d].alive) continue;
+    // query() runs the full failure machinery, so a worker that fails
+    // mid-harvest is restarted (losing its unflushed spans) rather than
+    // aborting the harvest. The incarnation snapshot below is taken AFTER
+    // the query: pid/offset must describe the process that answered.
+    const net::Json resp = query(d, telemetry_req);
+    Worker& w = workers_[d];
+    telemetry::ProcessTrace pt;
+    pt.pid = static_cast<std::int64_t>(w.pid);
+    pt.name = "pima_devd d=" + std::to_string(d);
+    const std::size_t incarnation = w.spawn_count == 0 ? 0 : w.spawn_count - 1;
+    if (incarnation > 0)
+      pt.name += " (restart " + std::to_string(incarnation) + ")";
+    pt.sort_index = static_cast<int>(d) + 1;
+    if (resp.has("tracks") && resp.get("tracks").is_array())
+      for (const auto& entry : resp.get("tracks").items())
+        pt.track_names[static_cast<std::uint32_t>(
+            entry.get_uint64("track"))] = entry.get_string("name");
+    if (resp.has("events") && resp.get("events").is_array()) {
+      for (const auto& row : resp.get("events").items()) {
+        if (!row.is_array() || row.items().size() < 8) continue;
+        const auto& f = row.items();
+        telemetry::ExportedTraceEvent e;
+        e.name = f[0].as_string();
+        const std::string phase = f[1].as_string();
+        e.phase = phase.empty() ? 'X' : phase[0];
+        e.track = static_cast<std::uint32_t>(f[2].as_uint64());
+        e.ts_ns = static_cast<std::int64_t>(f[3].as_number()) +
+                  w.clock_offset_ns;
+        e.dur_ns = static_cast<std::int64_t>(f[4].as_number());
+        e.value = f[5].as_number();
+        e.arg_name = f[6].as_string();
+        e.flow_id = f[7].as_uint64();
+        pt.events.push_back(std::move(e));
+      }
+    }
+    tr.put_process(std::move(pt));
+  }
+}
+
 void ProcSupervisor::mark_stage_done(std::uint32_t stage) {
+  collect_telemetry();
   stages_done_ = stage;
   for (std::size_t d = 0; d < workers_.size(); ++d) {
     if (options_.journal_truncation) workers_[d].journal.clear();
@@ -343,6 +546,13 @@ void ProcSupervisor::mark_stage_done(std::uint32_t stage) {
 
 void ProcSupervisor::shutdown() noexcept {
   if (!started_) return;
+  // Final span harvest before the handshake tears the workers down. Any
+  // failure here (a dead worker, an exhausted budget) must not turn a
+  // graceful shutdown into a throw.
+  try {
+    collect_telemetry();
+  } catch (...) {
+  }
   static const std::string shutdown_line = [] {
     net::Json j = net::Json::object();
     j.set("op", "shutdown");
@@ -358,6 +568,11 @@ void ProcSupervisor::shutdown() noexcept {
       }
     }
     (void)reap_worker(d, false);
+  }
+  if (snapshot_id_ >= 0) {
+    telemetry::FlightRecorder::instance().remove_snapshot_provider(
+        snapshot_id_);
+    snapshot_id_ = -1;
   }
   started_ = false;
 }

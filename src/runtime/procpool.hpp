@@ -45,6 +45,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/error.hpp"
@@ -150,9 +151,18 @@ class ProcSupervisor {
   /// Read-only request: same failure handling, not journaled.
   net::Json query(std::size_t device, const net::Json& request);
 
-  /// Stage boundary: truncates journals (when enabled) and writes the
+  /// Stage boundary: harvests worker span buffers (when the controller
+  /// tracer is live), truncates journals (when enabled) and writes the
   /// per-device shard checkpoints.
   void mark_stage_done(std::uint32_t stage);
+
+  /// Fetches every live worker's cumulative span buffer over the
+  /// `telemetry` verb and installs it in the controller tracer as that
+  /// incarnation's ProcessTrace (timestamps shifted by the clock offset
+  /// sampled at init). No-op when tracing is disabled. Uses the normal
+  /// rpc failure handling, so a dead worker is restarted (and its spans
+  /// since the last harvest are lost — restarts appear as new tracks).
+  void collect_telemetry();
 
   /// Graceful shutdown handshake with every live worker, then reap.
   /// Idempotent; also run by the destructor.
@@ -168,6 +178,9 @@ class ProcSupervisor {
     std::vector<std::string> journal;  ///< since the last truncation
     std::size_t consecutive_restarts = 0;
     bool alive = false;
+    std::size_t spawn_count = 0;        ///< incarnation = spawn_count - 1
+    std::int64_t clock_offset_ns = 0;   ///< controller now − worker now
+    std::thread stderr_relay;           ///< prefixes child stderr lines
   };
 
   std::string shard_checkpoint_path(std::size_t d) const;
@@ -188,6 +201,8 @@ class ProcSupervisor {
   std::vector<Worker> workers_;
   std::uint32_t stages_done_ = 0;
   std::size_t restarts_used_ = 0;
+  std::uint64_t flow_seq_ = 0;  ///< rpc flow-event ids (traced runs)
+  int snapshot_id_ = -1;        ///< flight-recorder provider registration
   bool started_ = false;
 };
 

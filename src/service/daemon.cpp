@@ -19,9 +19,15 @@
 #include "core/pipeline.hpp"
 #include "dna/fasta.hpp"
 #include "dram/device.hpp"
+#include "net/http.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/session.hpp"
 
 namespace pima::service {
+
+using net::HttpRequest;
+using net::http_response;
+using net::read_http_request;
 
 namespace fs = std::filesystem;
 
@@ -138,8 +144,9 @@ void Daemon::recover_jobs() {
     try {
       record = load_job_record(job_dir(id));
     } catch (const std::exception& e) {
-      std::fprintf(stderr, "pima_asm serve: skipping unreadable job %s: %s\n",
-                   id.c_str(), e.what());
+      telemetry::log_event(telemetry::LogLevel::kWarn, "job.unreadable",
+                           "skipping unreadable job " + id + ": " + e.what(),
+                           {telemetry::LogField::str("job", id)});
       continue;
     }
     auto entry = std::make_unique<JobEntry>();
@@ -676,6 +683,57 @@ void Daemon::handle_connection(ConnSlot* slot) {
   if (fd >= 0) ::close(fd);
 }
 
+void Daemon::handle_http(ConnSlot* slot) {
+  const int conn_fd = slot->fd.load(std::memory_order_acquire);
+  try {
+    HttpRequest request;
+    // A scraper that connects and stalls must not pin a slot forever.
+    if (read_http_request(conn_fd, request, /*timeout_s=*/10.0)) {
+      std::string response;
+      if (request.method != "GET" && request.method != "HEAD") {
+        response = http_response(405, "text/plain; charset=utf-8",
+                                 "only GET is served here\n");
+      } else if (request.target == "/metrics") {
+        // Byte-identical to the `metrics` verb's prometheus body: both
+        // call the same deterministic fold.
+        response = http_response(200,
+                                 "text/plain; version=0.0.4; charset=utf-8",
+                                 aggregate_metrics(/*as_json=*/false));
+      } else if (request.target == "/healthz") {
+        response = http_response(200, "text/plain; charset=utf-8",
+                                 stopping() ? "draining\n" : "ok\n");
+      } else if (request.target == "/jobs") {
+        response = http_response(200, "application/json",
+                                 verb_list().dump() + "\n");
+      } else {
+        response = http_response(404, "text/plain; charset=utf-8",
+                                 "not found (try /metrics, /healthz, "
+                                 "/jobs)\n");
+      }
+      if (request.method == "HEAD") {
+        const std::size_t head_end = response.find("\r\n\r\n");
+        if (head_end != std::string::npos) response.resize(head_end + 4);
+      }
+      std::size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t n = fsio::send(conn_fd, response.data() + off,
+                                     response.size() - off, MSG_NOSIGNAL,
+                                     "http");
+        if (n < 0) {
+          if (errno == EINTR) continue;
+          break;  // peer gone; nothing to salvage
+        }
+        off += static_cast<std::size_t>(n);
+      }
+    }
+  } catch (const std::exception&) {
+    // Malformed request, deadline, or a vanished peer: drop it.
+  }
+  std::lock_guard<std::mutex> lock(conn_mutex_);
+  const int fd = slot->fd.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
 void Daemon::reap_connections() {
   // Harvest slots whose connection thread is done (fd already retracted
   // to -1 under conn_mutex_, so nothing but the thread's return remains);
@@ -727,6 +785,8 @@ void Daemon::run() {
   ScopedFd unix_listener = listen_unix(options_.socket_path);
   ScopedFd tcp_listener;
   if (options_.tcp_port != 0) tcp_listener = listen_tcp(options_.tcp_port);
+  ScopedFd http_listener;
+  if (options_.http_port != 0) http_listener = listen_tcp(options_.http_port);
 
   {
     // Recovered jobs may start immediately.
@@ -735,11 +795,12 @@ void Daemon::run() {
   }
 
   while (!stopping()) {
-    struct pollfd fds[3];
+    struct pollfd fds[4];
     fds[0] = {wake_read_, POLLIN, 0};
     fds[1] = {unix_listener.get(), POLLIN, 0};
     nfds_t nfds = 2;
     if (tcp_listener.valid()) fds[nfds++] = {tcp_listener.get(), POLLIN, 0};
+    if (http_listener.valid()) fds[nfds++] = {http_listener.get(), POLLIN, 0};
 
     if (::poll(fds, nfds, -1) < 0) {
       if (errno == EINTR) continue;
@@ -777,7 +838,13 @@ void Daemon::run() {
         std::lock_guard<std::mutex> lock(conn_mutex_);
         connections_.push_back(std::move(slot));
       }
-      raw->thread = std::thread([this, raw] { handle_connection(raw); });
+      // HTTP connections share the slot machinery (cap, shutdown sweep,
+      // reaping) with NDJSON ones; only the protocol handler differs.
+      const bool is_http =
+          http_listener.valid() && fds[i].fd == http_listener.get();
+      raw->thread = std::thread([this, raw, is_http] {
+        is_http ? handle_http(raw) : handle_connection(raw);
+      });
     }
   }
 
@@ -785,6 +852,7 @@ void Daemon::run() {
   // 1. Stop accepting; wake every waiter (follow watchers, drain).
   unix_listener = ScopedFd();
   tcp_listener = ScopedFd();
+  http_listener = ScopedFd();
   cv_.notify_all();
 
   // 2. Cancel running jobs in shutdown mode: they persist back to

@@ -51,6 +51,10 @@ namespace pima::service {
 struct DaemonOptions {
   std::string socket_path;        ///< unix socket (required)
   std::uint16_t tcp_port = 0;     ///< loopback TCP, 0 = disabled
+  /// Loopback HTTP introspection plane (GET /metrics, /healthz, /jobs);
+  /// 0 = disabled. /metrics serves the same deterministic fold as the
+  /// `metrics` verb, byte for byte.
+  std::uint16_t http_port = 0;
   std::string state_dir;          ///< job dirs + checkpoints (required)
   AdmissionPolicy admission;
   /// Cap on concurrently open client connections; a connection past the
@@ -109,6 +113,8 @@ class Daemon {
   // ---- protocol (called from connection threads) ----
   struct ConnSlot;
   void handle_connection(ConnSlot* slot);
+  /// HTTP introspection connection: one GET, one response, close.
+  void handle_http(ConnSlot* slot);
   /// Returns false when the connection should close after this response.
   bool dispatch_verb(const Json& request, LineChannel& channel);
   Json verb_submit(const Json& request);

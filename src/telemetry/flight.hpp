@@ -1,0 +1,101 @@
+// Flight recorder: an always-on bounded ring of recent structured-log
+// events plus registered state snapshots, dumped as `crash_report.json`
+// when something goes wrong.
+//
+// Triggers (all call dump()):
+//   * a device worker is classified crashed / wedged / torn,
+//   * the engine watchdog declares a stall,
+//   * the process pool degrades to in-process execution,
+//   * a fatal signal arrives (SIGSEGV/SIGBUS/SIGFPE/SIGILL/SIGABRT).
+//
+// The ring stores PREFORMATTED JSON object lines in fixed-size slots —
+// formatting happens at log time, in normal context — so the fatal-signal
+// path can assemble a valid report with nothing but raw write(2) calls.
+// Each slot carries an atomic sequence stamp: the writer clears it,
+// copies the bytes, then publishes, so a reader (including the signal
+// handler) never sees a torn, invalid-JSON slot.
+//
+// Normal-context dumps go through fsio::atomic_write_file (site
+// "crash_report"), include registered state snapshots (engine queues,
+// worker states), and never throw — a crash report must not mask the
+// failure it documents.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace pima::telemetry {
+
+class FlightRecorder {
+ public:
+  static constexpr std::size_t kRingSlots = 256;
+  static constexpr std::size_t kSlotBytes = 512;
+  static constexpr const char* kSchema = "pima.crash_report.v1";
+
+  /// Process-wide instance (leaked — dump() runs during teardown paths).
+  static FlightRecorder& instance();
+
+  /// Where dump() writes. Default: "crash_report.json" in the working
+  /// directory. Stored in a fixed buffer so the signal path can read it;
+  /// paths longer than the buffer are rejected (PreconditionError).
+  void set_output_path(const std::string& path);
+  std::string output_path() const;
+
+  /// Appends one preformatted JSON object line to the ring (no trailing
+  /// newline required). Lines that don't fit a slot are replaced by a
+  /// small truncation marker object, keeping every slot valid JSON.
+  /// Called by Logger for every emitted event; safe from any thread.
+  void note(const char* json_object, std::size_t len);
+
+  /// Registers a named state-snapshot provider; the returned id
+  /// unregisters it. Providers run during normal-context dumps only and
+  /// must return a valid JSON value (object preferred). A throwing
+  /// provider contributes an error marker instead of killing the dump.
+  int add_snapshot_provider(const std::string& name,
+                            std::function<std::string()> fn);
+  void remove_snapshot_provider(int id);
+
+  /// Writes the crash report (schema pima.crash_report.v1) atomically.
+  /// Never throws; returns false if the write failed.
+  bool dump(const char* reason, const std::string& detail) noexcept;
+  /// The report body dump() would write (tests).
+  std::string render(const char* reason, const std::string& detail) const;
+
+  /// Installs handlers for fatal signals that write the report with raw
+  /// syscalls, then re-raise with the default disposition. Idempotent.
+  void install_fatal_signal_handlers();
+  /// Async-signal-safe report write (used by the handlers; public for
+  /// tests). Writes to output_path() directly — not atomically, the
+  /// process is dying.
+  void signal_dump(int signo);
+
+  std::uint64_t dump_count() const {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+
+  /// Clears the ring, providers, and counters; restores the default path.
+  void reset_for_tests();
+
+ private:
+  FlightRecorder();
+  ~FlightRecorder() = delete;
+
+  struct Slot {
+    std::atomic<std::uint64_t> ready{0};  // 0 = empty/in-flight
+    char bytes[kSlotBytes];
+    std::uint32_t len = 0;
+  };
+
+  struct Impl;
+  Impl* impl_;  // providers + path string (mutex-guarded, cold)
+  Slot ring_[kRingSlots];
+  std::atomic<std::uint64_t> seq_{0};
+  std::atomic<std::uint64_t> dumps_{0};
+  // Fixed-buffer copy of the output path for the signal path.
+  char path_bytes_[1024];
+  std::atomic<std::size_t> path_len_;
+};
+
+}  // namespace pima::telemetry

@@ -34,32 +34,46 @@ void ProgressReporter::loop() {
   }
 }
 
+std::string format_progress_line(const ProgressSnapshot& snapshot,
+                                 double last_reads, double last_kmers,
+                                 double dt_s) {
+  const double reads_rate = std::max(0.0, snapshot.reads - last_reads) / dt_s;
+  const double kmers_rate = std::max(0.0, snapshot.kmers - last_kmers) / dt_s;
+
+  char eta[32] = "--";
+  if (snapshot.expected > snapshot.reads && reads_rate > 0.0) {
+    std::snprintf(eta, sizeof eta, "%.1fs",
+                  (snapshot.expected - snapshot.reads) / reads_rate);
+  } else if (snapshot.expected > 0.0 && snapshot.reads >= snapshot.expected) {
+    std::snprintf(eta, sizeof eta, "done");
+  }
+  char line[256];
+  std::snprintf(line, sizeof line,
+                "[pima] reads %.0f/%.0f (%.0f/s) kmers %.0f (%.0f/s) eta %s "
+                "faults det=%.0f retry=%.0f host=%.0f",
+                snapshot.reads, snapshot.expected, reads_rate, snapshot.kmers,
+                kmers_rate, eta, snapshot.detected, snapshot.retried,
+                snapshot.fallbacks);
+  return line;
+}
+
 void ProgressReporter::report(double dt_s) {
   // find-or-create with empty help: the pipeline registers these with real
   // help strings first; an early tick before that just sees zeros.
-  const double reads = registry_.counter(kReadsTotal, "").value();
-  const double expected = registry_.counter(kReadsExpected, "").value();
-  const double kmers = registry_.counter(kKmersTotal, "").value();
-  const double detected = registry_.counter(kFaultDetected, "").value();
-  const double retried = registry_.counter(kFaultRetried, "").value();
-  const double fallbacks = registry_.counter(kFaultHostFallbacks, "").value();
+  ProgressSnapshot snapshot;
+  snapshot.reads = registry_.counter(kReadsTotal, "").value();
+  snapshot.expected = registry_.counter(kReadsExpected, "").value();
+  snapshot.kmers = registry_.counter(kKmersTotal, "").value();
+  snapshot.detected = registry_.counter(kFaultDetected, "").value();
+  snapshot.retried = registry_.counter(kFaultRetried, "").value();
+  snapshot.fallbacks = registry_.counter(kFaultHostFallbacks, "").value();
 
-  const double reads_rate = std::max(0.0, reads - last_reads_) / dt_s;
-  const double kmers_rate = std::max(0.0, kmers - last_kmers_) / dt_s;
-  last_reads_ = reads;
-  last_kmers_ = kmers;
+  const std::string line =
+      format_progress_line(snapshot, last_reads_, last_kmers_, dt_s);
+  last_reads_ = snapshot.reads;
+  last_kmers_ = snapshot.kmers;
 
-  char eta[32] = "--";
-  if (expected > reads && reads_rate > 0.0) {
-    std::snprintf(eta, sizeof eta, "%.1fs", (expected - reads) / reads_rate);
-  } else if (expected > 0.0 && reads >= expected) {
-    std::snprintf(eta, sizeof eta, "done");
-  }
-  std::fprintf(options_.out,
-               "[pima] reads %.0f/%.0f (%.0f/s) kmers %.0f (%.0f/s) eta %s "
-               "faults det=%.0f retry=%.0f host=%.0f\n",
-               reads, expected, reads_rate, kmers, kmers_rate, eta, detected,
-               retried, fallbacks);
+  std::fprintf(options_.out, "%s\n", line.c_str());
   std::fflush(options_.out);
 }
 

@@ -8,6 +8,7 @@
 #include <condition_variable>
 #include <cstdio>
 #include <mutex>
+#include <string>
 #include <thread>
 
 #include "telemetry/metrics.hpp"
@@ -23,6 +24,25 @@ inline constexpr const char* kFaultDetected = "pima_fault_detected_total";
 inline constexpr const char* kFaultRetried = "pima_fault_retried_total";
 inline constexpr const char* kFaultHostFallbacks =
     "pima_fault_host_fallbacks_total";
+
+/// One sampled tick of the counters the reporter watches. Decoupled from
+/// the registry and the clock so the rate/ETA math is unit-testable.
+struct ProgressSnapshot {
+  double reads = 0.0;
+  double expected = 0.0;
+  double kmers = 0.0;
+  double detected = 0.0;
+  double retried = 0.0;
+  double fallbacks = 0.0;
+};
+
+/// Renders one status line (without trailing newline) from the current
+/// snapshot, the previous tick's totals and the elapsed interval. ETA is
+/// "--" until a positive read rate exists, then a seconds estimate, then
+/// "done" once reads have caught up with expected.
+std::string format_progress_line(const ProgressSnapshot& snapshot,
+                                 double last_reads, double last_kmers,
+                                 double dt_s);
 
 class ProgressReporter {
  public:

@@ -60,6 +60,7 @@ void Tracer::clear() {
   std::lock_guard lock(mutex_);
   buffers_.clear();
   track_names_.clear();
+  processes_.clear();
 }
 
 TraceBuffer* Tracer::thread_buffer() {
@@ -121,6 +122,55 @@ void Tracer::record_counter(const char* name, double value,
   thread_buffer()->record(e);
 }
 
+void Tracer::record_flow(const char* name, char phase, std::uint64_t flow_id,
+                         std::int64_t ts_ns, std::uint32_t track) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.phase = phase;
+  e.track = track == kThreadTrack ? tls.track : track;
+  e.ts_ns = ts_ns;
+  e.flow_id = flow_id;
+  thread_buffer()->record(e);
+}
+
+std::vector<ExportedTraceEvent> Tracer::export_events() const {
+  std::lock_guard lock(mutex_);
+  std::vector<ExportedTraceEvent> out;
+  for (const auto& b : buffers_) {
+    const std::size_t n = b->published();
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = b->at(i);
+      ExportedTraceEvent x;
+      x.name = e.name == nullptr ? "" : e.name;
+      x.arg_name = e.arg_name == nullptr ? "" : e.arg_name;
+      x.phase = e.phase;
+      x.track = e.track;
+      x.ts_ns = e.ts_ns;
+      x.dur_ns = e.dur_ns;
+      x.value = e.value;
+      x.flow_id = e.flow_id;
+      out.push_back(std::move(x));
+    }
+  }
+  return out;
+}
+
+std::map<std::uint32_t, std::string> Tracer::track_names() const {
+  std::lock_guard lock(mutex_);
+  return track_names_;
+}
+
+void Tracer::put_process(ProcessTrace p) {
+  std::lock_guard lock(mutex_);
+  processes_[p.pid] = std::move(p);
+}
+
+std::size_t Tracer::process_count() const {
+  std::lock_guard lock(mutex_);
+  return processes_.size();
+}
+
 std::size_t Tracer::event_count() const {
   std::lock_guard lock(mutex_);
   std::size_t n = 0;
@@ -137,17 +187,38 @@ std::uint64_t Tracer::dropped_count() const {
 
 std::string Tracer::chrome_json() const {
   std::lock_guard lock(mutex_);
-  // Gather published events from every buffer, then sort by timestamp so
-  // Perfetto's importer sees a monotone stream per track.
-  std::vector<TraceEvent> events;
+  // The tracer's own events render under a synthetic pid 1; each foreign
+  // process (a `pima_devd` incarnation) renders under its OS pid with
+  // process_name metadata, so a restarted worker appears as a new track
+  // group. Gather everything, then sort by timestamp so Perfetto's
+  // importer sees a monotone stream per track.
+  constexpr std::int64_t kOwnPid = 1;
+  struct Row {
+    std::int64_t pid;
+    ExportedTraceEvent e;
+  };
+  std::vector<Row> rows;
   for (const auto& b : buffers_) {
     const std::size_t n = b->published();
-    for (std::size_t i = 0; i < n; ++i) events.push_back(b->at(i));
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = b->at(i);
+      ExportedTraceEvent x;
+      x.name = e.name == nullptr ? "" : e.name;
+      x.arg_name = e.arg_name == nullptr ? "" : e.arg_name;
+      x.phase = e.phase;
+      x.track = e.track;
+      x.ts_ns = e.ts_ns;
+      x.dur_ns = e.dur_ns;
+      x.value = e.value;
+      x.flow_id = e.flow_id;
+      rows.push_back({kOwnPid, std::move(x)});
+    }
   }
-  std::stable_sort(events.begin(), events.end(),
-                   [](const TraceEvent& a, const TraceEvent& b) {
-                     return a.ts_ns < b.ts_ns;
-                   });
+  for (const auto& [pid, proc] : processes_)
+    for (const auto& e : proc.events) rows.push_back({pid, e});
+  std::stable_sort(rows.begin(), rows.end(), [](const Row& a, const Row& b) {
+    return a.e.ts_ns < b.e.ts_ns;
+  });
 
   std::ostringstream out;
   out << "{\"displayTimeUnit\": \"ns\", \"traceEvents\": [";
@@ -156,17 +227,38 @@ std::string Tracer::chrome_json() const {
     out << (first ? "\n" : ",\n");
     first = false;
   };
-  // Track (thread) naming metadata. sort_index keeps "main" on top and
-  // channels in numeric order.
-  for (const auto& [track, name] : track_names_) {
+  const auto process_meta = [&](std::int64_t pid, const std::string& name,
+                                int sort_index) {
     sep();
-    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << track
+    out << "{\"ph\": \"M\", \"pid\": " << pid
+        << ", \"name\": \"process_name\", \"args\": {\"name\": \""
+        << json_escape(name) << "\"}}";
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": " << pid
+        << ", \"name\": \"process_sort_index\", \"args\": {\"sort_index\": "
+        << sort_index << "}}";
+  };
+  const auto thread_meta = [&](std::int64_t pid, std::uint32_t track,
+                               const std::string& name) {
+    sep();
+    out << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << track
         << ", \"name\": \"thread_name\", \"args\": {\"name\": \""
         << json_escape(name) << "\"}}";
     sep();
-    out << "{\"ph\": \"M\", \"pid\": 1, \"tid\": " << track
+    out << "{\"ph\": \"M\", \"pid\": " << pid << ", \"tid\": " << track
         << ", \"name\": \"thread_sort_index\", \"args\": {\"sort_index\": "
         << track << "}}";
+  };
+  // Track (thread) naming metadata. sort_index keeps "main" on top and
+  // channels in numeric order. The pid-1 process label only matters (and
+  // is only emitted) when foreign processes share the trace.
+  if (!processes_.empty()) process_meta(kOwnPid, "controller", 0);
+  for (const auto& [track, name] : track_names_)
+    thread_meta(kOwnPid, track, name);
+  for (const auto& [pid, proc] : processes_) {
+    process_meta(pid, proc.name, proc.sort_index);
+    for (const auto& [track, name] : proc.track_names)
+      thread_meta(pid, track, name);
   }
   char num[40];
   const auto fmt_us = [&](std::int64_t ns) {
@@ -178,25 +270,34 @@ std::string Tracer::chrome_json() const {
     std::snprintf(num, sizeof num, "%.17g", v);
     return num;
   };
-  const auto track_label = [&](std::uint32_t track) {
-    const auto it = track_names_.find(track);
-    return it != track_names_.end() ? it->second
-                                    : "track " + std::to_string(track);
+  const auto track_label = [&](std::int64_t pid, std::uint32_t track) {
+    const std::map<std::uint32_t, std::string>* names = &track_names_;
+    if (pid != kOwnPid) {
+      const auto it = processes_.find(pid);
+      names = it != processes_.end() ? &it->second.track_names : nullptr;
+    }
+    if (names != nullptr) {
+      const auto it = names->find(track);
+      if (it != names->end()) return it->second;
+    }
+    return "track " + std::to_string(track);
   };
-  for (const auto& e : events) {
+  for (const auto& row : rows) {
+    const ExportedTraceEvent& e = row.e;
     sep();
     // Counter events are keyed by (pid, name) in the trace-event model, so
     // the owning track's name is folded into the counter name to get one
     // counter track per channel.
     std::string name = json_escape(e.name);
-    if (e.phase == 'C') name += " [" + json_escape(track_label(e.track)) + "]";
+    if (e.phase == 'C')
+      name += " [" + json_escape(track_label(row.pid, e.track)) + "]";
     out << "{\"name\": \"" << name << "\", \"ph\": \"" << e.phase
-        << "\", \"pid\": 1, \"tid\": " << e.track
+        << "\", \"pid\": " << row.pid << ", \"tid\": " << e.track
         << ", \"ts\": " << fmt_us(e.ts_ns);
     switch (e.phase) {
       case 'X':
         out << ", \"dur\": " << fmt_us(e.dur_ns);
-        if (e.arg_name != nullptr)
+        if (!e.arg_name.empty())
           out << ", \"args\": {\"" << json_escape(e.arg_name)
               << "\": " << fmt_val(e.value) << '}';
         break;
@@ -206,6 +307,13 @@ std::string Tracer::chrome_json() const {
       case 'C':
         out << ", \"args\": {\"" << json_escape(e.arg_name)
             << "\": " << fmt_val(e.value) << '}';
+        break;
+      case 's':
+      case 'f':
+        // Perfetto flow events: both binding points share an id; the
+        // finish side binds to the *enclosing* slice ("bp": "e").
+        out << ", \"cat\": \"rpc\", \"id\": " << e.flow_id;
+        if (e.phase == 'f') out << ", \"bp\": \"e\"";
         break;
       default:
         break;

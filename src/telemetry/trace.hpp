@@ -36,15 +36,41 @@
 
 namespace pima::telemetry {
 
-/// One recorded event. 56 bytes; stored by value in the ring.
+/// One recorded event. 64 bytes; stored by value in the ring.
 struct TraceEvent {
   const char* name = nullptr;   ///< static string (never copied)
-  char phase = 'X';             ///< 'X' complete, 'i' instant, 'C' counter
+  char phase = 'X';             ///< 'X' complete, 'i' instant, 'C' counter,
+                                ///< 's'/'f' flow start/finish
   std::uint32_t track = 0;      ///< Chrome tid: 0 = main, 1.. = channels
   std::int64_t ts_ns = 0;       ///< start, ns since the tracer epoch
   std::int64_t dur_ns = 0;      ///< span duration ('X' only)
   double value = 0.0;           ///< counter value / span argument
   const char* arg_name = nullptr;  ///< static key for `value`, or null
+  std::uint64_t flow_id = 0;    ///< flow binding id ('s'/'f' only)
+};
+
+/// A trace event with owned strings — the wire/export form. Worker
+/// processes serialize these over the NDJSON channel; the controller
+/// re-imports them as a foreign ProcessTrace.
+struct ExportedTraceEvent {
+  std::string name;
+  std::string arg_name;  ///< empty = none
+  char phase = 'X';
+  std::uint32_t track = 0;
+  std::int64_t ts_ns = 0;
+  std::int64_t dur_ns = 0;
+  double value = 0.0;
+  std::uint64_t flow_id = 0;
+};
+
+/// One foreign process's worth of trace data (a `pima_devd` incarnation).
+/// Timestamps must already be shifted into the importing tracer's epoch.
+struct ProcessTrace {
+  std::int64_t pid = 0;  ///< OS pid; keys the process — restarts get new pids
+  std::string name;      ///< Perfetto process_name label
+  int sort_index = 0;    ///< Perfetto process_sort_index
+  std::map<std::uint32_t, std::string> track_names;
+  std::vector<ExportedTraceEvent> events;
 };
 
 /// Single-writer, many-reader ring. The owning thread appends; readers see
@@ -115,17 +141,38 @@ class Tracer {
   void record_instant(const char* name, std::uint32_t track = kThreadTrack);
   /// Counter sample on a counter track named `name [<track name>]`.
   void record_counter(const char* name, double value, std::uint32_t track);
+  /// Perfetto flow binding point: phase 's' opens a flow, 'f' terminates
+  /// it. Both sides must use the same `flow_id` and lie inside an 'X' span
+  /// on their respective tracks. `ts_ns` is explicit so the binding point
+  /// can be placed at the enclosing span's start.
+  void record_flow(const char* name, char phase, std::uint64_t flow_id,
+                   std::int64_t ts_ns, std::uint32_t track = kThreadTrack);
 
   /// Merged, time-sorted Chrome trace-event JSON ("traceEvents" array plus
   /// thread-name metadata). Safe to call while writers are active: only
-  /// published slots are read.
+  /// published slots are read. Foreign processes added via put_process()
+  /// render as their own pid groups with process_name metadata.
   std::string chrome_json() const;
+
+  /// Snapshot of every published event in this process's buffers, with
+  /// owned strings (cumulative — a later call returns a superset). Used by
+  /// worker processes to ship their spans over the NDJSON channel.
+  std::vector<ExportedTraceEvent> export_events() const;
+  /// Snapshot of the track-name table.
+  std::map<std::uint32_t, std::string> track_names() const;
+
+  /// Installs (or replaces, keyed by pid) a foreign process's trace for
+  /// chrome_json() merging. Worker flushes are cumulative, so replacing is
+  /// idempotent across stage-boundary harvests of the same incarnation.
+  void put_process(ProcessTrace p);
+  std::size_t process_count() const;
 
   /// Total events currently published over all buffers (tests/reports).
   std::size_t event_count() const;
   std::uint64_t dropped_count() const;
 
-  /// Drops every buffer and track name. Threads re-register on next use.
+  /// Drops every buffer, track name, and foreign process. Threads
+  /// re-register on next use.
   void clear();
 
  private:
@@ -139,9 +186,10 @@ class Tracer {
   // Values are process-unique (drawn from a global counter), so a Tracer
   // allocated at a dead Tracer's address can never match its stale stamps.
   std::atomic<std::uint64_t> generation_;
-  mutable std::mutex mutex_;  // buffers_ + track_names_ (cold paths)
+  mutable std::mutex mutex_;  // buffers_ + track_names_ + processes_
   std::vector<std::unique_ptr<TraceBuffer>> buffers_;
   std::map<std::uint32_t, std::string> track_names_;
+  std::map<std::int64_t, ProcessTrace> processes_;  // keyed by pid
 };
 
 }  // namespace pima::telemetry

@@ -28,6 +28,7 @@
 #include "net/json.hpp"
 #include "runtime/checkpoint.hpp"
 #include "runtime/procpool.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/session.hpp"
 
 namespace pima {
@@ -254,6 +255,90 @@ TEST(ProcPoolDegrade, DisallowedDegradeThrowsWorkerCrashedError) {
     EXPECT_EQ(exit_code_for(e), kExitWorkerCrashed);
   }
   telemetry::TelemetrySession::instance().reset();
+}
+
+// ---- distributed observability ----------------------------------------------
+
+TEST(ProcPoolObservability, StitchedTraceHasWorkerSpansFlowsAndRestartTracks) {
+  const auto reads = workload_reads(16);
+  const auto baseline = run_config(reads, /*isolate=*/false, 3);
+  auto& session = telemetry::TelemetrySession::instance();
+  session.reset();
+  session.enable_metrics();
+  session.tracer().enable();
+  const auto scratch = fs::temp_directory_path() / "procpool_obs_trace";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  const auto flag = (scratch / "flag").string();
+  // Worker 1 dies mid stage 1; its replacement appears as a new process
+  // track with a restart-suffixed name.
+  ScopedEnv hook("PIMA_DEVD_TEST_HOOK",
+                 "dev=1:after=6:action=sigkill:flag=" + flag);
+  dram::Device device(pipeline_geometry());
+  core::PipelineOptions opt;
+  opt.k = 15;
+  opt.hash_shards = 8;
+  opt.devices = 3;
+  opt.threads = 2;
+  opt.isolate = true;
+  opt.isolate_opts.allow_degrade = false;
+  const auto result = core::run_pipeline(device, reads, opt);
+  EXPECT_TRUE(fs::exists(flag)) << "hook never fired";
+  expect_bit_identical(result, baseline.result);
+  // Tracing is host-side observation: the model-class oracle must not
+  // move because spans were recorded and harvested.
+  EXPECT_EQ(session.metrics().json_snapshot(/*model_only=*/true),
+            baseline.model_snapshot);
+
+  auto& tracer = session.tracer();
+  EXPECT_GE(tracer.process_count(), 3u);  // one track group per live worker
+  const std::string json = tracer.chrome_json();
+  EXPECT_NE(json.find("\"pima_devd d=0\""), std::string::npos);
+  EXPECT_NE(json.find("(restart 1)"), std::string::npos);
+  EXPECT_NE(json.find("devd:kmers"), std::string::npos);  // worker-side span
+  EXPECT_NE(json.find("rpc:kmers"), std::string::npos);   // controller span
+  // Flow links tie each controller rpc span to its worker execution.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"rpc\""), std::string::npos);
+  session.reset();
+  fs::remove_all(scratch);
+}
+
+TEST(ProcPoolObservability, WorkerCrashDumpsSchemaValidCrashReport) {
+  auto& flight = telemetry::FlightRecorder::instance();
+  flight.reset_for_tests();
+  const auto scratch = fs::temp_directory_path() / "procpool_obs_flight";
+  fs::remove_all(scratch);
+  fs::create_directories(scratch);
+  const auto report_path = (scratch / "crash_report.json").string();
+  flight.set_output_path(report_path);
+  const auto flag = (scratch / "flag").string();
+  ScopedEnv hook("PIMA_DEVD_TEST_HOOK",
+                 "dev=2:after=8:action=sigkill:flag=" + flag);
+  const auto reads = workload_reads(17);
+  core::PipelineOptions::IsolateOptions iso;
+  iso.allow_degrade = false;
+  const auto run = run_config(reads, /*isolate=*/true, 4, iso);
+  ASSERT_FALSE(run.result.contigs.empty());
+  EXPECT_GE(flight.dump_count(), 1u);
+  ASSERT_TRUE(fs::exists(report_path));
+
+  std::ifstream in(report_path);
+  const std::string body((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+  const net::Json j = net::Json::parse(body);  // throws if invalid
+  EXPECT_EQ(j.get_string("schema"), "pima.crash_report.v1");
+  EXPECT_EQ(j.get_string("reason"), "worker_failure");
+  ASSERT_TRUE(j.has("events"));
+  EXPECT_FALSE(j.get("events").items().empty());
+  EXPECT_NE(body.find("worker.failed"), std::string::npos);
+  // The supervisor's state snapshot rode along.
+  ASSERT_TRUE(j.has("state"));
+  EXPECT_TRUE(j.get("state").has("procpool"));
+  flight.reset_for_tests();
+  fs::remove_all(scratch);
 }
 
 // ---- wire round-trips -------------------------------------------------------

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include <sys/socket.h>
 #include <sys/types.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -319,7 +320,8 @@ std::string golden_fasta(const std::string& reads_path, const JobSpec& spec) {
 class DaemonHarness {
  public:
   explicit DaemonHarness(const std::string& name, AdmissionPolicy admission,
-                         std::size_t max_connections = 64) {
+                         std::size_t max_connections = 64,
+                         std::uint16_t http_port = 0) {
     state_dir_ = (fs::temp_directory_path() / ("pima_svc_" + name)).string();
     fs::remove_all(state_dir_);
     fs::create_directories(state_dir_);
@@ -328,6 +330,7 @@ class DaemonHarness {
     opt.socket_path = state_dir_ + "/pima.sock";
     opt.admission = admission;
     opt.max_connections = max_connections;
+    opt.http_port = http_port;
     opt.geometry = service_geometry();
     daemon_ = std::make_unique<Daemon>(std::move(opt));
     thread_ = std::thread([this] { daemon_->run(); });
@@ -422,6 +425,78 @@ class DaemonHarness {
   std::unique_ptr<Daemon> daemon_;
   std::thread thread_;
 };
+
+/// One blocking HTTP GET against loopback `port`; returns the raw
+/// response (head + body). The daemon closes after each response, so
+/// read-to-EOF frames it.
+std::string http_get(std::uint16_t port, const std::string& target) {
+  ScopedFd fd = connect_tcp(port);
+  const std::string req =
+      "GET " + target + " HTTP/1.1\r\nHost: localhost\r\n\r\n";
+  std::size_t off = 0;
+  while (off < req.size()) {
+    const ssize_t n =
+        ::send(fd.get(), req.data() + off, req.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("http test send failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  std::string response;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd.get(), chunk, sizeof chunk);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw IoError("http test read failed");
+    }
+    if (n == 0) break;
+    response.append(chunk, static_cast<std::size_t>(n));
+  }
+  return response;
+}
+
+std::string http_body(const std::string& response) {
+  const std::size_t head_end = response.find("\r\n\r\n");
+  return head_end == std::string::npos ? std::string()
+                                       : response.substr(head_end + 4);
+}
+
+TEST(ServiceDaemon, HttpPlaneServesMetricsHealthzAndJobs) {
+  const auto port =
+      static_cast<std::uint16_t>(21000 + (::getpid() % 20000));
+  DaemonHarness h("http", policy(8, 2, 6), 64, port);
+  const std::string reads = h.state_dir() + "/reads.fa";
+  write_small_reads(reads);
+  const std::string id = h.submit(reads, 15, 8, 2);
+  h.wait_terminal(id);
+
+  const std::string health = http_get(port, "/healthz");
+  EXPECT_EQ(health.substr(0, 15), "HTTP/1.1 200 OK");
+  EXPECT_NE(health.find("Connection: close"), std::string::npos);
+  EXPECT_EQ(http_body(health), "ok\n");
+
+  // /metrics must be byte-identical to the NDJSON `metrics` verb — both
+  // run the same deterministic fold over the same registries.
+  const std::string http_metrics = http_body(http_get(port, "/metrics"));
+  Json req = Json::object();
+  req.set("verb", "metrics");
+  const Json verb_resp = h.request(std::move(req));
+  ASSERT_TRUE(verb_resp.get_bool("ok")) << verb_resp.dump();
+  EXPECT_EQ(http_metrics, verb_resp.get_string("body"));
+  EXPECT_NE(http_metrics.find("pima_reads_total"), std::string::npos);
+
+  const std::string jobs_body = http_body(http_get(port, "/jobs"));
+  const Json jobs = Json::parse(jobs_body);
+  ASSERT_TRUE(jobs.get_bool("ok"));
+  ASSERT_TRUE(jobs.has("jobs"));
+  ASSERT_EQ(jobs.get("jobs").items().size(), 1u);
+  EXPECT_EQ(jobs.get("jobs").items()[0].get_string("job"), id);
+
+  const std::string missing = http_get(port, "/nope");
+  EXPECT_EQ(missing.substr(0, 12), "HTTP/1.1 404");
+}
 
 TEST(ServiceDaemon, ThreeConcurrentJobsBitIdenticalToStandalone) {
   DaemonHarness h("concurrent", policy(8, 3, 6));

@@ -5,11 +5,15 @@
 // bit-identical for any --threads.
 #include <gtest/gtest.h>
 
+#include <csignal>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <sstream>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -18,7 +22,10 @@
 #include "core/pipeline.hpp"
 #include "dna/genome.hpp"
 #include "runtime/engine.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/progress.hpp"
 #include "telemetry/session.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -545,6 +552,348 @@ TEST(PipelineTelemetry, ModelMetricsBitIdenticalAcrossThreadCounts) {
   EXPECT_NE(serial.find("pima_stage_commands_total"), std::string::npos);
   EXPECT_NE(serial.find("pima_dram_energy_pj_total"), std::string::npos);
   EXPECT_NE(serial.find("pima_reads_total"), std::string::npos);
+}
+
+// ---- histogram quantile edges ----
+
+TEST(Metrics, QuantileEdgeCases) {
+  // Empty histogram: every quantile (including out-of-range q) is 0.
+  Histogram empty({10.0, 20.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(-3.0), 0.0);
+  EXPECT_DOUBLE_EQ(empty.quantile(42.0), 0.0);
+
+  // Single finite bucket: linear interpolation from 0 to the bound.
+  Histogram single({100.0});
+  for (int i = 0; i < 4; ++i) single.observe(50.0);
+  EXPECT_DOUBLE_EQ(single.quantile(0.5), 50.0);
+  EXPECT_DOUBLE_EQ(single.quantile(1.0), 100.0);
+  // q clamps: 5.0 behaves like 1.0, -1.0 like 0.0.
+  EXPECT_DOUBLE_EQ(single.quantile(5.0), single.quantile(1.0));
+  EXPECT_DOUBLE_EQ(single.quantile(-1.0), single.quantile(0.0));
+
+  // All mass in the +Inf bucket: clamps to the largest finite bound.
+  Histogram overflow({10.0});
+  overflow.observe(1e12);
+  EXPECT_DOUBLE_EQ(overflow.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(overflow.quantile(1.0), 10.0);
+
+  // No finite bounds at all: only the +Inf bucket exists, quantile 0.
+  Histogram unbounded({});
+  unbounded.observe(7.0);
+  EXPECT_DOUBLE_EQ(unbounded.quantile(0.5), 0.0);
+}
+
+// ---- progress reporter ----
+
+TEST(Progress, FormatLineRatesAndEta) {
+  ProgressSnapshot s;
+  s.reads = 50.0;
+  s.expected = 100.0;
+  s.kmers = 500.0;
+  // 50 reads and 500 k-mers in 10 s → 5/s and 50/s; 50 reads left at
+  // 5/s → eta 10.0s.
+  EXPECT_EQ(format_progress_line(s, 0.0, 0.0, 10.0),
+            "[pima] reads 50/100 (5/s) kmers 500 (50/s) eta 10.0s "
+            "faults det=0 retry=0 host=0");
+  // No progress this tick → rate 0 → no eta estimate.
+  EXPECT_EQ(format_progress_line(s, 50.0, 500.0, 10.0),
+            "[pima] reads 50/100 (0/s) kmers 500 (0/s) eta -- "
+            "faults det=0 retry=0 host=0");
+  // Counters behind the last tick (a registry swap) clamp to rate 0, not
+  // a negative rate.
+  EXPECT_EQ(format_progress_line(s, 80.0, 900.0, 10.0),
+            "[pima] reads 50/100 (0/s) kmers 500 (0/s) eta -- "
+            "faults det=0 retry=0 host=0");
+  // Caught up: eta flips to done regardless of rate.
+  s.reads = 100.0;
+  s.kmers = 1000.0;
+  s.detected = 3.0;
+  s.retried = 2.0;
+  s.fallbacks = 1.0;
+  EXPECT_EQ(format_progress_line(s, 50.0, 500.0, 10.0),
+            "[pima] reads 100/100 (5/s) kmers 1000 (50/s) eta done "
+            "faults det=3 retry=2 host=1");
+  // Unknown stream size: eta stays "--".
+  s.expected = 0.0;
+  EXPECT_EQ(format_progress_line(s, 50.0, 500.0, 10.0),
+            "[pima] reads 100/0 (5/s) kmers 1000 (50/s) eta -- "
+            "faults det=3 retry=2 host=1");
+}
+
+TEST(Progress, ReporterWritesFinalLineOnDestruction) {
+  MetricsRegistry registry;
+  registry.counter(kReadsTotal, "reads").add(42.0);
+  registry.counter(kReadsExpected, "expected").add(42.0);
+  registry.counter(kKmersTotal, "kmers").add(420.0);
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(out, nullptr);
+  {
+    ProgressReporter::Options options;
+    options.interval_s = 3600.0;  // never ticks; only the final flush runs
+    options.out = out;
+    ProgressReporter reporter(registry, options);
+  }
+  std::rewind(out);
+  char buf[256] = {0};
+  ASSERT_NE(std::fgets(buf, sizeof buf, out), nullptr);
+  EXPECT_EQ(std::string(buf),
+            "[pima] reads 42/42 (0/s) kmers 420 (0/s) eta done "
+            "faults det=0 retry=0 host=0\n");
+  std::fclose(out);
+}
+
+// ---- structured event log ----
+
+TEST(Log, NdjsonSinkEmitsValidTypedLines) {
+  auto& logger = Logger::instance();
+  logger.reset_for_tests();
+  logger.set_stderr_enabled(false);
+  const std::string path = ::testing::TempDir() + "/pima_log_sink.ndjson";
+  std::remove(path.c_str());
+  logger.set_json_path(path);
+  log_event(LogLevel::kWarn, "test.event", "quoted \"payload\"\nline two",
+            {LogField::uint("device", 3), LogField::str("class", "torn"),
+             LogField::num("backoff_ms", 12.5)});
+  logger.reset_for_tests();  // closes the sink
+
+  std::ifstream in(path);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_TRUE(json_ok(line)) << line;
+  EXPECT_NE(line.find("\"level\": \"warn\""), std::string::npos) << line;
+  EXPECT_NE(line.find("\"code\": \"test.event\""), std::string::npos);
+  EXPECT_NE(line.find("\"device\": 3"), std::string::npos);
+  EXPECT_NE(line.find("\"class\": \"torn\""), std::string::npos);
+  EXPECT_NE(line.find("\"backoff_ms\": 12.5"), std::string::npos);
+  EXPECT_NE(line.find("\\n"), std::string::npos);  // newline escaped
+  EXPECT_FALSE(std::getline(in, line));            // exactly one event
+  std::remove(path.c_str());
+}
+
+TEST(Log, LevelGateIsAllocationFreeFastPath) {
+  auto& logger = Logger::instance();
+  logger.reset_for_tests();
+  logger.set_stderr_enabled(false);
+  logger.set_level(LogLevel::kError);
+  EXPECT_FALSE(logger.would_log(LogLevel::kWarn));
+  EXPECT_TRUE(logger.would_log(LogLevel::kError));
+  const std::string path = ::testing::TempDir() + "/pima_log_gate.ndjson";
+  std::remove(path.c_str());
+  logger.set_json_path(path);
+  log_event(LogLevel::kInfo, "test.below", "filtered");
+  log_event(LogLevel::kError, "test.kept", "kept");
+  logger.reset_for_tests();
+
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_EQ(all.find("test.below"), std::string::npos);
+  EXPECT_NE(all.find("test.kept"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Log, PerCodeTokenBucketSuppressesAndCounts) {
+  auto& logger = Logger::instance();
+  logger.reset_for_tests();
+  logger.set_stderr_enabled(false);
+  logger.set_rate_limit(/*tokens_per_s=*/0.0001, /*burst=*/2.0);
+  const std::string path = ::testing::TempDir() + "/pima_log_rate.ndjson";
+  std::remove(path.c_str());
+  logger.set_json_path(path);
+  for (int i = 0; i < 10; ++i)
+    log_event(LogLevel::kWarn, "test.flood", "repeated failure");
+  // A different code has its own bucket and still passes.
+  log_event(LogLevel::kWarn, "test.other", "unrelated");
+  EXPECT_EQ(logger.suppressed_total(), 8u);
+  logger.reset_for_tests();
+
+  std::ifstream in(path);
+  std::string line;
+  std::size_t flood = 0, other = 0;
+  while (std::getline(in, line)) {
+    EXPECT_TRUE(json_ok(line)) << line;
+    if (line.find("test.flood") != std::string::npos) ++flood;
+    if (line.find("test.other") != std::string::npos) ++other;
+  }
+  EXPECT_EQ(flood, 2u);  // burst
+  EXPECT_EQ(other, 1u);
+  std::remove(path.c_str());
+}
+
+TEST(Log, CodeForExceptionMirrorsErrorTaxonomy) {
+  EXPECT_STREQ(log_code_for(IoError("x")), "error.io");
+  EXPECT_STREQ(log_code_for(InputFormatError("x")), "error.input_format");
+  EXPECT_STREQ(log_code_for(SimulationError("x")), "error.simulation");
+  EXPECT_STREQ(log_code_for(std::runtime_error("x")), "error.unknown");
+}
+
+// ---- flight recorder ----
+
+TEST(Flight, RenderIsSchemaValidAndIncludesProviders) {
+  auto& flight = FlightRecorder::instance();
+  flight.reset_for_tests();
+  flight.note("{\"code\": \"test.one\"}", 20);
+  const int good =
+      flight.add_snapshot_provider("widget", [] {
+        return std::string("{\"gears\": 3}");
+      });
+  const int bad = flight.add_snapshot_provider(
+      "broken", []() -> std::string { throw std::runtime_error("boom"); });
+  const std::string report = flight.render("unit_test", "just checking");
+  EXPECT_TRUE(json_ok(report)) << report;
+  EXPECT_NE(report.find("\"schema\": \"pima.crash_report.v1\""),
+            std::string::npos);
+  EXPECT_NE(report.find("\"reason\": \"unit_test\""), std::string::npos);
+  EXPECT_NE(report.find("test.one"), std::string::npos);
+  EXPECT_NE(report.find("\"gears\": 3"), std::string::npos);
+  // A throwing provider contributes an error marker, not a dead dump.
+  EXPECT_NE(report.find("\"broken\""), std::string::npos);
+  EXPECT_NE(report.find("boom"), std::string::npos);
+  flight.remove_snapshot_provider(good);
+  flight.remove_snapshot_provider(bad);
+  flight.reset_for_tests();
+}
+
+TEST(Flight, RingKeepsTheMostRecentEvents) {
+  auto& flight = FlightRecorder::instance();
+  flight.reset_for_tests();
+  for (int i = 0; i < 300; ++i) {
+    const std::string line = "{\"seq\": " + std::to_string(i) + "}";
+    flight.note(line.c_str(), line.size());
+  }
+  const std::string report = flight.render("overflow", "");
+  EXPECT_TRUE(json_ok(report)) << report;
+  // 300 events through a 256-slot ring: the newest survive, the oldest
+  // are gone.
+  EXPECT_NE(report.find("{\"seq\": 299}"), std::string::npos);
+  EXPECT_EQ(report.find("{\"seq\": 0}"), std::string::npos);
+  flight.reset_for_tests();
+}
+
+TEST(Flight, OversizedEventBecomesTruncationMarker) {
+  auto& flight = FlightRecorder::instance();
+  flight.reset_for_tests();
+  const std::string huge =
+      "{\"pad\": \"" + std::string(2 * FlightRecorder::kSlotBytes, 'x') +
+      "\"}";
+  flight.note(huge.c_str(), huge.size());
+  const std::string report = flight.render("oversized", "");
+  EXPECT_TRUE(json_ok(report)) << report;
+  EXPECT_NE(report.find("log.oversized"), std::string::npos);
+  flight.reset_for_tests();
+}
+
+TEST(Flight, DumpWritesAtomicallyAndCounts) {
+  auto& flight = FlightRecorder::instance();
+  flight.reset_for_tests();
+  const std::string path = ::testing::TempDir() + "/pima_crash_report.json";
+  std::remove(path.c_str());
+  flight.set_output_path(path);
+  flight.note("{\"code\": \"test.dump\"}", 21);
+  EXPECT_TRUE(flight.dump("unit_test", "dump path"));
+  EXPECT_EQ(flight.dump_count(), 1u);
+  std::ifstream in(path);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(json_ok(body)) << body;
+  EXPECT_NE(body.find("test.dump"), std::string::npos);
+  std::remove(path.c_str());
+  flight.reset_for_tests();
+}
+
+TEST(Flight, SignalDumpPathWritesParseableJson) {
+  auto& flight = FlightRecorder::instance();
+  flight.reset_for_tests();
+  const std::string path = ::testing::TempDir() + "/pima_signal_report.json";
+  std::remove(path.c_str());
+  flight.set_output_path(path);
+  flight.note("{\"code\": \"test.signal\"}", 23);
+  flight.signal_dump(SIGSEGV);  // normal-context call of the raw-write path
+  std::ifstream in(path);
+  std::string body((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  EXPECT_TRUE(json_ok(body)) << body;
+  EXPECT_NE(body.find("test.signal"), std::string::npos);
+  std::remove(path.c_str());
+  flight.reset_for_tests();
+}
+
+// ---- cross-process trace stitching ----
+
+TEST(Tracer, PutProcessStitchesForeignTracksAndFlows) {
+  Tracer t;
+  t.enable();
+  t.set_thread_track(0);
+  t.set_track_name(0, "main");
+  const auto start = t.now_ns();
+  t.record_complete("rpc:kmers", start, 1000);
+  t.record_flow("rpc", 's', 42, start);
+
+  ProcessTrace pt;
+  pt.pid = 4242;
+  pt.name = "pima_devd d=0";
+  pt.sort_index = 1;
+  pt.track_names[0] = "rpc loop";
+  ExportedTraceEvent span;
+  span.name = "devd:kmers";
+  span.phase = 'X';
+  span.track = 0;
+  span.ts_ns = start + 100;
+  span.dur_ns = 500;
+  pt.events.push_back(span);
+  ExportedTraceEvent flow;
+  flow.name = "rpc";
+  flow.phase = 'f';
+  flow.track = 0;
+  flow.ts_ns = start + 100;
+  flow.flow_id = 42;
+  pt.events.push_back(flow);
+  t.put_process(pt);
+  EXPECT_EQ(t.process_count(), 1u);
+  // Cumulative harvests replace the same incarnation wholesale.
+  t.put_process(pt);
+  EXPECT_EQ(t.process_count(), 1u);
+  t.disable();
+
+  const std::string json = t.chrome_json();
+  EXPECT_TRUE(json_ok(json)) << json;
+  // Both processes present, each under its own pid with track metadata.
+  EXPECT_NE(json.find("\"controller\""), std::string::npos);
+  EXPECT_NE(json.find("\"pima_devd d=0\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\": 4242"), std::string::npos);
+  EXPECT_NE(json.find("\"rpc loop\""), std::string::npos);
+  EXPECT_NE(json.find("devd:kmers"), std::string::npos);
+  // The rpc flow link: start on the controller, finish on the worker.
+  EXPECT_NE(json.find("\"ph\": \"s\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"f\""), std::string::npos);
+  EXPECT_NE(json.find("\"bp\": \"e\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"rpc\""), std::string::npos);
+  EXPECT_NE(json.find("\"id\": 42"), std::string::npos);
+}
+
+TEST(Tracer, ControllerMetadataOnlyWhenForeignProcessesExist) {
+  Tracer t;
+  t.enable();
+  t.set_thread_track(0);
+  t.record_complete("solo", t.now_ns(), 10);
+  t.disable();
+  // Single-process traces keep the historical shape: no process metadata.
+  EXPECT_EQ(t.chrome_json().find("process_name"), std::string::npos);
+
+  t.enable();
+  t.set_thread_track(0);
+  t.record_complete("solo", t.now_ns(), 10);
+  ProcessTrace pt;
+  pt.pid = 77;
+  pt.name = "pima_devd d=1 (restart 1)";
+  pt.sort_index = 2;
+  t.put_process(pt);
+  t.disable();
+  const std::string json = t.chrome_json();
+  EXPECT_NE(json.find("process_name"), std::string::npos);
+  EXPECT_NE(json.find("(restart 1)"), std::string::npos);
 }
 
 }  // namespace

@@ -45,6 +45,8 @@
 #include "runtime/recovery.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
+#include "telemetry/flight.hpp"
+#include "telemetry/log.hpp"
 #include "telemetry/session.hpp"
 
 namespace {
@@ -324,6 +326,16 @@ int cmd_pim_run(const Args& args) {
   // plus a JSON snapshot at <path>.json, --progress[=seconds] a periodic
   // status line on stderr.
   auto& session = telemetry::TelemetrySession::instance();
+  // Structured event log (--log-json mirrors every diagnostic as NDJSON;
+  // stderr keeps the human rendering either way) and the flight recorder:
+  // always armed, report lands next to the checkpoints when a directory
+  // is given, else ./crash_report.json.
+  if (const auto log_json = args.get("log-json"))
+    telemetry::Logger::instance().set_json_path(*log_json);
+  auto& flight = telemetry::FlightRecorder::instance();
+  if (!opt.checkpoint_dir.empty())
+    flight.set_output_path(opt.checkpoint_dir + "/crash_report.json");
+  flight.install_fatal_signal_handlers();
   const auto trace_json = args.get("trace-json");
   const auto metrics_out = args.get("metrics-out");
   if (trace_json) {
@@ -500,6 +512,8 @@ int cmd_serve(const Args& args) {
       args.get("socket").value_or(opt.state_dir + "/pima.sock");
   opt.tcp_port = static_cast<std::uint16_t>(
       get_bounded_size(args, "tcp", 0, 0, 65535));
+  opt.http_port = static_cast<std::uint16_t>(
+      get_bounded_size(args, "http", 0, 0, 65535));
   opt.admission.max_jobs = get_bounded_size(args, "max-jobs", 2, 1, 64);
   opt.admission.queue_depth =
       get_bounded_size(args, "queue-depth", 8, 1, 4096);
@@ -520,11 +534,22 @@ int cmd_serve(const Args& args) {
     throw IoError("cannot create state dir " + opt.state_dir + ": " +
                   ec.message());
 
+  // Same observability plumbing as pim-run: NDJSON log sink on request,
+  // flight recorder armed into the state dir.
+  if (const auto log_json = args.get("log-json"))
+    telemetry::Logger::instance().set_json_path(*log_json);
+  auto& flight = telemetry::FlightRecorder::instance();
+  flight.set_output_path(opt.state_dir + "/crash_report.json");
+  flight.install_fatal_signal_handlers();
+
   service::Daemon daemon(opt);
   g_daemon.store(&daemon, std::memory_order_release);
   install_termination_handlers();
   std::printf("serve: listening on %s", opt.socket_path.c_str());
   if (opt.tcp_port != 0) std::printf(" and 127.0.0.1:%u", opt.tcp_port);
+  if (opt.http_port != 0)
+    std::printf(" and http://127.0.0.1:%u (GET /metrics /healthz /jobs)",
+                opt.http_port);
   std::printf(" (max-jobs %zu, queue-depth %zu, channel-budget %zu)\n",
               opt.admission.max_jobs, opt.admission.queue_depth,
               opt.admission.channel_budget);
@@ -726,15 +751,34 @@ int cmd_metrics(const Args& args) {
   service::Json req = service::Json::object();
   req.set("verb", "metrics");
   req.set("format", args.get("format").value_or("prometheus"));
-  const service::Json response = request_with_retries(args, req);
-  if (!response.get_bool("ok", false)) return print_response(response);
-  const std::string body = response.get_string("body");
-  if (const auto out = args.get("out")) {
-    fsio::atomic_write_file(*out, body, "artifact");
-    std::printf("metrics: wrote %zu bytes to %s\n", body.size(),
-                out->c_str());
-  } else {
-    std::fputs(body.c_str(), stdout);
+  // --watch N: clear the screen and re-poll every N seconds until
+  // interrupted (a poor man's `watch pima_asm metrics`). Ctrl-C exits 0 —
+  // leaving a watch is not a failure.
+  const double watch_s = get_bounded_double(args, "watch", 0.0, 0.0, 86'400.0);
+  if (watch_s > 0.0 && args.get("out"))
+    Args::fail("--watch and --out are mutually exclusive");
+  if (watch_s > 0.0) install_termination_handlers();
+  for (;;) {
+    const service::Json response = request_with_retries(args, req);
+    if (!response.get_bool("ok", false)) return print_response(response);
+    const std::string body = response.get_string("body");
+    if (const auto out = args.get("out")) {
+      fsio::atomic_write_file(*out, body, "artifact");
+      std::printf("metrics: wrote %zu bytes to %s\n", body.size(),
+                  out->c_str());
+    } else {
+      if (watch_s > 0.0) std::fputs("\x1b[H\x1b[2J", stdout);
+      std::fputs(body.c_str(), stdout);
+      std::fflush(stdout);
+    }
+    if (watch_s <= 0.0) break;
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::duration<double>(watch_s);
+    while (std::chrono::steady_clock::now() < deadline) {
+      if (g_run_cancel.requested()) return 0;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    if (g_run_cancel.requested()) return 0;
   }
   return 0;
 }
@@ -766,14 +810,20 @@ void usage() {
       "           [--checkpoint-dir DIR (snapshot after each stage)]\n"
       "           [--resume (skip stages covered by DIR/pipeline.ckpt)]\n"
       "           [--stall-timeout MS (watchdog per-task deadline; 0=off)]\n"
-      "           [--trace-json out.json (Chrome trace for Perfetto)]\n"
+      "           [--trace-json out.json (Chrome trace for Perfetto;\n"
+      "            with --isolate: one stitched trace, all processes)]\n"
       "           [--metrics-out out.prom (Prometheus text + .json)]\n"
       "           [--progress [SECONDS] (periodic stderr status; default 1)]\n"
+      "           [--log-json PATH|- (structured NDJSON event log;\n"
+      "            - = stdout; stderr keeps the human rendering)]\n"
       "  spectrum --reads <in.fa> [--k K] [--max-freq N]\n"
       "  project  [--k K]\n"
       "  serve    --state-dir DIR [--socket PATH (default DIR/pima.sock)]\n"
       "           [--tcp PORT] [--max-jobs N] [--queue-depth N]\n"
       "           [--channel-budget N] [--max-conns N] [--rows N]\n"
+      "           [--http PORT (GET /metrics, /healthz, /jobs on\n"
+      "            loopback; /metrics == the metrics verb, byte for byte)]\n"
+      "           [--log-json PATH|- (structured NDJSON event log)]\n"
       "  submit   --socket PATH|--tcp PORT --reads <in.fa> [--k K]\n"
       "           [--shards N] [--threads N] [--devices N] [--euler]\n"
       "           [--isolate (run the job's device shards in worker\n"
@@ -787,7 +837,8 @@ void usage() {
       "  list     --socket PATH|--tcp PORT\n"
       "  drain    --socket PATH|--tcp PORT\n"
       "  metrics  --socket PATH|--tcp PORT [--format prometheus|json]\n"
-      "           [--out PATH]\n"
+      "           [--out PATH] [--watch SECONDS (re-poll + redraw until\n"
+      "            interrupted)]\n"
       "client verbs also accept:\n"
       "  --timeout S   bound connect + each response wait (exit 9 on expiry)\n"
       "  --retries N   retry transport failures with backoff + jitter\n"

@@ -40,6 +40,7 @@
 #include "core/shard_worker.hpp"
 #include "net/json.hpp"
 #include "net/socket.hpp"
+#include "telemetry/session.hpp"
 
 namespace {
 
@@ -197,9 +198,23 @@ int run(int fd, std::size_t device_arg) {
         if (request.get_string("op") != "init")
           throw pima::InputFormatError(
               "device worker: first request must be init");
+        // Span tracing must be live BEFORE the engine exists: enable()
+        // clears track names, and the engine names its channel/watchdog
+        // tracks from its constructor. A modest per-thread ring keeps the
+        // telemetry-verb response line far below the channel's frame cap.
+        if (request.get_bool("trace_spans", false)) {
+          pima::telemetry::Tracer& tr = pima::telemetry::tracer();
+          tr.enable(1 << 14);
+          tr.set_thread_track(0);
+          tr.set_track_name(0, "rpc loop");
+        }
         core = std::make_unique<pima::core::ShardWorkerCore>(request);
         response = Json::object();
         response.set("ok", true);
+        // Clock-sync sample: the supervisor brackets this request with its
+        // own timestamps and shifts this incarnation's spans accordingly.
+        if (pima::telemetry::tracer().enabled())
+          response.set("now_ns", pima::telemetry::tracer().now_ns());
       } else {
         response = core->handle(request);
       }
